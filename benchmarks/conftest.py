@@ -1,0 +1,28 @@
+"""Benchmark fixtures.
+
+The scenario and the full 23-country study are built once per session;
+each benchmark then times the analysis that regenerates one paper
+artefact and prints the measured rows next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_scenario, run_study
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return build_scenario()
+
+
+@pytest.fixture(scope="session")
+def study(scenario):
+    return run_study(scenario)
+
+
+def emit(title: str, body: str) -> None:
+    """Print one benchmark's reproduction output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,53 @@
+"""Ablation: disable each geolocation constraint and measure precision.
+
+DESIGN.md calls out the layered-constraint design; this bench quantifies
+what each layer buys.  Runs on a 5-country subset for speed.
+"""
+
+import pytest
+
+from repro import StudyConfig, run_study
+from repro.core.analysis.report import render_table
+from repro.core.geoloc.pipeline import PipelineConfig
+from repro.core.geoloc.validation import validate_against_truth
+
+from benchmarks.conftest import emit
+
+COUNTRIES = ["CA", "NZ", "RW", "AZ", "GB"]
+
+CONFIGS = {
+    "full pipeline": PipelineConfig(),
+    "no source constraint": PipelineConfig(enable_source=False),
+    "no destination constraint": PipelineConfig(enable_destination=False),
+    "no reverse-DNS constraint": PipelineConfig(enable_rdns=False),
+    "database only (no constraints)": PipelineConfig(
+        enable_source=False, enable_destination=False, enable_rdns=False
+    ),
+}
+
+
+def _precision_recall(scenario, outcome):
+    counts = validate_against_truth(scenario.world, outcome.geolocations)
+    return counts.precision if counts.precision is not None else 1.0, counts.recall or 0.0
+
+
+@pytest.mark.parametrize("label", list(CONFIGS))
+def test_ablation_constraint(benchmark, scenario, label):
+    config = StudyConfig(pipeline=CONFIGS[label])
+
+    def run():
+        outcome = run_study(scenario, countries=COUNTRIES, config=config)
+        return _precision_recall(scenario, outcome)
+
+    precision, recall = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(f"ablation [{label}]",
+         f"precision={precision:.4f} recall={recall:.3f} over {COUNTRIES}")
+
+    if label == "full pipeline":
+        assert precision == 1.0
+    if label == "database only (no constraints)":
+        # Raw database claims admit the injected wrong-country errors.
+        assert precision < 1.0
+    if label == "no source constraint":
+        # Source latency is the workhorse against local-claimed-foreign.
+        assert recall > 0.5

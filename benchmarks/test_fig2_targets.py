@@ -1,0 +1,45 @@
+"""Figure 2: target-list composition (a) and page-load success (b)."""
+
+from repro.core.analysis.report import render_table
+
+from benchmarks.conftest import emit
+
+PAPER_NOTES_2A = "paper: ~2005 sites total, 50 regional per country, fewer gov for LB/RU/DZ"
+PAPER_2B = {"JP": 64, "SA": 56}
+
+
+def test_fig2a_target_composition(benchmark, scenario):
+    def compute():
+        return [
+            (cc, len(t.regional), len(t.government), t.ranking_source)
+            for cc, t in sorted(scenario.targets.items())
+        ]
+
+    rows = benchmark(compute)
+    total = sum(r[1] + r[2] for r in rows)
+    body = render_table(
+        ["country", "T_reg", "T_gov", "ranking source"], rows,
+        title=f"Figure 2(a): target lists per country (total {total}; {PAPER_NOTES_2A})",
+    )
+    emit("fig2a", body)
+    assert 1900 <= total <= 2100
+
+
+def test_fig2b_load_success(benchmark, study):
+    def compute():
+        return {
+            cc: round(dataset.load_success_pct(), 1)
+            for cc, dataset in sorted(study.datasets.items())
+        }
+
+    rates = benchmark(compute)
+    rows = [
+        (cc, rate, PAPER_2B.get(cc, ">=86"))
+        for cc, rate in rates.items()
+    ]
+    emit("fig2b", render_table(
+        ["country", "measured load %", "paper"], rows,
+        title="Figure 2(b): % of T_web successfully loaded",
+    ))
+    assert rates["JP"] < 75 and rates["SA"] < 65
+    assert all(rate >= 80 for cc, rate in rates.items() if cc not in PAPER_2B)

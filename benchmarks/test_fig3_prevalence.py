@@ -1,0 +1,43 @@
+"""Figure 3: % of regional/government websites with non-local trackers."""
+
+from repro.core.analysis.report import render_fig3
+
+from benchmarks.conftest import emit
+
+PAPER = {
+    # country: (regional %, government %) where the paper quotes them.
+    "RW": (93, 31), "QA": (83, 62), "AZ": (82, 65), "NZ": (81, 85),
+    "CA": (0, 0), "US": (0, 0), "UG": (67, 83), "AU": (12, 1), "RU": (16, 0),
+}
+
+
+def test_fig3_prevalence(benchmark, study):
+    analysis = study.prevalence()
+    rows = benchmark(analysis.per_country)
+    emit("fig3", render_fig3(analysis))
+    measured = {r.country_code: r for r in rows}
+    # Zero countries exact; quoted countries within tolerance.
+    assert measured["CA"].regional_pct == 0 and measured["US"].government_pct == 0
+    for cc, (reg, gov) in PAPER.items():
+        assert abs(measured[cc].regional_pct - reg) < 20, cc
+        assert abs(measured[cc].government_pct - gov) < 20, cc
+
+
+def test_fig3_summary_statistics(benchmark, study):
+    analysis = study.prevalence()
+
+    def compute():
+        return (
+            analysis.regional_mean_and_stdev(),
+            analysis.government_mean_and_stdev(),
+            analysis.regional_government_correlation(),
+        )
+
+    reg, gov, correlation = benchmark(compute)
+    emit("fig3-summary", (
+        f"regional   mean {reg['mean']:5.2f}%  sd {reg['stdev']:5.2f}%   (paper 46.16 / 33.77)\n"
+        f"government mean {gov['mean']:5.2f}%  sd {gov['stdev']:5.2f}%   (paper 40.21 / 31.50)\n"
+        f"reg/gov Pearson r = {correlation:.2f}                      (paper 0.89)"
+    ))
+    assert 35 < reg["mean"] < 55
+    assert correlation > 0.7

@@ -1,0 +1,46 @@
+"""Figure 4: distribution of non-local tracker domains per website."""
+
+from repro.core.analysis.report import render_fig4
+
+from benchmarks.conftest import emit
+
+PAPER_MEANS = {"JO": 15.7, "EG": 12.1, "RW": 13.3}  # with sd 12 / 8.5 / 11.39
+PAPER_LOW = ("AU", "TW", "AR", "LB", "GB", "RU")  # means 1-3
+
+
+def test_fig4_distributions(benchmark, study):
+    analysis = study.per_website()
+    distributions = benchmark(analysis.all_distributions)
+    emit("fig4", render_fig4(analysis))
+    measured = {d.country_code: d for d in distributions}
+
+    for cc, paper_mean in PAPER_MEANS.items():
+        assert measured[cc].box is not None
+        assert abs(measured[cc].box.mean - paper_mean) < 7, cc
+        assert measured[cc].box.stdev > 4  # high variability, as reported
+
+    for cc in PAPER_LOW:
+        box = measured[cc].box
+        if box is not None:
+            assert box.mean < 5, cc
+
+    # Medians below ten in most countries (section 6.2).
+    medians = [d.box.median for d in distributions if d.box is not None]
+    below_ten = sum(1 for m in medians if m < 10)
+    assert below_ten >= 0.6 * len(medians)
+
+
+def test_fig4_outliers_exist(benchmark, study):
+    analysis = study.per_website()
+
+    def compute():
+        return {
+            cc: analysis.outlier_sites(cc)
+            for cc in ("AZ", "EG", "QA", "AR", "UG")
+        }
+
+    outliers = benchmark(compute)
+    lines = [f"{cc}: {len(sites)} outlier sites {sites[:3]}" for cc, sites in outliers.items()]
+    emit("fig4-outliers", "\n".join(lines))
+    # Several countries exhibit outliers (section 6.2).
+    assert sum(1 for sites in outliers.values() if sites) >= 2

@@ -1,0 +1,82 @@
+"""Figure 5: non-local tracking flows from source to destination countries."""
+
+from repro.core.analysis.report import render_fig5, render_table
+
+from benchmarks.conftest import emit
+
+PAPER_SHARES = {"FR": 43, "GB": 24, "DE": 23, "AU": 23, "KE": 14, "US": 5}
+
+
+def test_fig5_destination_shares(benchmark, study):
+    analysis = study.flows()
+    shares = benchmark(analysis.destination_shares)
+    emit("fig5", render_fig5(analysis, top=14))
+
+    assert max(shares, key=shares.get) == "FR"  # France on top, as in the paper
+    top6 = list(shares)[:6]
+    assert {"DE", "GB", "KE"} <= set(top6)
+    assert shares["US"] < shares["FR"] / 2.5  # the USA's minor role (section 6.3)
+
+
+def test_fig5_single_source_effects(benchmark, study):
+    analysis = study.flows()
+
+    def compute():
+        return {
+            "AU_full": analysis.destination_shares().get("AU", 0.0),
+            "AU_wo_NZ": analysis.destination_shares(exclude_sources=["NZ"]).get("AU", 0.0),
+            "MY_full": analysis.destination_shares().get("MY", 0.0),
+            "MY_wo_TH": analysis.destination_shares(exclude_sources=["TH"]).get("MY", 0.0),
+        }
+
+    effects = benchmark(compute)
+    emit("fig5-single-source", render_table(
+        ["flow", "measured %", "paper %"],
+        [
+            ("-> AU (all sources)", f"{effects['AU_full']:.1f}", "23"),
+            ("-> AU (without NZ)", f"{effects['AU_wo_NZ']:.1f}", "11"),
+            ("-> MY (all sources)", f"{effects['MY_full']:.1f}", "7"),
+            ("-> MY (without TH)", f"{effects['MY_wo_TH']:.2f}", "0.16"),
+        ],
+        title="Single-source-driven destinations (section 6.3)",
+    ))
+    assert effects["AU_wo_NZ"] < effects["AU_full"] / 2
+    assert effects["MY_wo_TH"] < 0.5
+
+
+def test_fig5_source_diversity(benchmark, study):
+    analysis = study.flows()
+    counts = benchmark(analysis.source_count_per_destination)
+    rows = [(dest, counts[dest], paper) for dest, paper in
+            [("FR", 15), ("US", 15), ("DE", 13), ("GB", 12)]]
+    emit("fig5-sources", render_table(
+        ["destination", "measured sources", "paper"], rows,
+        title="Source countries per destination",
+    ))
+    for dest, measured, paper in rows:
+        assert measured >= paper - 7, dest
+
+
+def test_fig5_regional_dynamics(benchmark, study):
+    analysis = study.flows()
+
+    def compute():
+        return {
+            "PK": analysis.destinations_of("PK"),
+            "TH": analysis.destinations_of("TH"),
+            "LK": analysis.destinations_of("LK"),
+            "NZ": analysis.destinations_of("NZ"),
+        }
+
+    flows = benchmark(compute)
+    lines = [f"{cc} -> {dict(sorted(d.items(), key=lambda kv: -kv[1])[:6])}" for cc, d in flows.items()]
+    emit("fig5-regional", "\n".join(lines))
+    # Pakistan: France/Germany plus UAE/Oman, never India (section 6.3).
+    assert flows["PK"].get("IN", 0) == 0
+    assert flows["PK"].get("FR", 0) + flows["PK"].get("DE", 0) > 0
+    assert flows["PK"].get("AE", 0) + flows["PK"].get("OM", 0) > 0
+    # Thailand: Malaysia/Singapore/HK/Japan (section 6.3).
+    assert flows["TH"].get("MY", 0) > 0 and flows["TH"].get("SG", 0) > 0
+    # Sri Lanka: minimal activity, Yahoo to Japan.
+    assert sum(flows["LK"].values()) < sum(flows["NZ"].values()) / 3
+    assert flows["LK"].get("JP", 0) > 0

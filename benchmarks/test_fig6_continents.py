@@ -1,0 +1,34 @@
+"""Figure 6: non-local tracking flows across continents."""
+
+from repro.core.analysis.report import render_fig6
+
+from benchmarks.conftest import emit
+
+
+def test_fig6_continent_flows(benchmark, study):
+    analysis = study.continents()
+    matrix = benchmark(analysis.matrix)
+    emit("fig6", render_fig6(analysis))
+
+    # Europe is the central hub for global tracking aggregation.
+    assert analysis.central_hub() == "Europe"
+    # Africa is the only continent with no inward flow.
+    assert analysis.inward_flow("Africa") == 0
+    for continent in ("Europe", "Oceania", "Asia", "North America"):
+        assert analysis.inward_flow(continent) > 0
+    # North America does not transmit tracking data outward.
+    assert analysis.outward_flow("North America") == 0
+    # African flow goes mostly to Europe, then stays in Africa.
+    africa_to_europe = matrix.get(("Africa", "Europe"), 0)
+    africa_intra = matrix.get(("Africa", "Africa"), 0)
+    assert africa_to_europe > 0 and africa_intra > 0
+    assert africa_to_europe > africa_intra * 0.5
+    # Oceania's flow remains largely within Oceania (NZ -> AU).
+    assert analysis.share_staying_within("Oceania") > 0.3
+
+
+def test_fig6_europe_receives_from_all(benchmark, study):
+    analysis = study.continents()
+    sources = benchmark(lambda: analysis.inward_source_continents("Europe"))
+    emit("fig6-inward", f"Europe receives inward flow from: {sources}")
+    assert set(sources) >= {"Africa", "Asia", "Oceania", "South America"}

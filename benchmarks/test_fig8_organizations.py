@@ -1,0 +1,56 @@
+"""Figure 8 / section 6.5: organisations operating non-local trackers."""
+
+from repro.core.analysis.report import render_fig8, render_table
+
+from benchmarks.conftest import emit
+
+PAPER_TOP5 = {"Google", "Twitter", "Meta", "Amazon", "Yahoo"}
+PAPER_OWNERSHIP = {"US": 50, "GB": 10, "NL": 4, "IL": 4}
+
+
+def test_fig8_organization_flows(benchmark, study):
+    analysis = study.organizations()
+    top = benchmark(lambda: analysis.top_organizations(10))
+    emit("fig8", render_fig8(analysis, top=12))
+
+    assert top[0][0] == "Google"  # "Not surprising, the majority belong to Google"
+    top_names = {name for name, _count in top[:6]}
+    assert len(top_names & PAPER_TOP5) >= 3
+
+
+def test_fig8_ownership_geography(benchmark, study):
+    analysis = study.organizations()
+    homes = benchmark(analysis.home_country_distribution)
+    rows = [(cc, f"{homes.get(cc, 0):.0f}", paper) for cc, paper in PAPER_OWNERSHIP.items()]
+    emit("fig8-ownership", render_table(
+        ["home country", "measured % of orgs", "paper %"], rows,
+        title=f"Ownership of {len(analysis.observed_organizations())} observed organisations (paper ~70)",
+    ))
+    assert 40 <= homes["US"] <= 65
+    assert homes.get("GB", 0) >= 5
+
+
+def test_fig8_country_exclusive_orgs(benchmark, study):
+    analysis = study.organizations()
+    exclusive = benchmark(analysis.country_exclusive_organizations)
+    lines = [f"{cc}: {orgs}" for cc, orgs in exclusive.items()]
+    emit("fig8-exclusive", "\n".join(lines) +
+         "\n(paper: Jubnaadserve/onetag/optad360 only in Jordan; also QA, GB, RW, UG, LK)")
+    assert {"Jubnaadserve", "OneTag", "Optad360"} <= set(exclusive.get("JO", []))
+    assert len(exclusive) >= 3
+
+
+def test_fig8_cloud_attribution(benchmark, study):
+    analysis = study.organizations()
+
+    def compute():
+        hosted = analysis.cloud_hosted_trackers()
+        return {org: len(hosts) for org, hosts in hosted.items()}
+
+    counts = benchmark(compute)
+    kenya = analysis.cloud_hosted_in_country("KE")
+    emit("fig8-cloud",
+         f"cloud-hosted tracker hosts: {counts} (paper: 50 AWS, 5 Google Cloud)\n"
+         f"AWS-hosted trackers served from Kenya: {len(kenya)} e.g. {kenya[:6]}")
+    assert counts.get("Amazon Web Services", 0) > counts.get("Google Cloud", 0)
+    assert len(kenya) > 5  # SoundCloud/Spot.im/Snap/comScore/Lotame pattern

@@ -1,0 +1,98 @@
+"""Section 4.1 motivation: database disagreement and why constraints win.
+
+Compares three strategies for deciding "is this server non-local?":
+the best single database raw, a five-database majority vote, and the
+paper's constraint pipeline — all scored against simulator ground truth.
+"""
+
+from repro.core.analysis.report import render_table
+from repro.geodb.multidb import GeoDatabaseComparison, default_database_suite
+
+from benchmarks.conftest import emit
+
+
+def _addresses(scenario, limit=400):
+    return [str(a.address(1)) for a in list(scenario.world.ips)[:limit]]
+
+
+def test_database_disagreement(benchmark, scenario):
+    suite = default_database_suite(scenario.world)
+    comparison = GeoDatabaseComparison(suite)
+    addresses = _addresses(scenario)
+
+    mean_agreement = benchmark(lambda: comparison.mean_agreement(addresses))
+    disagreeing = comparison.disagreeing_addresses(addresses)
+    accuracy = {
+        name: sum(1 for a in addresses if db.is_correct(a)) / len(addresses)
+        for name, db in suite.items()
+    }
+    rows = [(name, f"{acc:.1%}") for name, acc in sorted(accuracy.items(), key=lambda kv: -kv[1])]
+    emit("sec4.1-disagreement", render_table(
+        ["database", "country-level accuracy"], rows,
+        title=(f"Geolocation databases over {len(addresses)} served addresses — "
+               f"mean pairwise agreement {mean_agreement:.1%}, "
+               f"{len(disagreeing)} addresses disputed"),
+    ))
+    assert mean_agreement < 0.98  # "not fully reliable"
+    assert accuracy["ipmap-like"] == max(accuracy.values())
+
+
+def test_strategy_comparison(benchmark, scenario, study):
+    """Raw DB vs majority vote vs the constraint pipeline."""
+    suite = default_database_suite(scenario.world)
+    comparison = GeoDatabaseComparison(suite)
+
+    def score():
+        strategies = {"ipmap raw": 0, "majority vote": 0}
+        errors = {"ipmap raw": 0, "majority vote": 0}
+        pipeline_fp = pipeline_tp = 0
+        for cc, geolocation in study.geolocations.items():
+            for verdict in geolocation.verdicts.values():
+                truth = scenario.world.ips.true_country(verdict.address)
+                if truth is None:
+                    continue
+                foreign = truth != cc
+                raw = suite["ipmap-like"].locate(verdict.address)
+                if raw is not None:
+                    called = raw.country_code != cc
+                    if called and not foreign:
+                        errors["ipmap raw"] += 1
+                    elif called:
+                        strategies["ipmap raw"] += 1
+                vote = comparison.majority_is_nonlocal(verdict.address, cc)
+                if vote is not None:
+                    if vote and not foreign:
+                        errors["majority vote"] += 1
+                    elif vote:
+                        strategies["majority vote"] += 1
+                if verdict.is_verified_nonlocal:
+                    if foreign:
+                        pipeline_tp += 1
+                    else:
+                        pipeline_fp += 1
+        return strategies, errors, pipeline_tp, pipeline_fp
+
+    strategies, errors, pipeline_tp, pipeline_fp = benchmark.pedantic(score, rounds=1, iterations=1)
+
+    def precision(tp, fp):
+        return tp / (tp + fp) if tp + fp else 0.0
+
+    rows = [
+        ("single DB (ipmap-like), raw",
+         f"{precision(strategies['ipmap raw'], errors['ipmap raw']):.4f}",
+         errors["ipmap raw"]),
+        ("5-database majority vote",
+         f"{precision(strategies['majority vote'], errors['majority vote']):.4f}",
+         errors["majority vote"]),
+        ("constraint pipeline (the paper)",
+         f"{precision(pipeline_tp, pipeline_fp):.4f}", pipeline_fp),
+    ]
+    emit("sec4.1-strategies", render_table(
+        ["strategy", "non-local precision", "false foreign verdicts"], rows,
+        title="Why the paper layers constraints instead of trusting databases",
+    ))
+    assert errors["ipmap raw"] > 0          # raw DB calls local servers foreign
+    assert pipeline_fp == 0                 # the pipeline never does
+    assert precision(pipeline_tp, pipeline_fp) >= precision(
+        strategies["majority vote"], errors["majority vote"]
+    )

@@ -1,0 +1,58 @@
+"""Section 3.2: ranking-provider agreement and target-list facts."""
+
+from repro.core.targets.builder import TargetListBuilder
+from repro.core.targets.rankings import mean_overlap
+from repro.netsim.geography import MEASUREMENT_COUNTRIES
+
+from benchmarks.conftest import emit
+
+
+def test_sec32_provider_overlap(benchmark, scenario):
+    similarweb = scenario.providers["similarweb"]
+    semrush = scenario.providers["semrush"]
+    ahrefs = scenario.providers["ahrefs"]
+    covered = [cc for cc in MEASUREMENT_COUNTRIES if similarweb.covers(cc)]
+
+    def compute():
+        return (
+            mean_overlap(similarweb, semrush, covered),
+            mean_overlap(similarweb, ahrefs, covered),
+        )
+
+    semrush_overlap, ahrefs_overlap = benchmark(compute)
+    emit("sec3.2-overlap",
+         f"top-50 overlap vs similarweb over {len(covered)} countries "
+         "(paper used 58 countries):\n"
+         f"  semrush: {semrush_overlap:.1f}%  (paper 65%)\n"
+         f"  ahrefs:  {ahrefs_overlap:.1f}%  (paper 48%)")
+    assert 55 <= semrush_overlap <= 75
+    assert 40 <= ahrefs_overlap <= 60
+    assert semrush_overlap > ahrefs_overlap  # semrush aligns closer
+
+
+def test_sec32_common_sites(benchmark, scenario):
+    def compute():
+        return (
+            TargetListBuilder.common_sites(scenario.targets, 1.0),
+            TargetListBuilder.common_sites(scenario.targets, 2 / 3),
+        )
+
+    universal, two_thirds = benchmark(compute)
+    emit("sec3.2-common",
+         f"common to all countries: {universal} (paper: google.com, wikipedia.org)\n"
+         f"in >=2/3 of countries: {two_thirds} "
+         "(paper: + instagram, youtube, facebook, openai, twitter, whatsapp, linkedin)")
+    assert universal == ["google.com", "wikipedia.org"]
+    assert {"youtube.com", "facebook.com", "twitter.com", "openai.com"} <= set(two_thirds)
+
+
+def test_sec32_fallback_countries(benchmark, scenario):
+    def compute():
+        return {cc: t.ranking_source for cc, t in scenario.targets.items()}
+
+    sources = benchmark(compute)
+    fallback = sorted(cc for cc, src in sources.items() if src == "semrush")
+    emit("sec3.2-fallback",
+         f"countries using the semrush-like fallback: {fallback} "
+         "(similarweb-like has no regional list there)")
+    assert fallback == ["AZ", "DZ", "LB", "RW", "UG"]

@@ -1,0 +1,72 @@
+"""Section 4.2: how non-local tracking domains were identified.
+
+The paper identified 505 unique non-local ad/tracking domains — 441 via
+the filter lists, 64 only through manual inspection (WhoTracksMe +
+search).  This bench reports the same split for our study, plus which
+destination countries the destination-probe campaign had to cover.
+"""
+
+from repro.core.analysis.report import render_table
+from repro.core.trackers.identify import IdentificationMethod
+
+from benchmarks.conftest import emit
+
+
+def test_sec42_identification_split(benchmark, scenario, study):
+    def compute():
+        methods = {}
+        for result in study.results:
+            for host in result.nonlocal_tracker_hosts():
+                verdict = scenario.identifier.classify(host, result.country_code)
+                previous = methods.get(host)
+                # A host may be list-identified in one country and
+                # manual elsewhere (regional lists): lists win, as in the
+                # paper's ordering.
+                if previous in (IdentificationMethod.GLOBAL_LIST,
+                                IdentificationMethod.REGIONAL_LIST):
+                    continue
+                methods[host] = verdict.method
+        return methods
+
+    methods = benchmark(compute)
+    by_method = {}
+    for method in methods.values():
+        by_method[method] = by_method.get(method, 0) + 1
+    total = len(methods)
+    list_based = (by_method.get(IdentificationMethod.GLOBAL_LIST, 0)
+                  + by_method.get(IdentificationMethod.REGIONAL_LIST, 0))
+    manual = by_method.get(IdentificationMethod.MANUAL, 0)
+    emit("sec4.2-identification", render_table(
+        ["identification channel", "unique non-local tracking hostnames"],
+        [
+            ("global lists (EasyList/EasyPrivacy-like)",
+             by_method.get(IdentificationMethod.GLOBAL_LIST, 0)),
+            ("regional lists", by_method.get(IdentificationMethod.REGIONAL_LIST, 0)),
+            ("manual inspection (directory)", manual),
+            ("total", total),
+        ],
+        title="How non-local trackers were identified (paper: 441 list / 64 manual of 505)",
+    ))
+    assert total > 100
+    assert manual > 0           # the manual channel is load-bearing
+    assert list_based > manual  # but lists dominate, as in the paper
+    assert 0.05 < manual / total < 0.3  # paper: ~13 %
+
+
+def test_sec5_destination_probe_coverage(benchmark, study):
+    """The paper launched destination traceroutes toward 60+ countries."""
+    def compute():
+        claimed = set()
+        for geolocation in study.geolocations.values():
+            for verdict in geolocation.verdicts.values():
+                if verdict.claim is not None and verdict.claimed_country:
+                    if verdict.status in ("nonlocal_verified", "discarded"):
+                        claimed.add(verdict.claimed_country)
+        return claimed
+
+    claimed = benchmark(compute)
+    emit("sec5-destinations",
+         f"destination constraint exercised against servers claimed in "
+         f"{len(claimed)} countries: {sorted(claimed)} "
+         "(paper: 60+ destination countries; our registry holds 48)")
+    assert len(claimed) >= 15

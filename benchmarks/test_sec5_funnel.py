@@ -1,0 +1,60 @@
+"""Section 5: the data-collection funnel and measurement volumes."""
+
+from repro.core.analysis.report import render_table
+
+from benchmarks.conftest import emit
+
+
+def test_sec5_funnel(benchmark, study):
+    funnel = benchmark(study.funnel)
+    rows = [
+        ("domain observations", funnel.total_hosts, "~26K"),
+        ("non-local", funnel.nonlocal_candidates, "~14K"),
+        ("after latency constraints", funnel.after_latency_constraints, "~6.1K"),
+        ("after reverse DNS", funnel.after_rdns, "~4.7K"),
+        ("destination traceroutes", funnel.destination_traceroutes, "~3.4K"),
+    ]
+    emit("sec5-funnel", render_table(
+        ["stage", "measured", "paper"], rows,
+        title="Section 5: geolocation funnel (site-summed observations)",
+    ))
+    # Monotone funnel with substantial discards at the latency stage.
+    assert funnel.total_hosts > funnel.nonlocal_candidates > funnel.after_latency_constraints
+    assert funnel.after_latency_constraints >= funnel.after_rdns
+    assert funnel.after_latency_constraints < 0.75 * funnel.nonlocal_candidates
+    # Over half of observations are non-local before filtering (paper 14/26).
+    assert funnel.nonlocal_candidates > 0.4 * funnel.total_hosts
+
+
+def test_sec5_traceroute_volumes(benchmark, study):
+    def compute():
+        return {cc: ds.traceroute_counts()["attempted"] for cc, ds in study.datasets.items()}
+
+    counts = benchmark(compute)
+    launched = {cc: n for cc, n in counts.items() if n > 0}
+    average = sum(launched.values()) / len(launched)
+    emit("sec5-traceroutes", render_table(
+        ["country", "source traceroutes"], sorted(counts.items()),
+        title=f"Volunteer source traceroutes (avg {average:.0f}; paper avg ~1.4K)",
+    ))
+    # Egypt opted out of probes entirely.
+    assert counts["EG"] == 0
+    # Volunteers averaged on the order of a thousand traceroutes.
+    assert 400 < average < 3000
+
+
+def test_sec5_domain_counts(benchmark, study):
+    def compute():
+        per_site_sum = 0
+        unique = set()
+        for dataset in study.datasets.values():
+            for measurement in dataset.websites.values():
+                per_site_sum += len(measurement.requested_hosts)
+                unique.update(measurement.requested_hosts)
+        return per_site_sum, len(unique)
+
+    total, unique = benchmark(compute)
+    emit("sec5-domains",
+         f"domain observations (site-summed): {total} (paper ~26K)\n"
+         f"unique domains: {unique} (paper ~5K)")
+    assert total > 3 * unique  # heavy cross-site reuse, as in the paper

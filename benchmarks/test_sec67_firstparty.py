@@ -1,0 +1,30 @@
+"""Section 6.7: first-party vs third-party non-local trackers."""
+
+from repro.core.analysis.report import render_table
+
+from benchmarks.conftest import emit
+
+
+def test_sec67_first_party(benchmark, study):
+    analysis = study.first_party()
+
+    def compute():
+        return analysis.sites_with_nonlocal(), analysis.first_party_sites()
+
+    total, first_party = benchmark(compute)
+    breakdown = analysis.owner_breakdown()
+    rows = [(site.url, site.country_code, site.owner_org, len(site.first_party_hosts))
+            for site in first_party]
+    emit("sec6.7", render_table(
+        ["site", "country", "owner", "fp hosts"], rows,
+        title=(f"First-party non-local trackers: {len(first_party)} of {total} sites "
+               "(paper: 23 of 575)"),
+    ) + f"\nowners: {breakdown} (paper: ~50% Google ccTLDs, plus Facebook, "
+        "Twitter, Booking.com, BBC, Yahoo, Microsoft)")
+
+    assert total > 400
+    assert 5 <= len(first_party) <= 40
+    assert max(breakdown, key=breakdown.get) == "Google"
+    google_cctlds = [s for s in first_party
+                     if s.owner_org == "Google" and not s.url.endswith("google.com")]
+    assert google_cctlds  # the country-specific google portals

@@ -1,0 +1,64 @@
+"""Section 8 (conclusion/future work): cross-country behaviour, local
+trackers, and the multi-visit recommendation of section 7."""
+
+from repro import VisitVariabilityStudy
+from repro.core.analysis.report import render_table
+
+from benchmarks.conftest import emit
+
+
+def test_sec8_cross_country_yahoo(benchmark, study):
+    """yahoo.com embeds Demdex/Bluekai/Taboola only for AU/QA/AE visitors."""
+    analysis = study.cross_country()
+    differences = benchmark(lambda: analysis.org_differences("yahoo.com"))
+    views = analysis.views("yahoo.com")
+    rows = [(v.country_code, ", ".join(v.tracker_orgs)) for v in views]
+    emit("sec8-yahoo", render_table(
+        ["country", "tracker orgs on yahoo.com"], rows,
+        title="yahoo.com regional adaptation (paper section 8)",
+    ) + f"\nregion-specific orgs: { {k: v for k, v in differences.items()} }")
+
+    regional = {"Adobe", "Oracle", "Taboola"} & set(differences)
+    assert regional
+    for org in regional:
+        assert set(differences[org]) <= {"AU", "QA", "AE"}
+
+
+def test_sec8_local_trackers(benchmark, study):
+    """Future work the paper names: analysing local trackers."""
+    analysis = study.local_trackers()
+    per_country = benchmark(analysis.per_country)
+    rows = [(cc, f"{pct:.0f}") for cc, pct in sorted(per_country.items())]
+    foreign_in = analysis.foreign_owned_share("IN")
+    emit("sec8-local", render_table(
+        ["country", "% sites with local trackers"], rows,
+        title="Local-tracker prevalence (extension analysis)",
+    ) + f"\nIndia: {foreign_in:.0%} of in-country tracker hosts are foreign-owned")
+
+    assert per_country["US"] > 60 and per_country["IN"] > 60
+    assert foreign_in > 0.5  # the sovereignty point, seen from inside
+
+
+def test_sec7_multi_visit_recommendation(benchmark, scenario):
+    """Quantify what the paper's single-visit crawl misses."""
+    study = VisitVariabilityStudy(scenario)
+
+    def compute():
+        return {
+            cc: study.country_summary(cc, visits=3, limit=30)
+            for cc in ("JO", "EG", "CA")
+        }
+
+    summaries = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        (cc, f"{s['mean_jaccard']:.2f}", f"{s['missed_share']:.1%}")
+        for cc, s in summaries.items()
+    ]
+    emit("sec7-multivisit", render_table(
+        ["country", "visit-set Jaccard", "trackers a single visit misses"], rows,
+        title="Multi-visit variability (the paper's recommended follow-up)",
+    ))
+    # Ad-auction-heavy markets show real single-visit blind spots.
+    assert summaries["JO"]["missed_share"] > 0.01
+    # Stable markets do not.
+    assert summaries["CA"]["missed_share"] < summaries["JO"]["missed_share"] + 0.05

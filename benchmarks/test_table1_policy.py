@@ -1,0 +1,45 @@
+"""Table 1: data-localization policy types vs non-local tracker rates."""
+
+from repro.core.analysis.report import render_table1
+
+from benchmarks.conftest import emit
+
+PAPER = {
+    "AZ": 74.39, "DZ": 49.39, "EG": 70.41, "RW": 62.30, "UG": 75.45,
+    "AR": 61.48, "RU": 8.00, "LK": 9.43, "TH": 59.05, "AE": 33.50,
+    "GB": 38.65, "AU": 7.06, "CA": 0.00, "IN": 1.06, "JP": 22.71,
+    "JO": 54.37, "NZ": 83.50, "PK": 65.73, "QA": 73.19, "SA": 71.43,
+    "TW": 7.63, "US": 0.00, "LB": 20.24,
+}
+
+
+def test_table1_policy_vs_rate(benchmark, study):
+    analysis = study.policy()
+    rows = benchmark(analysis.table_rows)
+    body = render_table1(analysis)
+    comparison = "\n".join(
+        f"{r.country_code} {r.policy_type:>2} measured {r.nonlocal_pct:6.2f}  paper {PAPER[r.country_code]:6.2f}"
+        for r in rows
+    )
+    emit("table1", body + "\n\npaper comparison:\n" + comparison)
+
+    assert len(rows) == 23
+    assert [r.country_code for r in rows][0] == "AZ"  # strictest first
+    for r in rows:
+        assert abs(r.nonlocal_pct - PAPER[r.country_code]) < 15, r.country_code
+
+
+def test_table1_no_policy_effect(benchmark, study):
+    analysis = study.policy()
+    rho = benchmark(analysis.strictness_correlation)
+    means = analysis.mean_rate_by_policy_type()
+    emit("table1-correlation",
+         f"strictness-rank vs non-local rate Spearman rho = {rho:.2f} "
+         "(paper: no obvious impact; weak negative trend)\n"
+         f"mean rate by type: { {k: round(v, 1) for k, v in means.items()} }")
+    # No positive strictness effect; the trend leans negative.
+    assert rho < 0.2
+    # Strict regimes do not show lower rates than permissive ones.
+    strict = means.get("CS", 0) + means.get("PA", 0)
+    permissive = means.get("TA", 0) + means.get("NR", 0)
+    assert strict > permissive * 0.8

@@ -1,0 +1,52 @@
+"""Longitudinal what-if: a data-localization law takes effect.
+
+Usage::
+
+    python examples/regulation_whatif.py [CC] [adoption]
+
+The paper notes its Jordanian data was recorded the day before Jordan's
+Data Protection Law became effective — a natural baseline for a
+follow-up measurement.  This example simulates that follow-up: tracker
+operators deploy in-country residency PoPs with a given adoption rate,
+and the study is re-run to quantify the change a future crawl would see.
+"""
+
+import sys
+
+from repro import LongitudinalStudy, build_scenario
+from repro.core.analysis.report import render_table
+
+
+def main() -> None:
+    country = sys.argv[1] if len(sys.argv) > 1 else "JO"
+    adoption = float(sys.argv[2]) if len(sys.argv) > 2 else 0.7
+
+    scenario = build_scenario(seed="regulation-whatif")
+    study = LongitudinalStudy(scenario)
+
+    foreign = study.foreign_serving_orgs(country)
+    print(f"{len(foreign)} tracker organisations currently serve {country} "
+          f"from abroad, e.g. {foreign[:6]}")
+    print(f"\nEnacting localization with {adoption:.0%} industry adoption...")
+
+    report = study.measure_effect(country, adoption=adoption)
+    print(f"{len(report.localized_orgs)} organisations deployed residency PoPs: "
+          f"{report.localized_orgs[:8]}{'...' if len(report.localized_orgs) > 8 else ''}")
+
+    print()
+    print(render_table(
+        ["measurement", "% sites with non-local trackers"],
+        [
+            ("baseline (paper's snapshot)", f"{report.before_pct:.1f}"),
+            ("after the law takes effect", f"{report.after_pct:.1f}"),
+            ("reduction", f"{report.reduction_points:.1f} points"),
+        ],
+        title=f"Longitudinal effect of data localization in {country}",
+    ))
+    print("\nAs the paper's discussion predicts, only operators willing to "
+          "invest in in-country nodes move; the remaining flows stay "
+          "cross-border regardless of the law.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,239 @@
+"""Artifact export: persist a study run the way the paper's release does.
+
+The authors publish their tool and recorded data [2].  ``export_study``
+writes an equivalent artifact bundle: one (anonymised) volunteer dataset
+per country, per-country geolocation verdicts, the analysis summaries
+behind every figure/table, and a manifest.  ``load_datasets`` reads the
+datasets back for reanalysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.analysis.report import (
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_table1,
+)
+from repro.core.analysis.records import CountryStudyResult, build_country_result
+from repro.core.analysis.sankey import Flow
+from repro.core.analysis.summary import summarize_study
+from repro.core.analysis.svgfig import svg_flow_diagram, svg_grouped_bars
+from repro.core.analysis.tabular import flows_csv, flows_geojson, hosting_csv, prevalence_csv
+from repro.core.gamma.output import VolunteerDataset
+from repro.core.geoloc.constraints import ConstraintResult
+from repro.core.geoloc.pipeline import DatasetGeolocation, FunnelCounters, ServerVerdict
+from repro.core.trackers.identify import TrackerIdentifier
+from repro.geodb.ipmap import GeoClaim
+from repro.netsim.geography import GeoRegistry
+from repro.study import StudyOutcome
+
+__all__ = ["export_study", "load_datasets", "load_geolocations", "reanalyze"]
+
+
+def _verdicts_payload(outcome: StudyOutcome, country_code: str) -> dict:
+    geolocation = outcome.geolocations[country_code]
+    return {
+        "country": country_code,
+        "source_traces": outcome.source_trace_origins.get(country_code, ""),
+        "funnel": {
+            "total_hosts": geolocation.funnel.total_hosts,
+            "local": geolocation.funnel.local,
+            "nonlocal_candidates": geolocation.funnel.nonlocal_candidates,
+            "discarded_source": geolocation.funnel.discarded_source,
+            "discarded_destination": geolocation.funnel.discarded_destination,
+            "discarded_rdns": geolocation.funnel.discarded_rdns,
+            "verified_nonlocal": geolocation.funnel.verified_nonlocal,
+        },
+        "servers": [
+            {
+                "address": verdict.address,
+                "hosts": verdict.hosts,
+                "status": verdict.status,
+                "claimed_city": verdict.claim.city_key if verdict.claim else None,
+                "claimed_country": verdict.claimed_country,
+                "discarded_by": verdict.discarded_by,
+                "checks": [
+                    {"constraint": c.constraint, "status": c.status, "reason": c.reason}
+                    for c in verdict.checks
+                ],
+            }
+            for verdict in geolocation.verdicts.values()
+        ],
+    }
+
+
+def export_study(outcome: StudyOutcome, directory: Path) -> List[Path]:
+    """Write the full artifact bundle under *directory*; returns the files."""
+    directory = Path(directory)
+    (directory / "datasets").mkdir(parents=True, exist_ok=True)
+    (directory / "geolocation").mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    for cc, dataset in sorted(outcome.datasets.items()):
+        path = directory / "datasets" / f"{cc}.json"
+        path.write_text(dataset.to_json(indent=2))
+        written.append(path)
+        geo_path = directory / "geolocation" / f"{cc}.json"
+        geo_path.write_text(json.dumps(_verdicts_payload(outcome, cc), indent=2))
+        written.append(geo_path)
+
+    figures = {
+        "fig3_prevalence.txt": render_fig3(outcome.prevalence()),
+        "fig4_per_website.txt": render_fig4(outcome.per_website()),
+        "fig5_flows.txt": render_fig5(outcome.flows()),
+        "fig6_continents.txt": render_fig6(outcome.continents()),
+        "fig7_hosting.txt": render_fig7(outcome.hosting()),
+        "fig8_organizations.txt": render_fig8(outcome.organizations()),
+        "table1_policy.txt": render_table1(outcome.policy()),
+    }
+    figures_dir = directory / "figures"
+    figures_dir.mkdir(parents=True, exist_ok=True)
+    for name, body in figures.items():
+        path = figures_dir / name
+        path.write_text(body + "\n")
+        written.append(path)
+
+    svg_dir = directory / "figures" / "svg"
+    svg_dir.mkdir(parents=True, exist_ok=True)
+    prevalence_rows = [
+        (row.country_code, row.regional_pct, row.government_pct)
+        for row in outcome.prevalence().per_country()
+    ]
+    flow_edges = [
+        Flow(edge.source, edge.destination, edge.website_count)
+        for edge in outcome.flows().edges()
+    ]
+    continent_edges = [
+        Flow(src, dst, count)
+        for (src, dst), count in outcome.continents().matrix().items()
+    ]
+    svg_files = {
+        "fig3_prevalence.svg": svg_grouped_bars(
+            prevalence_rows, "Figure 3: % of websites with non-local trackers"),
+        "fig5_flows.svg": svg_flow_diagram(
+            flow_edges, "Figure 5: non-local tracking flows (countries)"),
+        "fig6_continents.svg": svg_flow_diagram(
+            continent_edges, "Figure 6: non-local tracking flows (continents)"),
+    }
+    for name, svg_body in svg_files.items():
+        path = svg_dir / name
+        path.write_text(svg_body)
+        written.append(path)
+
+    data_dir = directory / "data"
+    data_dir.mkdir(parents=True, exist_ok=True)
+    data_files = {
+        "prevalence.csv": prevalence_csv(outcome.prevalence()),
+        "flows.csv": flows_csv(outcome.flows()),
+        "hosting.csv": hosting_csv(outcome.hosting()),
+        "flows.geojson": flows_geojson(outcome.flows(), outcome.scenario.world.geo),
+        "summary.json": json.dumps(summarize_study(outcome).to_dict(), indent=2, sort_keys=True),
+    }
+    for name, body in data_files.items():
+        path = data_dir / name
+        path.write_text(body if body.endswith("\n") else body + "\n")
+        written.append(path)
+
+    funnel = outcome.funnel()
+    manifest = {
+        "countries": sorted(outcome.datasets),
+        "source_trace_origins": outcome.source_trace_origins,
+        "funnel": {
+            "total_hosts": funnel.total_hosts,
+            "nonlocal_candidates": funnel.nonlocal_candidates,
+            "after_latency_constraints": funnel.after_latency_constraints,
+            "after_rdns": funnel.after_rdns,
+        },
+        "files": [str(p.relative_to(directory)) for p in written],
+    }
+    manifest_path = directory / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    written.append(manifest_path)
+    return written
+
+
+def load_geolocations(directory: Path, registry: GeoRegistry) -> Dict[str, DatasetGeolocation]:
+    """Rebuild per-country geolocation verdicts from an exported bundle.
+
+    City objects are resolved through *registry*; everything else comes
+    verbatim from the stored evidence.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    geolocations: Dict[str, DatasetGeolocation] = {}
+    for cc in manifest["countries"]:
+        payload = json.loads((directory / "geolocation" / f"{cc}.json").read_text())
+        funnel_data = payload.get("funnel", {})
+        geolocation = DatasetGeolocation(
+            country_code=cc,
+            funnel=FunnelCounters(
+                total_hosts=funnel_data.get("total_hosts", 0),
+                local=funnel_data.get("local", 0),
+                nonlocal_candidates=funnel_data.get("nonlocal_candidates", 0),
+                discarded_source=funnel_data.get("discarded_source", 0),
+                discarded_destination=funnel_data.get("discarded_destination", 0),
+                discarded_rdns=funnel_data.get("discarded_rdns", 0),
+                verified_nonlocal=funnel_data.get("verified_nonlocal", 0),
+            ),
+        )
+        for server in payload.get("servers", []):
+            claim = None
+            if server.get("claimed_city"):
+                claim = GeoClaim(server["address"], registry.city(server["claimed_city"]))
+            verdict = ServerVerdict(
+                address=server["address"],
+                hosts=list(server.get("hosts", [])),
+                status=server["status"],
+                claim=claim,
+                discarded_by=server.get("discarded_by", ""),
+                checks=[
+                    ConstraintResult(c["constraint"], c["status"], c.get("reason", ""))
+                    for c in server.get("checks", [])
+                ],
+            )
+            geolocation.verdicts[server["address"]] = verdict
+            for host in verdict.hosts:
+                geolocation.host_to_address.setdefault(host, verdict.address)
+        geolocations[cc] = geolocation
+    return geolocations
+
+
+def reanalyze(
+    directory: Path,
+    identifier: TrackerIdentifier,
+    registry: GeoRegistry,
+) -> List[CountryStudyResult]:
+    """Re-run the section-6 analyses from a published bundle alone.
+
+    This is the reuse path the paper advertises for its artefacts:
+    anyone with the datasets, the verdict evidence, and public tracker
+    lists can regenerate every figure without re-measuring.
+    """
+    datasets = load_datasets(directory)
+    geolocations = load_geolocations(directory, registry)
+    return [
+        build_country_result(datasets[cc], geolocations[cc], identifier)
+        for cc in sorted(datasets)
+    ]
+
+
+def load_datasets(directory: Path) -> Dict[str, VolunteerDataset]:
+    """Read exported volunteer datasets back (for offline reanalysis)."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest.json in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    datasets: Dict[str, VolunteerDataset] = {}
+    for cc in manifest["countries"]:
+        path = directory / "datasets" / f"{cc}.json"
+        datasets[cc] = VolunteerDataset.from_json(path.read_text())
+    return datasets

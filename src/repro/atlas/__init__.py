@@ -1,0 +1,6 @@
+"""RIPE-Atlas-like probe mesh with Global-South coverage gaps."""
+
+from repro.atlas.measurements import AtlasMeasurementService
+from repro.atlas.probes import Probe, ProbeDensityModel, ProbeMesh
+
+__all__ = ["AtlasMeasurementService", "Probe", "ProbeDensityModel", "ProbeMesh"]

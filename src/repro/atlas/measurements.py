@@ -1,0 +1,57 @@
+"""Measurement API over the probe mesh.
+
+Probes run on well-connected networks, so unlike volunteer machines they
+are never subject to the local traceroute blocking some volunteers hit;
+the measurement service therefore uses its own permissive traceroute
+engine over the same latency/address substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.atlas.probes import Probe, ProbeMesh
+from repro.netsim.geography import City
+from repro.netsim.network import World
+from repro.netsim.traceroute import TracerouteBlocking, TracerouteEngine, TracerouteResult
+
+__all__ = ["AtlasMeasurementService"]
+
+
+class AtlasMeasurementService:
+    """Launch traceroutes from mesh probes toward arbitrary addresses."""
+
+    def __init__(self, world: World, mesh: Optional[ProbeMesh] = None):
+        self._world = world
+        self.mesh = mesh or ProbeMesh(world.geo)
+        # Probes sit in datacentres/exchanges: no source-side blocking and a
+        # slightly lower background unreachable rate than home connections.
+        self._engine = TracerouteEngine(
+            world.latency,
+            world.ips,
+            TracerouteBlocking(blocked_source_countries=set(), unreachable_rate=0.10),
+        )
+
+    def traceroute(self, probe: Probe, target_ip: str, measurement_key: str = "") -> TracerouteResult:
+        return self._engine.trace(probe.city, target_ip, f"atlas:{probe.probe_id}:{measurement_key}")
+
+    def traceroute_from_country(
+        self,
+        country_code: str,
+        target_ip: str,
+        near_city: Optional[City] = None,
+        measurement_key: str = "",
+    ) -> Optional[TracerouteResult]:
+        """Trace from a probe in *country_code* (or its fallback neighbour)."""
+        probe, _used = self.mesh.probe_for_country(country_code, near_city)
+        if probe is None:
+            return None
+        return self.traceroute(probe, target_ip, measurement_key)
+
+    def bulk_traceroute(
+        self, probe: Probe, targets: List[str], measurement_key: str = ""
+    ) -> Dict[str, TracerouteResult]:
+        return {
+            target: self.traceroute(probe, target, f"{measurement_key}:{i}")
+            for i, target in enumerate(targets)
+        }

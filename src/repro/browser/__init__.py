@@ -1,0 +1,23 @@
+"""Headless-browser simulation: page loads, request records, failures."""
+
+from repro.browser.engine import (
+    CHROMEDRIVER_BACKGROUND_HOSTS,
+    BrowserConfig,
+    BrowserEngine,
+    BrowserKind,
+)
+from repro.browser.har import NetworkRequest, PageLoadRecord, RequestStatus
+from repro.browser.harformat import from_har, to_har, to_har_json
+
+__all__ = [
+    "CHROMEDRIVER_BACKGROUND_HOSTS",
+    "BrowserConfig",
+    "BrowserEngine",
+    "BrowserKind",
+    "NetworkRequest",
+    "PageLoadRecord",
+    "RequestStatus",
+    "from_har",
+    "to_har",
+    "to_har_json",
+]

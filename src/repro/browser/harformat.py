@@ -1,0 +1,132 @@
+"""HTTP Archive (HAR) 1.2 export.
+
+Gamma "is capable of ... recording HAR files and all network requests
+during page loads" (section 3, C1).  This module serialises a
+:class:`~repro.browser.har.PageLoadRecord` into the standard HAR 1.2
+JSON structure that browser devtools and HAR analysers consume, and
+parses such files back into records — so datasets can interoperate with
+off-the-shelf web-measurement tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.browser.har import NetworkRequest, PageLoadRecord, RequestStatus
+
+__all__ = ["to_har", "to_har_json", "from_har"]
+
+_CREATOR = {"name": "gamma-repro", "version": "1.0.0"}
+
+#: HAR has no first-class failure channel; Gamma stores its request
+#: status in a private field, and maps statuses onto HTTP-ish codes.
+_STATUS_CODES = {
+    RequestStatus.OK: 200,
+    RequestStatus.DNS_ERROR: 0,
+    RequestStatus.BLOCKED: 0,
+    RequestStatus.REFUSED: 0,
+}
+
+
+def _entry(record: PageLoadRecord, request: NetworkRequest, started_ms: float) -> dict:
+    scheme = "https"
+    return {
+        "pageref": record.url,
+        "startedDateTime": "1970-01-01T00:00:00.000Z",
+        "time": round(started_ms, 3),
+        "request": {
+            "method": "GET",
+            "url": f"{scheme}://{request.host}/",
+            "httpVersion": "HTTP/2",
+            "headers": [{"name": "Host", "value": request.host}],
+            "queryString": [],
+            "cookies": [],
+            "headersSize": -1,
+            "bodySize": 0,
+        },
+        "response": {
+            "status": _STATUS_CODES.get(request.status, 0),
+            "statusText": "OK" if request.succeeded else request.status,
+            "httpVersion": "HTTP/2",
+            "headers": [],
+            "cookies": [],
+            "content": {"size": 0, "mimeType": "application/octet-stream"},
+            "redirectURL": "",
+            "headersSize": -1,
+            "bodySize": 0,
+        },
+        "serverIPAddress": request.address or "",
+        "cache": {},
+        "timings": {"send": 0, "wait": round(started_ms, 3), "receive": 0},
+        "_kind": request.kind,
+        "_status": request.status,
+        "_background": request.background,
+    }
+
+
+def to_har(record: PageLoadRecord) -> dict:
+    """The HAR 1.2 document for one page load."""
+    entries = []
+    for i, request in enumerate(record.requests):
+        entries.append(_entry(record, request, started_ms=float(i)))
+    return {
+        "log": {
+            "version": "1.2",
+            "creator": dict(_CREATOR),
+            "pages": [
+                {
+                    "startedDateTime": "1970-01-01T00:00:00.000Z",
+                    "id": record.url,
+                    "title": record.url,
+                    "pageTimings": {
+                        "onContentLoad": round(record.render_time_s * 1000 / 2, 1),
+                        "onLoad": round(record.render_time_s * 1000, 1),
+                    },
+                    "_country": record.country_code,
+                    "_browser": record.browser,
+                    "_loaded": record.loaded,
+                    "_failureReason": record.failure_reason,
+                }
+            ],
+            "entries": entries,
+        }
+    }
+
+
+def to_har_json(record: PageLoadRecord, indent: Optional[int] = 2) -> str:
+    return json.dumps(to_har(record), indent=indent, sort_keys=True)
+
+
+def from_har(payload) -> PageLoadRecord:
+    """Rebuild a :class:`PageLoadRecord` from a HAR document (dict or JSON)."""
+    if isinstance(payload, str):
+        payload = json.loads(payload)
+    log = payload.get("log")
+    if not log or log.get("version") != "1.2":
+        raise ValueError("not a HAR 1.2 document")
+    pages: List[Dict] = log.get("pages", [])
+    if not pages:
+        raise ValueError("HAR document has no pages")
+    page = pages[0]
+    record = PageLoadRecord(
+        url=page["id"],
+        country_code=page.get("_country", ""),
+        browser=page.get("_browser", ""),
+        loaded=bool(page.get("_loaded", True)),
+        render_time_s=float(page.get("pageTimings", {}).get("onLoad", 0.0)) / 1000.0,
+        failure_reason=page.get("_failureReason"),
+    )
+    for entry in log.get("entries", []):
+        host = entry["request"]["url"].split("://", 1)[-1].split("/", 1)[0]
+        status = entry.get("_status")
+        if status is None:
+            status = RequestStatus.OK if entry["response"]["status"] == 200 else RequestStatus.DNS_ERROR
+        record.requests.append(NetworkRequest(
+            host=host,
+            kind=entry.get("_kind", "other"),
+            status=status,
+            address=entry.get("serverIPAddress") or None,
+            background=bool(entry.get("_background", False)),
+        ))
+    return record

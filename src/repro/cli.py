@@ -1,0 +1,290 @@
+"""Command-line interface: the ``gamma`` entry point.
+
+Subcommands mirror how the paper's artefacts are used:
+
+* ``gamma volunteer CC``  — run the measurement suite as one volunteer
+  (what participants executed), writing the dataset JSON.
+* ``gamma study``         — run the full methodology for any set of
+  countries and print the headline analyses.
+* ``gamma figures``       — regenerate every figure/table of the paper.
+* ``gamma audit CC``      — the policymaker audit of one country.
+* ``gamma export DIR``    — run the full study and write the artifact
+  bundle (datasets, verdicts, rendered figures).
+* ``gamma whatif CC``     — longitudinal what-if: a localization law
+  takes effect and operators deploy residency PoPs.
+* ``gamma stability CC``  — multi-visit variability (the §7 follow-up).
+* ``gamma recruitment``   — the volunteer/consent ledger (§3.3-3.5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import GammaConfig, GammaSuite, build_scenario, run_study
+from repro.artifacts import export_study
+from repro.core.analysis.report import (
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_table,
+    render_table1,
+)
+from repro.netsim.geography import MEASUREMENT_COUNTRIES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gamma",
+        description="Reproduction of 'Where in the World Are My Trackers?' (IMC 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    volunteer = sub.add_parser("volunteer", help="run Gamma as one volunteer")
+    volunteer.add_argument("country", choices=sorted(MEASUREMENT_COUNTRIES))
+    volunteer.add_argument("--output", type=Path, default=None,
+                           help="write the dataset JSON here")
+
+    study = sub.add_parser("study", help="run the full methodology")
+    study.add_argument("--countries", default=None,
+                       help="comma-separated country codes (default: all 23)")
+
+    sub.add_parser("figures", help="regenerate every figure and table")
+
+    audit = sub.add_parser("audit", help="data-localization audit for one country")
+    audit.add_argument("country", choices=sorted(MEASUREMENT_COUNTRIES))
+
+    export = sub.add_parser("export", help="run the study and export the artifact bundle")
+    export.add_argument("directory", type=Path)
+
+    whatif = sub.add_parser("whatif", help="longitudinal localization what-if")
+    whatif.add_argument("country", choices=sorted(MEASUREMENT_COUNTRIES))
+    whatif.add_argument("--adoption", type=float, default=0.7,
+                        help="industry compliance rate (0, 1]")
+
+    stability = sub.add_parser("stability", help="multi-visit variability for one country")
+    stability.add_argument("country", choices=sorted(MEASUREMENT_COUNTRIES))
+    stability.add_argument("--visits", type=int, default=3)
+    stability.add_argument("--limit", type=int, default=30,
+                           help="number of target sites to revisit")
+
+    sub.add_parser("recruitment", help="print the volunteer/consent ledger")
+
+    report = sub.add_parser("report", help="full markdown report for one country")
+    report.add_argument("country", choices=sorted(MEASUREMENT_COUNTRIES))
+    report.add_argument("--output", type=Path, default=None)
+
+    sub.add_parser("selfcheck", help="validate the built scenario's consistency")
+    return parser
+
+
+def _parse_countries(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    countries = [c.strip().upper() for c in raw.split(",") if c.strip()]
+    unknown = set(countries) - set(MEASUREMENT_COUNTRIES)
+    if unknown:
+        raise SystemExit(f"unknown measurement countries: {sorted(unknown)}")
+    return countries
+
+
+def _cmd_volunteer(args: argparse.Namespace) -> int:
+    scenario = build_scenario()
+    volunteer = scenario.volunteers[args.country]
+    targets = scenario.targets[args.country].without(sorted(volunteer.opted_out_sites))
+    suite = GammaSuite(
+        scenario.world, scenario.catalog,
+        GammaConfig.study_defaults(os_name=volunteer.os_name),
+        browser_config=scenario.browser_config,
+        ipinfo=scenario.ipinfo,
+    )
+    print(f"Running Gamma for {volunteer.name} ({volunteer.city.key}, {volunteer.os_name})")
+    dataset = suite.run(volunteer, targets)
+    counts = dataset.traceroute_counts()
+    print(f"Loaded {dataset.loaded_count}/{dataset.attempted_count} sites "
+          f"({dataset.load_success_pct():.0f}%), "
+          f"{counts['attempted']} traceroutes ({counts['reached']} reached)")
+    if args.output is not None:
+        args.output.write_text(dataset.to_json(indent=2))
+        print(f"Dataset written to {args.output}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    countries = _parse_countries(args.countries)
+    scenario = build_scenario()
+    outcome = run_study(scenario, countries=countries)
+    rows = [
+        (r.country_code, f"{r.regional_pct:.1f}", f"{r.government_pct:.1f}",
+         f"{r.combined_pct:.1f}", outcome.source_trace_origins[r.country_code])
+        for r in outcome.prevalence().per_country()
+    ]
+    print(render_table(
+        ["country", "T_reg %", "T_gov %", "combined %", "source traces"], rows,
+        title="Non-local tracker prevalence",
+    ))
+    funnel = outcome.funnel()
+    print(f"\nfunnel: {funnel.total_hosts} observations -> "
+          f"{funnel.nonlocal_candidates} non-local -> "
+          f"{funnel.after_latency_constraints} after latency -> "
+          f"{funnel.after_rdns} verified")
+    return 0
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    scenario = build_scenario()
+    outcome = run_study(scenario)
+    sections = [
+        render_fig3(outcome.prevalence()),
+        render_fig4(outcome.per_website()),
+        render_fig5(outcome.flows()),
+        render_fig6(outcome.continents()),
+        render_fig7(outcome.hosting()),
+        render_fig8(outcome.organizations()),
+        render_table1(outcome.policy()),
+    ]
+    print(("\n\n" + "=" * 72 + "\n\n").join(sections))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    scenario = build_scenario()
+    outcome = run_study(scenario, countries=[args.country])
+    record = scenario.policy.get(args.country)
+    result = outcome.result_for(args.country)
+    tracked = sum(1 for s in result.sites if s.has_nonlocal_tracker)
+    destinations = {}
+    for site in result.sites:
+        for tracker in site.trackers:
+            destinations[tracker.destination_country] = (
+                destinations.get(tracker.destination_country, 0) + 1
+            )
+    print(f"{scenario.world.geo.country(args.country).name}: policy {record.policy_type} "
+          f"({'enacted' if record.enacted else 'not in effect'})")
+    print(f"{tracked}/{len(result.sites)} sites transmit data abroad "
+          f"({100 * tracked / max(1, len(result.sites)):.1f}%)")
+    print(render_table(
+        ["destination", "tracker observations"],
+        sorted(destinations.items(), key=lambda kv: -kv[1])[:10],
+        title="Destinations",
+    ))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    scenario = build_scenario()
+    outcome = run_study(scenario)
+    files = export_study(outcome, args.directory)
+    print(f"Wrote {len(files)} files under {args.directory}")
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.longitudinal import LongitudinalStudy
+
+    scenario = build_scenario(seed=f"whatif-{args.country}")
+    study = LongitudinalStudy(scenario)
+    report = study.measure_effect(args.country, adoption=args.adoption)
+    print(f"{args.country}: non-local rate {report.before_pct:.1f}% -> "
+          f"{report.after_pct:.1f}% after {len(report.localized_orgs)} operators "
+          f"deployed residency PoPs ({args.adoption:.0%} adoption)")
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.stability import VisitVariabilityStudy
+
+    scenario = build_scenario()
+    study = VisitVariabilityStudy(scenario)
+    summary = study.country_summary(args.country, visits=args.visits, limit=args.limit)
+    print(f"{args.country} over {args.limit} sites x {args.visits} visits: "
+          f"tracker-set Jaccard {summary['mean_jaccard']:.2f}; a single visit "
+          f"misses {summary['missed_share']:.1%} of observable trackers")
+    return 0
+
+
+def _cmd_recruitment(_args: argparse.Namespace) -> int:
+    from repro.recruitment import build_recruitment_log
+
+    scenario = build_scenario()
+    log = build_recruitment_log(scenario.volunteers)
+    rows = []
+    for participant in log.active_participants:
+        consent = log.consents[participant.participant_id]
+        notes = []
+        if consent.opted_out_components:
+            notes.append(f"opted out of {','.join(consent.opted_out_components)}")
+        if consent.opted_out_sites:
+            notes.append(f"{len(consent.opted_out_sites)} site opt-outs")
+        rows.append((participant.participant_id, ",".join(participant.country_codes),
+                     participant.channel, "; ".join(notes) or "-"))
+    print(render_table(
+        ["participant", "countries", "recruited via", "accommodations"], rows,
+        title=f"{len(log.active_participants)} volunteers covering "
+              f"{len(log.covered_countries)} countries (paper: 22 / 23)",
+    ))
+    problems = log.validate_against_volunteers(scenario.volunteers)
+    if problems:
+        print(f"\nINCONSISTENCIES: {problems}")
+    else:
+        print("\nconsent ledger consistent with volunteer configuration")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.analysis.country_report import render_country_report
+
+    scenario = build_scenario()
+    outcome = run_study(scenario, countries=[args.country])
+    report = render_country_report(outcome, args.country)
+    if args.output is not None:
+        args.output.write_text(report)
+        print(f"Report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_selfcheck(_args: argparse.Namespace) -> int:
+    from repro.worldgen.selfcheck import check_scenario
+
+    scenario = build_scenario()
+    problems = check_scenario(scenario)
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}")
+        return 1
+    print(f"scenario healthy: {len(scenario.catalog)} sites, "
+          f"{len(scenario.world.deployments)} deployments, "
+          f"{len(scenario.world.ips)} prefixes, 23 volunteers")
+    return 0
+
+
+_COMMANDS = {
+    "volunteer": _cmd_volunteer,
+    "study": _cmd_study,
+    "figures": _cmd_figures,
+    "audit": _cmd_audit,
+    "export": _cmd_export,
+    "whatif": _cmd_whatif,
+    "stability": _cmd_stability,
+    "recruitment": _cmd_recruitment,
+    "report": _cmd_report,
+    "selfcheck": _cmd_selfcheck,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""The paper's primary contribution: Gamma, geolocation, trackers, analysis."""

@@ -1,0 +1,105 @@
+"""Analyses reproducing every figure and table of the paper."""
+
+from repro.core.analysis.continents import ContinentFlowAnalysis
+from repro.core.analysis.country_report import render_country_report
+from repro.core.analysis.crosscountry import CrossCountryAnalysis, SiteCountryView
+from repro.core.analysis.firstparty import FirstPartyAnalysis, FirstPartySite
+from repro.core.analysis.flows import FlowAnalysis, FlowEdge
+from repro.core.analysis.hosting import HostingAnalysis
+from repro.core.analysis.infrastructure import FlowInfrastructure, InfrastructureAnalysis
+from repro.core.analysis.localtrackers import LocalTrackerAnalysis, LocalTrackerRecord
+from repro.core.analysis.organizations import OrganizationAnalysis
+from repro.core.analysis.perwebsite import CountryDistribution, PerWebsiteAnalysis
+from repro.core.analysis.policy import PolicyAnalysis, PolicyRow
+from repro.core.analysis.prevalence import CountryPrevalence, PrevalenceAnalysis
+from repro.core.analysis.sankey import Flow, flows_from_edges, render_sankey
+from repro.core.analysis.records import (
+    CountryStudyResult,
+    NonLocalTracker,
+    SiteTrackerRecord,
+    build_country_result,
+)
+from repro.core.analysis.report import (
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_table,
+    render_table1,
+)
+from repro.core.analysis.summary import StudySummary, summarize_study
+from repro.core.analysis.svgfig import svg_flow_diagram, svg_grouped_bars
+from repro.core.analysis.tabular import (
+    flows_csv,
+    flows_geojson,
+    hosting_csv,
+    per_website_csv,
+    prevalence_csv,
+)
+from repro.core.analysis.stats import (
+    BoxplotStats,
+    boxplot_stats,
+    mean,
+    pearson,
+    quantile,
+    skewness,
+    spearman,
+    stdev,
+)
+
+__all__ = [
+    "BoxplotStats",
+    "ContinentFlowAnalysis",
+    "CountryDistribution",
+    "CountryPrevalence",
+    "CountryStudyResult",
+    "CrossCountryAnalysis",
+    "FirstPartyAnalysis",
+    "FirstPartySite",
+    "FlowAnalysis",
+    "Flow",
+    "FlowEdge",
+    "FlowInfrastructure",
+    "HostingAnalysis",
+    "InfrastructureAnalysis",
+    "LocalTrackerAnalysis",
+    "LocalTrackerRecord",
+    "NonLocalTracker",
+    "OrganizationAnalysis",
+    "PerWebsiteAnalysis",
+    "PolicyAnalysis",
+    "PolicyRow",
+    "PrevalenceAnalysis",
+    "SiteCountryView",
+    "SiteTrackerRecord",
+    "StudySummary",
+    "boxplot_stats",
+    "build_country_result",
+    "mean",
+    "pearson",
+    "per_website_csv",
+    "prevalence_csv",
+    "quantile",
+    "render_country_report",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "flows_csv",
+    "flows_from_edges",
+    "flows_geojson",
+    "hosting_csv",
+    "render_sankey",
+    "render_table",
+    "render_table1",
+    "skewness",
+    "spearman",
+    "stdev",
+    "summarize_study",
+    "svg_flow_diagram",
+    "svg_grouped_bars",
+]

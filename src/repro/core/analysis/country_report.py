@@ -1,0 +1,140 @@
+"""Per-country markdown report.
+
+Generates the full picture for one measurement country — the document a
+regulator or site operator would actually read: prevalence, where the
+data goes, who receives it, what stays local, the policy context, and
+the measurement provenance (trace origin, funnel, constraint evidence).
+Exposed as ``gamma report CC``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+__all__ = ["render_country_report"]
+
+
+def _section(title: str) -> List[str]:
+    return ["", f"## {title}", ""]
+
+
+def render_country_report(outcome, country_code: str) -> str:
+    """Markdown report for *country_code* from a study outcome."""
+    scenario = outcome.scenario
+    result = outcome.result_for(country_code)
+    dataset = outcome.datasets[country_code]
+    geolocation = outcome.geolocations[country_code]
+    country = scenario.world.geo.country(country_code)
+    policy = scenario.policy.get(country_code) if scenario.policy.has(country_code) else None
+
+    lines: List[str] = [
+        f"# Tracker data-flow report: {country.name} ({country_code})",
+        "",
+        f"Measured from {dataset.city_key} on a {dataset.os_name} machine "
+        f"({dataset.browser}); source traceroutes: "
+        f"{outcome.source_trace_origins.get(country_code, 'unknown')}.",
+    ]
+
+    # -- headline -------------------------------------------------------------
+    tracked = [s for s in result.sites if s.has_nonlocal_tracker]
+    lines += _section("Headline")
+    lines.append(
+        f"* {len(tracked)} of {len(result.sites)} analysed sites "
+        f"({100 * len(tracked) / max(1, len(result.sites)):.1f} %) transmit data to "
+        "trackers hosted outside the country."
+    )
+    regional = result.regional_sites
+    government = result.government_sites
+    if regional:
+        pct = 100 * sum(1 for s in regional if s.has_nonlocal_tracker) / len(regional)
+        lines.append(f"* Regional websites: {pct:.1f} % affected ({len(regional)} sites).")
+    if government:
+        pct = 100 * sum(1 for s in government if s.has_nonlocal_tracker) / len(government)
+        lines.append(f"* Government websites: {pct:.1f} % affected ({len(government)} sites).")
+    lines.append(
+        f"* Page loads: {dataset.loaded_count}/{dataset.attempted_count} targets "
+        f"({dataset.load_success_pct():.0f} %)."
+    )
+
+    # -- destinations ----------------------------------------------------------
+    destinations = Counter()
+    organisations = Counter()
+    for site in result.sites:
+        for tracker in site.trackers:
+            destinations[tracker.destination_country] += 1
+            if tracker.org_name:
+                organisations[tracker.org_name] += 1
+    lines += _section("Where the data goes")
+    if destinations:
+        for dest, count in destinations.most_common(8):
+            name = scenario.world.geo.country(dest).name
+            lines.append(f"* {name} ({dest}): {count} tracker observations")
+    else:
+        lines.append("* No verified cross-border tracker flows.")
+
+    lines += _section("Who receives it")
+    if organisations:
+        for org, count in organisations.most_common(8):
+            home = scenario.directory.get(org).home_country if scenario.directory.has(org) else "?"
+            lines.append(f"* {org} (headquartered {home}): {count} observations")
+    else:
+        lines.append("* No organisations identified.")
+
+    # -- worst sites -----------------------------------------------------------
+    if tracked:
+        lines += _section("Most exposed sites")
+        worst = sorted(tracked, key=lambda s: -s.tracker_count)[:5]
+        for site in worst:
+            lines.append(
+                f"* `{site.url}` ({site.category}): {site.tracker_count} non-local "
+                f"tracking domains -> {', '.join(site.destination_countries())}"
+            )
+
+    # -- local trackers ----------------------------------------------------------
+    local = outcome.local_trackers()
+    local_pct = local.prevalence_pct(country_code)
+    lines += _section("Domestic tracking")
+    lines.append(f"* {local_pct:.1f} % of sites embed trackers served from inside the country.")
+    foreign_share = local.foreign_owned_share(country_code)
+    if foreign_share is not None:
+        lines.append(
+            f"* {foreign_share:.0%} of those in-country tracker hosts are operated by "
+            "foreign-headquartered companies."
+        )
+
+    # -- policy ------------------------------------------------------------------
+    if policy is not None:
+        lines += _section("Policy context")
+        lines.append(
+            f"* Data-localization regime: **{policy.policy_type}** "
+            f"({'enacted' if policy.enacted else 'not yet in effect'})"
+            + (f" — {policy.note}" if policy.note else "")
+        )
+        lines.append(
+            "* Note: observed cross-border flows do not by themselves establish "
+            "violations; legal bases (consent, contracts, adequacy) are out of scope."
+        )
+
+    # -- provenance ---------------------------------------------------------------
+    funnel = geolocation.funnel
+    lines += _section("Measurement provenance")
+    lines.append(
+        f"* Geolocation funnel: {funnel.total_hosts} domain observations, "
+        f"{funnel.nonlocal_candidates} non-local candidates, "
+        f"{funnel.discarded_source}/{funnel.discarded_destination}/{funnel.discarded_rdns} "
+        "discarded by the source/destination/reverse-DNS constraints, "
+        f"{funnel.verified_nonlocal} verified."
+    )
+    counts = dataset.traceroute_counts()
+    lines.append(
+        f"* Traceroutes launched by the volunteer: {counts['attempted']} "
+        f"({counts['reached']} reached their target)."
+    )
+    statuses = Counter(v.status for v in geolocation.verdicts.values())
+    lines.append(
+        "* Server verdicts: "
+        + ", ".join(f"{status}={count}" for status, count in sorted(statuses.items()))
+        + "."
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,127 @@
+"""Infrastructure analysis: cables, geography, and tracking flows (§7).
+
+The paper's discussion argues that tracking destinations follow physical
+infrastructure — Kenya's cable connectivity makes it the East African
+hub — except where policy or politics intervene (India/Pakistan share
+IMEWE yet exchange nothing).  This module checks those arguments against
+the measured flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.analysis.flows import FlowAnalysis
+from repro.core.analysis.hosting import HostingAnalysis
+from repro.core.analysis.records import CountryStudyResult
+from repro.core.analysis.stats import mean, spearman
+from repro.netsim.cables import CableMap, default_cable_map
+from repro.netsim.distance import city_distance_km
+from repro.netsim.geography import GeoRegistry
+
+__all__ = ["FlowInfrastructure", "InfrastructureAnalysis"]
+
+
+@dataclass(frozen=True)
+class FlowInfrastructure:
+    """One flow edge annotated with its physical substrate."""
+
+    source: str
+    destination: str
+    website_count: int
+    distance_km: float
+    shares_cable: bool
+    shared_cables: Tuple[str, ...]
+
+
+class InfrastructureAnalysis:
+    """Joins flow/hosting analyses with the cable map."""
+
+    def __init__(
+        self,
+        results: Sequence[CountryStudyResult],
+        registry: GeoRegistry,
+        cable_map: Optional[CableMap] = None,
+    ):
+        self._flows = FlowAnalysis(results)
+        self._hosting = HostingAnalysis(results)
+        self._registry = registry
+        self._cables = cable_map or default_cable_map()
+
+    @property
+    def cable_map(self) -> CableMap:
+        return self._cables
+
+    def annotated_flows(self) -> List[FlowInfrastructure]:
+        annotated = []
+        for edge in self._flows.edges():
+            src = self._registry.country(edge.source).capital
+            dst = self._registry.country(edge.destination).capital
+            annotated.append(FlowInfrastructure(
+                source=edge.source,
+                destination=edge.destination,
+                website_count=edge.website_count,
+                distance_km=city_distance_km(src, dst),
+                shares_cable=self._cables.share_cable(edge.source, edge.destination),
+                shared_cables=tuple(self._cables.shared_cables(edge.source, edge.destination)),
+            ))
+        return annotated
+
+    def cable_alignment_share(self) -> float:
+        """Share of flow volume between cable-connected country pairs."""
+        annotated = self.annotated_flows()
+        total = sum(f.website_count for f in annotated)
+        if total == 0:
+            return 0.0
+        aligned = sum(f.website_count for f in annotated if f.shares_cable)
+        return aligned / total
+
+    def hosting_vs_connectivity(self) -> List[Tuple[str, int, int]]:
+        """Per destination: hosted tracking domains vs cable landings."""
+        hosting = self._hosting.domains_per_destination()
+        return [
+            (cc, count, self._cables.cable_count(cc))
+            for cc, count in hosting.items()
+        ]
+
+    def hosting_connectivity_correlation(self) -> Optional[float]:
+        """Spearman rank correlation of hosting role vs cable landings.
+
+        Positive in the paper's story: the countries that host regional
+        tracking (Kenya, Malaysia, France, Germany-via-land) are the
+        well-connected ones.
+        """
+        rows = self.hosting_vs_connectivity()
+        if len(rows) < 3:
+            return None
+        return spearman(
+            [float(count) for _cc, count, _cables in rows],
+            [float(cables) for _cc, _count, cables in rows],
+        )
+
+    def cable_without_flow(self) -> List[Tuple[str, str, Tuple[str, ...]]]:
+        """Measurement-country pairs that share a cable yet exchange no
+        tracking traffic — the India/Pakistan pattern (§7)."""
+        flowing = {(f.source, f.destination) for f in self.annotated_flows()}
+        sources = sorted({f.source for f in self.annotated_flows()})
+        silent: List[Tuple[str, str, Tuple[str, ...]]] = []
+        for source in sources:
+            for cable in self._cables.cables_landing_in(source):
+                for other in cable.landings:
+                    if other == source or (source, other) in flowing:
+                        continue
+                    shared = tuple(self._cables.shared_cables(source, other))
+                    silent.append((source, other, shared))
+        # Deduplicate, keep deterministic order.
+        unique = sorted(set(silent))
+        return unique
+
+    def mean_flow_distance_km(self) -> Optional[float]:
+        annotated = self.annotated_flows()
+        if not annotated:
+            return None
+        weighted = []
+        for flow in annotated:
+            weighted.extend([flow.distance_km] * flow.website_count)
+        return mean(weighted)

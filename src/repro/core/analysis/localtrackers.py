@@ -1,0 +1,134 @@
+"""Local-tracker analysis (paper section 8, future work).
+
+The paper focuses on *non-local* trackers but records everything needed
+to study domestic ones; it explicitly lists "analyzing local trackers"
+as supported follow-up work.  This module implements it: trackers whose
+servers the pipeline located *inside* the measurement country — both
+domestic companies (Yandex-Metrica-like) and foreign companies serving
+from in-country caches (Google in India).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.analysis.stats import mean
+from repro.core.gamma.output import VolunteerDataset
+from repro.core.geoloc.pipeline import DatasetGeolocation, ServerStatus
+from repro.core.trackers.identify import TrackerIdentifier
+from repro.core.trackers.orgs import OrganizationDirectory
+
+__all__ = ["LocalTrackerRecord", "LocalTrackerAnalysis"]
+
+
+@dataclass(frozen=True)
+class LocalTrackerRecord:
+    """One in-country tracker observation."""
+
+    host: str
+    country_code: str  # where the server (and the measurement) is
+    org_name: Optional[str]
+    org_home: Optional[str]  # operator headquarters country
+
+    @property
+    def domestically_owned(self) -> Optional[bool]:
+        """Is the operator headquartered where the server sits?"""
+        if self.org_home is None:
+            return None
+        return self.org_home == self.country_code
+
+
+class LocalTrackerAnalysis:
+    """Prevalence and ownership of in-country trackers."""
+
+    def __init__(
+        self,
+        datasets: Dict[str, VolunteerDataset],
+        geolocations: Dict[str, DatasetGeolocation],
+        identifier: TrackerIdentifier,
+        directory: Optional[OrganizationDirectory] = None,
+    ):
+        self._datasets = datasets
+        self._geolocations = geolocations
+        self._identifier = identifier
+        self._directory = directory or identifier.directory
+
+    def local_tracker_hosts(self, country_code: str) -> List[str]:
+        """Unique tracker hosts located inside *country_code*."""
+        dataset = self._datasets[country_code]
+        geolocation = self._geolocations[country_code]
+        hosts: List[str] = []
+        for host in dataset.all_requested_hosts():
+            verdict = geolocation.verdict_for_host(host)
+            if verdict is None or verdict.status != ServerStatus.LOCAL:
+                continue
+            if self._identifier.classify(host, country_code).is_tracker:
+                hosts.append(host)
+        return hosts
+
+    def prevalence_pct(self, country_code: str) -> float:
+        """% of loaded sites embedding at least one local tracker."""
+        dataset = self._datasets[country_code]
+        geolocation = self._geolocations[country_code]
+        loaded = [m for m in dataset.websites.values() if m.loaded]
+        if not loaded:
+            return 0.0
+        hits = 0
+        for measurement in loaded:
+            background = set(measurement.background_hosts)
+            for host in measurement.requested_hosts:
+                if host in background:
+                    continue
+                verdict = geolocation.verdict_for_host(host)
+                if verdict is None or verdict.status != ServerStatus.LOCAL:
+                    continue
+                if self._identifier.classify(host, country_code).is_tracker:
+                    hits += 1
+                    break
+        return 100.0 * hits / len(loaded)
+
+    def per_country(self) -> Dict[str, float]:
+        return {
+            cc: self.prevalence_pct(cc)
+            for cc in sorted(set(self._datasets) & set(self._geolocations))
+        }
+
+    def ownership(self, country_code: str) -> Dict[str, int]:
+        """Local tracker hosts per operating organisation."""
+        counts: Dict[str, int] = {}
+        for host in self.local_tracker_hosts(country_code):
+            entry = self._directory.org_for_host(host) if self._directory else None
+            name = entry.name if entry else "(unknown)"
+            counts[name] = counts.get(name, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def foreign_owned_share(self, country_code: str) -> Optional[float]:
+        """Share of local tracker hosts run by *foreign-headquartered* orgs.
+
+        Captures the paper's sovereignty point from the other side: even
+        "local" servers are mostly operated by Global-North companies
+        (Google's Indian caches are still Google's).
+        """
+        hosts = self.local_tracker_hosts(country_code)
+        homes: List[bool] = []
+        for host in hosts:
+            entry = self._directory.org_for_host(host) if self._directory else None
+            if entry is None:
+                continue
+            homes.append(entry.home_country != country_code)
+        if not homes:
+            return None
+        return mean([1.0 if foreign else 0.0 for foreign in homes])
+
+    def records(self, country_code: str) -> List[LocalTrackerRecord]:
+        result: List[LocalTrackerRecord] = []
+        for host in self.local_tracker_hosts(country_code):
+            entry = self._directory.org_for_host(host) if self._directory else None
+            result.append(LocalTrackerRecord(
+                host=host,
+                country_code=country_code,
+                org_name=entry.name if entry else None,
+                org_home=entry.home_country if entry else None,
+            ))
+        return result

@@ -1,0 +1,142 @@
+"""Joined per-site analysis records.
+
+The analysis stage consumes one :class:`SiteTrackerRecord` per loaded
+target website: which of its requested hosts are verified non-local
+trackers, where each is hosted, and which organisation operates it.
+``build_country_result`` performs the join between Gamma's dataset, the
+geolocation verdicts, and tracker identification — including stripping
+the webdriver's own background requests (section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.gamma.output import VolunteerDataset
+from repro.core.geoloc.pipeline import DatasetGeolocation
+from repro.core.trackers.identify import TrackerIdentifier, TrackerVerdict
+from repro.core.trackers.orgs import OrganizationDirectory
+from repro.web.website import CATEGORY_GOVERNMENT, CATEGORY_REGIONAL
+
+__all__ = ["NonLocalTracker", "SiteTrackerRecord", "CountryStudyResult", "build_country_result"]
+
+
+@dataclass(frozen=True)
+class NonLocalTracker:
+    """One verified non-local tracking host observed on one site."""
+
+    host: str
+    address: str
+    destination_country: str
+    destination_city_key: str
+    org_name: Optional[str] = None
+
+
+@dataclass
+class SiteTrackerRecord:
+    """Analysis view of one loaded website."""
+
+    url: str
+    country_code: str
+    category: str
+    trackers: List[NonLocalTracker] = field(default_factory=list)
+
+    @property
+    def has_nonlocal_tracker(self) -> bool:
+        return bool(self.trackers)
+
+    @property
+    def tracker_count(self) -> int:
+        """Number of distinct non-local tracking domains (full hostnames)."""
+        return len({t.host for t in self.trackers})
+
+    def destination_countries(self) -> List[str]:
+        return sorted({t.destination_country for t in self.trackers})
+
+    def organizations(self) -> List[str]:
+        return sorted({t.org_name for t in self.trackers if t.org_name})
+
+
+@dataclass
+class CountryStudyResult:
+    """Everything the per-figure analyses need for one country."""
+
+    country_code: str
+    dataset: VolunteerDataset
+    geolocation: DatasetGeolocation
+    tracker_verdicts: Dict[str, TrackerVerdict] = field(default_factory=dict)
+    sites: List[SiteTrackerRecord] = field(default_factory=list)
+
+    def sites_in(self, category: Optional[str] = None) -> List[SiteTrackerRecord]:
+        if category is None:
+            return list(self.sites)
+        return [s for s in self.sites if s.category == category]
+
+    @property
+    def regional_sites(self) -> List[SiteTrackerRecord]:
+        return self.sites_in(CATEGORY_REGIONAL)
+
+    @property
+    def government_sites(self) -> List[SiteTrackerRecord]:
+        return self.sites_in(CATEGORY_GOVERNMENT)
+
+    def nonlocal_tracker_hosts(self) -> List[str]:
+        hosts: Dict[str, None] = {}
+        for site in self.sites:
+            for tracker in site.trackers:
+                hosts.setdefault(tracker.host, None)
+        return list(hosts)
+
+
+def build_country_result(
+    dataset: VolunteerDataset,
+    geolocation: DatasetGeolocation,
+    identifier: TrackerIdentifier,
+    directory: Optional[OrganizationDirectory] = None,
+) -> CountryStudyResult:
+    """Join dataset + geolocation + identification into analysis records."""
+    directory = directory or identifier.directory
+    result = CountryStudyResult(
+        country_code=dataset.country_code, dataset=dataset, geolocation=geolocation
+    )
+    verdict_cache: Dict[str, TrackerVerdict] = {}
+
+    for measurement in dataset.websites.values():
+        if not measurement.loaded:
+            continue
+        site = SiteTrackerRecord(
+            url=measurement.url,
+            country_code=dataset.country_code,
+            category=measurement.category,
+        )
+        background = set(measurement.background_hosts)
+        for host in measurement.requested_hosts:
+            if host in background:
+                continue  # webdriver noise, stripped before analysis
+            server = geolocation.verdict_for_host(host)
+            if server is None or not server.is_verified_nonlocal:
+                continue
+            if host not in verdict_cache:
+                verdict_cache[host] = identifier.classify(host, dataset.country_code)
+            verdict = verdict_cache[host]
+            if not verdict.is_tracker:
+                continue
+            org_name = verdict.org_name
+            if org_name is None and directory is not None:
+                entry = directory.org_for_host(host)
+                org_name = entry.name if entry else None
+            assert server.claim is not None  # verified non-local implies a claim
+            site.trackers.append(
+                NonLocalTracker(
+                    host=host,
+                    address=measurement.dns[host],
+                    destination_country=server.claim.country_code,
+                    destination_city_key=server.claim.city_key,
+                    org_name=org_name,
+                )
+            )
+        result.sites.append(site)
+
+    result.tracker_verdicts = verdict_cache
+    return result

@@ -1,0 +1,97 @@
+"""Text-mode alluvial (Sankey) diagrams.
+
+Figures 5, 6 and 8 of the paper are alluvial diagrams: sources on the
+left, destinations (countries, continents, or organisations) on the
+right, ribbon thickness proportional to website count.  This renderer
+produces the terminal equivalent: per-node bars scaled to flow volume
+and the heaviest individual ribbons listed underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Flow", "render_sankey"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One ribbon: source -> target with a weight."""
+
+    source: str
+    target: str
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("flow weight must be non-negative")
+
+
+def _bar(value: int, peak: int, width: int) -> str:
+    if peak <= 0:
+        return ""
+    filled = max(1 if value > 0 else 0, round(width * value / peak))
+    return "#" * filled
+
+
+def render_sankey(
+    flows: Sequence[Flow],
+    title: str = "",
+    width: int = 28,
+    max_ribbons: int = 12,
+) -> str:
+    """Render *flows* as a two-column text alluvial diagram."""
+    if width < 4:
+        raise ValueError("width must be at least 4")
+    flows = [f for f in flows if f.weight > 0]
+    sources: Dict[str, int] = {}
+    targets: Dict[str, int] = {}
+    for flow in flows:
+        sources[flow.source] = sources.get(flow.source, 0) + flow.weight
+        targets[flow.target] = targets.get(flow.target, 0) + flow.weight
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not flows:
+        lines.append("(no flows)")
+        return "\n".join(lines)
+
+    peak = max(list(sources.values()) + list(targets.values()))
+    name_width = max(
+        [len(n) for n in sources] + [len(n) for n in targets] + [6]
+    )
+
+    lines.append("")
+    lines.append("SOURCES" + " " * (name_width + 8) + "DESTINATIONS")
+    left = sorted(sources.items(), key=lambda kv: (-kv[1], kv[0]))
+    right = sorted(targets.items(), key=lambda kv: (-kv[1], kv[0]))
+    for i in range(max(len(left), len(right))):
+        if i < len(left):
+            name, value = left[i]
+            left_cell = f"{name:<{name_width}} {value:>5} {_bar(value, peak, width):<{width}}"
+        else:
+            left_cell = " " * (name_width + 7 + width)
+        if i < len(right):
+            name, value = right[i]
+            right_cell = f"{_bar(value, peak, width):>{width}} {value:>5} {name}"
+        else:
+            right_cell = ""
+        lines.append(f"{left_cell} | {right_cell}".rstrip())
+
+    lines.append("")
+    lines.append(f"heaviest ribbons (top {max_ribbons}):")
+    heaviest = sorted(flows, key=lambda f: (-f.weight, f.source, f.target))[:max_ribbons]
+    ribbon_peak = heaviest[0].weight
+    for flow in heaviest:
+        lines.append(
+            f"  {flow.source:>{name_width}} ==[{flow.weight:>4}]==> {flow.target:<{name_width}} "
+            f"{_bar(flow.weight, ribbon_peak, width // 2)}"
+        )
+    return "\n".join(lines)
+
+
+def flows_from_edges(edges: Sequence[Tuple[str, str, int]]) -> List[Flow]:
+    """Convenience: build flows from ``(source, target, weight)`` tuples."""
+    return [Flow(source=s, target=t, weight=w) for s, t, w in edges]

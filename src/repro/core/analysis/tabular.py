@@ -1,0 +1,97 @@
+"""CSV/GeoJSON export of the analyses.
+
+The paper's artefact release includes data others can re-plot.  These
+writers produce the per-figure data series as CSV (for spreadsheets and
+plotting scripts) and the flow edges as GeoJSON LineStrings (drop them on
+any web map to get the Figure-5 flow picture geographically).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Sequence
+
+from repro.netsim.geography import GeoRegistry
+
+__all__ = [
+    "prevalence_csv",
+    "flows_csv",
+    "hosting_csv",
+    "per_website_csv",
+    "flows_geojson",
+]
+
+
+def _write_csv(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def prevalence_csv(prevalence) -> str:
+    """Figure 3 / Table 1 data: one row per country."""
+    rows = [
+        (r.country_code, f"{r.regional_pct:.2f}", f"{r.government_pct:.2f}",
+         f"{r.combined_pct:.2f}", r.regional_count, r.government_count)
+        for r in prevalence.per_country()
+    ]
+    return _write_csv(
+        ["country", "regional_pct", "government_pct", "combined_pct",
+         "regional_sites", "government_sites"],
+        rows,
+    )
+
+
+def flows_csv(flows) -> str:
+    """Figure 5 data: one row per source->destination edge."""
+    rows = [
+        (edge.source, edge.destination, edge.website_count)
+        for edge in flows.edges()
+    ]
+    return _write_csv(["source", "destination", "website_count"], rows)
+
+
+def hosting_csv(hosting) -> str:
+    """Figure 7 data: one row per hosting country."""
+    rows = list(hosting.domains_per_destination().items())
+    return _write_csv(["hosting_country", "nonlocal_tracking_domains"], rows)
+
+
+def per_website_csv(per_website, countries: Sequence[str]) -> str:
+    """Figure 4 raw data: one row per (country, site-count) pair."""
+    rows: List[Sequence[object]] = []
+    for cc in countries:
+        for count in per_website.counts_for(cc):
+            rows.append((cc, count))
+    return _write_csv(["country", "nonlocal_tracker_domains"], rows)
+
+
+def flows_geojson(flows, registry: GeoRegistry, min_weight: int = 1) -> str:
+    """Figure 5 as GeoJSON: one LineString per edge, weight as property."""
+    features: List[dict] = []
+    for edge in flows.edges():
+        if edge.website_count < min_weight:
+            continue
+        src = registry.country(edge.source).capital
+        dst = registry.country(edge.destination).capital
+        features.append({
+            "type": "Feature",
+            "geometry": {
+                "type": "LineString",
+                "coordinates": [[src.lon, src.lat], [dst.lon, dst.lat]],
+            },
+            "properties": {
+                "source": edge.source,
+                "destination": edge.destination,
+                "website_count": edge.website_count,
+            },
+        })
+    return json.dumps(
+        {"type": "FeatureCollection", "features": features},
+        indent=2,
+        sort_keys=True,
+    )

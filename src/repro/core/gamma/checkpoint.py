@@ -1,0 +1,75 @@
+"""Resume support.
+
+Volunteers were asked to finish in one sitting but could run Gamma in
+chunks: "Gamma is designed to resume from where it was last stopped"
+(section 3.3).  A checkpoint is a small JSON file listing completed URLs
+plus the partial dataset, written after every site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Set
+
+from repro.core.gamma.output import VolunteerDataset
+
+__all__ = ["Checkpoint"]
+
+
+@dataclass
+class Checkpoint:
+    """Tracks which target URLs a run has already completed."""
+
+    path: Optional[Path] = None
+    completed: Set[str] = field(default_factory=set)
+    dataset_json: Optional[str] = None
+
+    def is_done(self, url: str) -> bool:
+        return url in self.completed
+
+    def mark_done(self, url: str, dataset: Optional[VolunteerDataset] = None) -> None:
+        self.completed.add(url)
+        if dataset is not None:
+            self.dataset_json = dataset.to_json()
+        if self.path is not None:
+            self.save()
+
+    def partial_dataset(self) -> Optional[VolunteerDataset]:
+        if self.dataset_json is None:
+            return None
+        return VolunteerDataset.from_json(self.dataset_json)
+
+    def save(self) -> None:
+        if self.path is None:
+            raise ValueError("checkpoint has no path")
+        payload = {"completed": sorted(self.completed), "dataset": self.dataset_json}
+        # Write atomically so an interrupted run never truncates the file.
+        directory = self.path.parent
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(directory), prefix=".ckpt-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, str(self.path))
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    @classmethod
+    def load(cls, path: Path) -> "Checkpoint":
+        """Load an existing checkpoint, or start fresh if none exists."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        return cls(
+            path=path,
+            completed=set(payload.get("completed", [])),
+            dataset_json=payload.get("dataset"),
+        )

@@ -1,0 +1,107 @@
+"""OS abstraction layer.
+
+Scapy-style raw-socket probing is unavailable on Windows (and root-gated
+elsewhere), so Gamma shells out to OS-native tools and normalises their
+output.  Each adapter knows which command its platform provides and how
+to obtain its raw text; the simulation substitutes packet emission but
+the *textual interface* — the part Gamma's portability layer actually
+handles — is produced and parsed verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.determinism import stable_rng
+from repro.netsim.geography import City
+from repro.netsim.latency import LatencyModel
+from repro.netsim.traceroute import TracerouteEngine, render_linux, render_windows
+
+__all__ = ["PingResult", "OSAdapter", "LinuxAdapter", "WindowsAdapter", "DarwinAdapter", "adapter_for"]
+
+
+@dataclass(frozen=True)
+class PingResult:
+    """ICMP echo summary."""
+
+    target: str
+    sent: int
+    received: int
+    rtts_ms: tuple
+
+    @property
+    def loss_pct(self) -> float:
+        if self.sent == 0:
+            return 100.0
+        return 100.0 * (self.sent - self.received) / self.sent
+
+    @property
+    def avg_rtt_ms(self) -> float:
+        if not self.rtts_ms:
+            raise ValueError("no RTT samples")
+        return sum(self.rtts_ms) / len(self.rtts_ms)
+
+
+class OSAdapter:
+    """Platform-specific measurement command access."""
+
+    name = "abstract"
+    traceroute_command = "traceroute"
+
+    def raw_traceroute(self, engine: TracerouteEngine, source: City, target_ip: str, key: str) -> str:
+        raise NotImplementedError
+
+    def ping(
+        self,
+        latency: LatencyModel,
+        source: City,
+        target_city: City,
+        target_ip: str,
+        count: int = 4,
+    ) -> PingResult:
+        """Platform-independent ping synthesis."""
+        rng = stable_rng("ping", source.key, target_ip)
+        rtts: List[float] = []
+        received = 0
+        for i in range(count):
+            if rng.random() < 0.02:  # occasional loss
+                continue
+            received += 1
+            rtts.append(round(latency.rtt_ms(source, target_city, f"ping:{target_ip}:{i}"), 3))
+        return PingResult(target=target_ip, sent=count, received=received, rtts_ms=tuple(rtts))
+
+
+class LinuxAdapter(OSAdapter):
+    name = "linux"
+    traceroute_command = "traceroute"
+
+    def raw_traceroute(self, engine: TracerouteEngine, source: City, target_ip: str, key: str) -> str:
+        return render_linux(engine.trace(source, target_ip, key))
+
+
+class WindowsAdapter(OSAdapter):
+    name = "windows"
+    traceroute_command = "tracert"
+
+    def raw_traceroute(self, engine: TracerouteEngine, source: City, target_ip: str, key: str) -> str:
+        return render_windows(engine.trace(source, target_ip, key))
+
+
+class DarwinAdapter(OSAdapter):
+    name = "darwin"
+    traceroute_command = "traceroute"
+
+    def raw_traceroute(self, engine: TracerouteEngine, source: City, target_ip: str, key: str) -> str:
+        return render_linux(engine.trace(source, target_ip, key))
+
+
+_ADAPTERS = {cls.name: cls for cls in (LinuxAdapter, WindowsAdapter, DarwinAdapter)}
+
+
+def adapter_for(os_name: str) -> OSAdapter:
+    """The adapter for a platform name; raises on unsupported platforms."""
+    try:
+        return _ADAPTERS[os_name]()
+    except KeyError:
+        raise ValueError(f"unsupported OS {os_name!r}") from None

@@ -1,0 +1,63 @@
+"""Component C3: active measurement probes.
+
+Launches traceroutes (and pings) through the OS adapter, then feeds the
+raw tool output through the format parsers so the stored record is the
+normalised JSON schema regardless of platform.  The round trip through
+*rendered text -> parser* is deliberate: it exercises the exact
+normalisation layer the paper describes instead of short-circuiting to
+structured data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.gamma.osadapt import OSAdapter, PingResult, adapter_for
+from repro.core.gamma.parsers import NormalizedTraceroute, parse_traceroute_output
+from repro.netsim.geography import City
+from repro.netsim.network import World
+from repro.netsim.tls import TLSEndpointInfo, TLSInspector
+
+__all__ = ["ProbeRunner"]
+
+
+class ProbeRunner:
+    """Runs OS-native probes from a vantage city."""
+
+    def __init__(self, world: World, os_name: str = "linux"):
+        self._world = world
+        self._adapter: OSAdapter = adapter_for(os_name)
+        self._tls = TLSInspector(world)
+
+    @property
+    def adapter(self) -> OSAdapter:
+        return self._adapter
+
+    def traceroute(self, source_city: City, target_ip: str, key: str = "") -> NormalizedTraceroute:
+        """One traceroute, via the platform tool, normalised."""
+        raw = self._adapter.raw_traceroute(self._world.traceroute, source_city, target_ip, key)
+        return parse_traceroute_output(raw)
+
+    def traceroute_many(
+        self,
+        source_city: City,
+        target_ips: Iterable[str],
+        key_prefix: str = "",
+    ) -> Dict[str, NormalizedTraceroute]:
+        results: Dict[str, NormalizedTraceroute] = {}
+        for i, target_ip in enumerate(target_ips):
+            results[target_ip] = self.traceroute(source_city, target_ip, f"{key_prefix}:{i}")
+        return results
+
+    def ping(
+        self, source_city: City, target_ip: str, count: int = 4
+    ) -> Optional[PingResult]:
+        """ICMP echo probe; ``None`` for addresses outside the served space."""
+        target_city = self._world.ips.true_city(target_ip)
+        if target_city is None:
+            return None
+        return self._adapter.ping(self._world.latency, source_city, target_city, target_ip, count)
+
+    def tls(self, target_ip: str, sni: Optional[str] = None) -> Optional[TLSEndpointInfo]:
+        """testssl.sh-style TLS parameter probe (section 3, component C3)."""
+        return self._tls.probe(target_ip, sni)

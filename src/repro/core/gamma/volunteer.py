@@ -1,0 +1,32 @@
+"""Volunteer description: who runs Gamma, from where, with what consent."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.netsim.geography import City
+
+__all__ = ["Volunteer"]
+
+
+@dataclass
+class Volunteer:
+    """One participant's vantage point and accommodations."""
+
+    name: str  # pseudonymous label, e.g. "vol-TH-01"
+    city: City
+    ip: str  # the one identifying datum Gamma logs (later anonymised)
+    os_name: str = "linux"
+    #: Websites this volunteer declined to visit.
+    opted_out_sites: Set[str] = field(default_factory=set)
+    #: True when the volunteer declined active probes entirely (the
+    #: Egyptian volunteer in the paper).
+    traceroute_opt_out: bool = False
+
+    @property
+    def country_code(self) -> str:
+        return self.city.country_code
+
+    def opted_out(self, url: str) -> bool:
+        return url in self.opted_out_sites

@@ -1,0 +1,123 @@
+"""Published city-pair latency statistics (the Verizon/WonderNetwork role).
+
+The source-based constraint compares an observed RTT against *published*
+statistics for the volunteer-city/claimed-city pair.  Real publications
+are independent of any single measurement: they reflect long-run typical
+paths, with provider-specific noise and incomplete coverage.  The
+synthetic providers reproduce those properties on top of the same
+physical model, and the chain implements the paper's fallback order
+(Verizon first, WonderNetwork where Verizon has no data).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.determinism import stable_rng
+from repro.netsim.geography import City, GeoRegistry
+from repro.netsim.latency import LatencyModel
+
+__all__ = [
+    "LatencyStatsProvider",
+    "SyntheticStatsProvider",
+    "StatsChain",
+    "default_stats_chain",
+    "VERIZON_HUB_CITIES",
+]
+
+#: City keys a Verizon-style backbone report covers (major hubs only).
+VERIZON_HUB_CITIES = frozenset({
+    "New York, US", "Ashburn, US", "San Jose, US", "Toronto, CA",
+    "London, GB", "Paris, FR", "Frankfurt, DE", "Amsterdam, NL",
+    "Dublin, IE", "Milan, IT", "Madrid, ES", "Stockholm, SE",
+    "Warsaw, PL", "Zurich, CH", "Sydney, AU", "Melbourne, AU",
+    "Tokyo, JP", "Singapore, SG", "Hong Kong, HK", "Seoul, KR",
+    "Mumbai, IN", "Delhi, IN", "Sao Paulo, BR", "Mexico City, MX",
+    "Johannesburg, ZA", "Dubai, AE", "Taipei, TW", "Kuala Lumpur, MY",
+    "Bangkok, TH", "Auckland, NZ", "Moscow, RU", "Istanbul, TR",
+    "Tel Aviv, IL", "Buenos Aires, AR", "Santiago, CL",
+})
+
+
+class LatencyStatsProvider:
+    """Interface: typical published RTT between two cities, if covered."""
+
+    name = "abstract"
+
+    def published_rtt_ms(self, a: City, b: City) -> Optional[float]:
+        raise NotImplementedError
+
+    def covers(self, city: City) -> bool:
+        raise NotImplementedError
+
+
+class SyntheticStatsProvider(LatencyStatsProvider):
+    """Statistics derived from long-run typical latency plus survey noise."""
+
+    def __init__(
+        self,
+        name: str,
+        latency: LatencyModel,
+        covered_cities: Optional[Iterable[str]] = None,
+        noise_range: Tuple[float, float] = (0.9, 1.15),
+    ):
+        low, high = noise_range
+        if low <= 0 or high < low:
+            raise ValueError("noise range must satisfy 0 < low <= high")
+        self.name = name
+        self._latency = latency
+        self._covered: Optional[Set[str]] = set(covered_cities) if covered_cities is not None else None
+        self._noise_range = noise_range
+
+    def covers(self, city: City) -> bool:
+        return self._covered is None or city.key in self._covered
+
+    def published_rtt_ms(self, a: City, b: City) -> Optional[float]:
+        if not (self.covers(a) and self.covers(b)):
+            return None
+        if a.key == b.key:
+            return round(2.0 * self._latency.access_penalty(a), 1)
+        first, second = sorted((a.key, b.key))
+        low, high = self._noise_range
+        noise = stable_rng("stats", self.name, first, second).uniform(low, high)
+        return round(self._latency.typical_rtt_ms(a, b) * noise, 1)
+
+
+class StatsChain(LatencyStatsProvider):
+    """Ordered fallback across providers (section 4.1.1)."""
+
+    name = "chain"
+
+    def __init__(self, providers: Sequence[LatencyStatsProvider]):
+        if not providers:
+            raise ValueError("chain needs at least one provider")
+        self._providers: List[LatencyStatsProvider] = list(providers)
+
+    def covers(self, city: City) -> bool:
+        return any(p.covers(city) for p in self._providers)
+
+    def published_rtt_ms(self, a: City, b: City) -> Optional[float]:
+        for provider in self._providers:
+            value = provider.published_rtt_ms(a, b)
+            if value is not None:
+                return value
+        return None
+
+    def source_of(self, a: City, b: City) -> Optional[str]:
+        """Which provider would answer for this pair (for provenance)."""
+        for provider in self._providers:
+            if provider.published_rtt_ms(a, b) is not None:
+                return provider.name
+        return None
+
+
+def default_stats_chain(latency: LatencyModel, registry: GeoRegistry) -> StatsChain:
+    """Verizon-like hub coverage first, WonderNetwork-like full coverage after."""
+    verizon = SyntheticStatsProvider(
+        "verizon-like", latency, covered_cities=VERIZON_HUB_CITIES, noise_range=(0.92, 1.12)
+    )
+    all_cities = [city.key for country in registry.countries for city in country.cities]
+    wonder = SyntheticStatsProvider(
+        "wondernetwork-like", latency, covered_cities=all_cities, noise_range=(0.85, 1.25)
+    )
+    return StatsChain([verizon, wonder])

@@ -1,0 +1,30 @@
+"""Target-website selection: rankings, government discovery, T_web builder."""
+
+from repro.core.targets.builder import TargetList, TargetListBuilder
+from repro.core.targets.government import (
+    TrancoLikeList,
+    government_sites_for,
+    matches_gov_tld,
+)
+from repro.core.targets.rankings import (
+    CatalogRankingProvider,
+    CoverageError,
+    RankedSite,
+    RankingProvider,
+    mean_overlap,
+    overlap_percentage,
+)
+
+__all__ = [
+    "CatalogRankingProvider",
+    "CoverageError",
+    "RankedSite",
+    "RankingProvider",
+    "TargetList",
+    "TargetListBuilder",
+    "TrancoLikeList",
+    "government_sites_for",
+    "matches_gov_tld",
+    "mean_overlap",
+    "overlap_percentage",
+]

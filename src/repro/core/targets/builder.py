@@ -1,0 +1,126 @@
+"""Target-list construction (T_web = T_reg + T_gov) per section 3.2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.targets.government import TrancoLikeList, government_sites_for
+from repro.core.targets.rankings import CoverageError, RankingProvider
+from repro.netsim.geography import GeoRegistry
+from repro.web.catalog import SiteCatalog
+
+__all__ = ["TargetList", "TargetListBuilder"]
+
+
+@dataclass
+class TargetList:
+    """One country's T_web, split by category."""
+
+    country_code: str
+    regional: List[str] = field(default_factory=list)
+    government: List[str] = field(default_factory=list)
+    ranking_source: str = ""  # which provider supplied the regional list
+
+    @property
+    def all_sites(self) -> List[str]:
+        return self.regional + self.government
+
+    def __len__(self) -> int:
+        return len(self.regional) + len(self.government)
+
+    def without(self, opted_out: Sequence[str]) -> "TargetList":
+        """A copy with volunteer-opted-out sites removed."""
+        skip = set(opted_out)
+        return TargetList(
+            country_code=self.country_code,
+            regional=[d for d in self.regional if d not in skip],
+            government=[d for d in self.government if d not in skip],
+            ranking_source=self.ranking_source,
+        )
+
+
+class TargetListBuilder:
+    """Builds per-country target lists using the paper's selection rules.
+
+    Regional: top-50 from the primary provider (similarweb-like),
+    falling back to the secondary (semrush-like) where uncovered; adult
+    and in-country-banned sites are removed and replaced by the next
+    ranked entries.  Government: Tranco filter + search top-up.
+    """
+
+    def __init__(
+        self,
+        registry: GeoRegistry,
+        catalog: SiteCatalog,
+        primary: RankingProvider,
+        secondary: RankingProvider,
+        tranco: TrancoLikeList,
+        regional_quota: int = 50,
+        government_quota: int = 50,
+    ):
+        self._registry = registry
+        self._catalog = catalog
+        self._primary = primary
+        self._secondary = secondary
+        self._tranco = tranco
+        self._regional_quota = regional_quota
+        self._government_quota = government_quota
+
+    def build(self, country_code: str) -> TargetList:
+        country = self._registry.country(country_code)
+        regional, source = self._regional_sites(country_code)
+        government = government_sites_for(
+            country, self._tranco, self._catalog, self._government_quota
+        )
+        return TargetList(
+            country_code=country_code,
+            regional=regional,
+            government=government,
+            ranking_source=source,
+        )
+
+    def build_all(self, country_codes: Sequence[str]) -> Dict[str, TargetList]:
+        return {code: self.build(code) for code in country_codes}
+
+    def _regional_sites(self, country_code: str) -> Tuple[List[str], str]:
+        provider, source = self._pick_provider(country_code)
+        # Over-fetch so removed adult/banned entries can be back-filled.
+        ranked = provider.top_sites(country_code, self._regional_quota * 2)
+        selected: List[str] = []
+        for entry in ranked:
+            if len(selected) >= self._regional_quota:
+                break
+            if not self._catalog.has(entry.domain):
+                continue
+            site = self._catalog.get(entry.domain)
+            if site.adult or site.banned:
+                continue
+            selected.append(entry.domain)
+        return selected, source
+
+    def _pick_provider(self, country_code: str) -> Tuple[RankingProvider, str]:
+        if self._primary.covers(country_code):
+            return self._primary, self._primary.name
+        if self._secondary.covers(country_code):
+            return self._secondary, self._secondary.name
+        raise CoverageError(f"no ranking provider covers {country_code}")
+
+    @staticmethod
+    def common_sites(targets: Dict[str, TargetList], threshold: float = 1.0) -> List[str]:
+        """Domains present in at least *threshold* (fraction) of the lists.
+
+        ``threshold=1.0`` reproduces the paper's observation that only
+        google.com and wikipedia.org were common to all countries;
+        ``2/3`` reproduces the seven near-universal platforms.
+        """
+        if not targets:
+            return []
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        counts: Dict[str, int] = {}
+        for target in targets.values():
+            for domain in dict.fromkeys(target.all_sites):
+                counts[domain] = counts.get(domain, 0) + 1
+        needed = threshold * len(targets)
+        return sorted(d for d, n in counts.items() if n >= needed)

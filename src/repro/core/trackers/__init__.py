@@ -1,0 +1,34 @@
+"""Tracker identification: filter lists, org directory, party classification."""
+
+from repro.core.trackers.filterlist import (
+    FilterList,
+    FilterMatch,
+    FilterRule,
+    FilterSet,
+    RuleKind,
+    parse_filter_text,
+)
+from repro.core.trackers.identify import (
+    IdentificationMethod,
+    TrackerIdentifier,
+    TrackerVerdict,
+)
+from repro.core.trackers.orgs import OrganizationDirectory, OrgEntry
+from repro.core.trackers.party import PartyClassifier, PartyKind, PartyVerdict
+
+__all__ = [
+    "FilterList",
+    "FilterMatch",
+    "FilterRule",
+    "FilterSet",
+    "IdentificationMethod",
+    "OrgEntry",
+    "OrganizationDirectory",
+    "PartyClassifier",
+    "PartyKind",
+    "PartyVerdict",
+    "RuleKind",
+    "TrackerIdentifier",
+    "TrackerVerdict",
+    "parse_filter_text",
+]

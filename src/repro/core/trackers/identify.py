@@ -1,0 +1,105 @@
+"""Tracker identification: filter lists first, manual inspection second.
+
+Mirrors section 4.2 of the paper:
+
+1. match the host against EasyList/EasyPrivacy-style global lists,
+2. then against regional ad/tracker lists for the measurement country,
+3. finally fall back to "manual inspection" — a lookup in the
+   WhoTracksMe-like organisation directory, which catches regional
+   trackers the lists miss (the paper labelled 64 domains this way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.trackers.filterlist import FilterSet
+from repro.core.trackers.orgs import OrganizationDirectory
+from repro.domains import registrable_domain, validate_hostname
+
+__all__ = ["IdentificationMethod", "TrackerVerdict", "TrackerIdentifier"]
+
+
+class IdentificationMethod:
+    GLOBAL_LIST = "global_list"
+    REGIONAL_LIST = "regional_list"
+    MANUAL = "manual"
+
+
+@dataclass(frozen=True)
+class TrackerVerdict:
+    """Outcome of classifying one host."""
+
+    host: str
+    is_tracker: bool
+    method: Optional[str] = None
+    list_name: Optional[str] = None
+    org_name: Optional[str] = None
+
+    @property
+    def domain(self) -> str:
+        """The registrable domain the verdict is attributed to."""
+        return registrable_domain(self.host) or self.host
+
+
+class TrackerIdentifier:
+    """Layered tracker classification."""
+
+    def __init__(
+        self,
+        global_lists: FilterSet,
+        regional_lists: Optional[Dict[str, FilterSet]] = None,
+        directory: Optional[OrganizationDirectory] = None,
+    ):
+        self._global = global_lists
+        self._regional = dict(regional_lists or {})
+        self._directory = directory
+
+    @property
+    def directory(self) -> Optional[OrganizationDirectory]:
+        return self._directory
+
+    def regional_countries(self) -> List[str]:
+        return sorted(self._regional)
+
+    def classify(self, host: str, country_code: Optional[str] = None) -> TrackerVerdict:
+        """Classify one requested host observed in *country_code*."""
+        host = validate_hostname(host)
+
+        match = self._global.match(host)
+        if match is not None:
+            return self._verdict(host, IdentificationMethod.GLOBAL_LIST, match.list_name)
+
+        if country_code is not None:
+            regional = self._regional.get(country_code)
+            if regional is not None:
+                match = regional.match(host)
+                if match is not None:
+                    return self._verdict(host, IdentificationMethod.REGIONAL_LIST, match.list_name)
+
+        if self._directory is not None:
+            entry = self._directory.org_for_host(host)
+            if entry is not None and entry.is_tracking_host(host):
+                return TrackerVerdict(
+                    host=host,
+                    is_tracker=True,
+                    method=IdentificationMethod.MANUAL,
+                    org_name=entry.name,
+                )
+        return TrackerVerdict(host=host, is_tracker=False)
+
+    def _verdict(self, host: str, method: str, list_name: str) -> TrackerVerdict:
+        org_name = None
+        if self._directory is not None:
+            entry = self._directory.org_for_host(host)
+            if entry is not None:
+                org_name = entry.name
+        return TrackerVerdict(
+            host=host, is_tracker=True, method=method, list_name=list_name, org_name=org_name
+        )
+
+    def classify_many(
+        self, hosts: List[str], country_code: Optional[str] = None
+    ) -> Dict[str, TrackerVerdict]:
+        return {host: self.classify(host, country_code) for host in hosts}

@@ -1,0 +1,64 @@
+"""First-party vs third-party tracker classification (section 6.7).
+
+A tracker is *first-party* on a site when the same organisation owns
+both the site and the tracking domain (the paper follows CAIDA's
+AS-to-organisation convention); otherwise it is third-party.  Ownership
+comes from the organisation directory, so ``google.com.eg`` embedding
+``googleapis.com`` is first-party while ``a-newspaper.eg`` embedding the
+same host is third-party.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.trackers.orgs import OrganizationDirectory
+
+__all__ = ["PartyKind", "PartyClassifier", "PartyVerdict"]
+
+
+class PartyKind:
+    FIRST = "first-party"
+    THIRD = "third-party"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class PartyVerdict:
+    site_host: str
+    tracker_host: str
+    kind: str
+    site_org: Optional[str] = None
+    tracker_org: Optional[str] = None
+
+
+class PartyClassifier:
+    """Organisation-identity-based party classification."""
+
+    def __init__(self, directory: OrganizationDirectory):
+        self._directory = directory
+
+    def classify(self, site_host: str, tracker_host: str) -> PartyVerdict:
+        site_entry = self._directory.org_for_host(site_host)
+        tracker_entry = self._directory.org_for_host(tracker_host)
+        if site_entry is None or tracker_entry is None:
+            kind = PartyKind.UNKNOWN if tracker_entry is None else PartyKind.THIRD
+            return PartyVerdict(
+                site_host=site_host,
+                tracker_host=tracker_host,
+                kind=kind,
+                site_org=site_entry.name if site_entry else None,
+                tracker_org=tracker_entry.name if tracker_entry else None,
+            )
+        kind = PartyKind.FIRST if site_entry.name == tracker_entry.name else PartyKind.THIRD
+        return PartyVerdict(
+            site_host=site_host,
+            tracker_host=tracker_host,
+            kind=kind,
+            site_org=site_entry.name,
+            tracker_org=tracker_entry.name,
+        )
+
+    def is_first_party(self, site_host: str, tracker_host: str) -> bool:
+        return self.classify(site_host, tracker_host).kind == PartyKind.FIRST

@@ -1,0 +1,139 @@
+"""Domain-name utilities: a compact public-suffix list and eTLD+1 logic.
+
+The paper counts trackers at two granularities: registrable domains
+(eTLD+1, e.g. ``doubleclick.net``) and full hostnames.  Correct eTLD+1
+extraction requires public-suffix knowledge — ``example.co.uk`` must
+reduce to ``example.co.uk``, not ``co.uk``.  We embed the subset of the
+public suffix list covering every TLD used by the world model, including
+the government suffixes the target-selection stage filters on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = [
+    "PUBLIC_SUFFIXES",
+    "public_suffix",
+    "registrable_domain",
+    "is_subdomain",
+    "split_host",
+    "validate_hostname",
+]
+
+#: Multi-label suffixes first-class; every bare TLD also counts.
+PUBLIC_SUFFIXES = frozenset({
+    # Generic TLDs.
+    "com", "net", "org", "io", "co", "info", "biz", "tv", "me", "ai",
+    "cloud", "app", "dev", "online", "site", "xyz", "live", "news", "im",
+    # Country TLDs appearing in the world model.
+    "az", "dz", "eg", "rw", "ug", "ar", "ru", "lk", "th", "ae", "uk", "au",
+    "ca", "in", "jp", "jo", "nz", "pk", "qa", "sa", "tw", "us", "lb", "fr",
+    "de", "ke", "my", "sg", "hk", "om", "nl", "ie", "it", "ch", "be", "bg",
+    "fi", "br", "il", "tr", "gh", "es", "se", "pl", "za", "kr", "mx", "cl",
+    "gov",
+    # Second-level public suffixes.
+    "co.uk", "gov.uk", "ac.uk", "org.uk", "net.uk",
+    "com.au", "gov.au", "net.au", "org.au", "edu.au",
+    "gob.ar", "gov.ar", "com.ar", "org.ar",
+    "co.th", "go.th", "or.th", "in.th", "ac.th",
+    "com.eg", "gov.eg", "edu.eg", "org.eg",
+    "com.pk", "gov.pk", "edu.pk", "org.pk",
+    "gov.lk", "com.lk", "org.lk",
+    "gov.in", "nic.in", "co.in", "org.in", "net.in", "ac.in",
+    "com.qa", "gov.qa", "edu.qa", "org.qa",
+    "com.sa", "gov.sa", "edu.sa", "org.sa",
+    "gov.ae", "co.ae", "org.ae", "ac.ae",
+    "co.nz", "govt.nz", "net.nz", "org.nz", "ac.nz",
+    "go.jp", "co.jp", "ne.jp", "or.jp", "ac.jp",
+    "gov.az", "com.az", "org.az", "edu.az",
+    "gov.tr", "com.tr", "org.tr", "edu.tr",
+    "go.ke", "co.ke", "or.ke", "ac.ke",
+    "go.ug", "co.ug", "ac.ug", "or.ug",
+    "gov.rw", "co.rw", "org.rw", "ac.rw",
+    "gov.dz", "com.dz", "org.dz", "edu.dz",
+    "gov.jo", "com.jo", "org.jo", "edu.jo",
+    "gov.lb", "com.lb", "org.lb", "edu.lb",
+    "gov.om", "com.om", "org.om", "edu.om",
+    "com.my", "gov.my", "org.my", "edu.my",
+    "gov.sg", "com.sg", "org.sg", "edu.sg",
+    "com.hk", "gov.hk", "org.hk", "edu.hk",
+    "gov.il", "co.il", "org.il", "ac.il",
+    "gov.tw", "com.tw", "org.tw", "edu.tw",
+    "gov.bg", "com.bg", "org.bg",
+    "gov.br", "com.br", "org.br", "net.br",
+    "gov.my", "gov.gh", "com.gh", "org.gh",
+    "gov.za", "co.za", "org.za", "ac.za",
+    "go.kr", "co.kr", "or.kr", "ac.kr",
+    "gob.mx", "com.mx", "org.mx",
+    "gob.cl", "com.cl", "gov.cl",
+    "gouv.fr", "asso.fr",
+    "gov.ru", "com.ru", "org.ru",
+    "gov.pl", "com.pl", "org.pl",
+    "gov.it", "edu.it",
+    "gov.ie",
+    "gov.fi",
+    "gov.se",
+    "gov.es",
+    "gov.nl",
+    "gov.ch",
+    "gov.be",
+    "gc.ca", "co.ca",
+})
+
+_MAX_SUFFIX_LABELS = max(s.count(".") + 1 for s in PUBLIC_SUFFIXES)
+
+
+def validate_hostname(host: str) -> str:
+    """Normalise and sanity-check a hostname; returns the lowercase form."""
+    if not host:
+        raise ValueError("empty hostname")
+    normalised = host.strip().strip(".").lower()
+    if not normalised:
+        raise ValueError(f"hostname {host!r} contains no labels")
+    for label in normalised.split("."):
+        if not label or len(label) > 63:
+            raise ValueError(f"hostname {host!r} has an invalid label")
+    return normalised
+
+
+def public_suffix(host: str) -> str:
+    """Longest known public suffix of *host* (falls back to the final label)."""
+    labels = validate_hostname(host).split(".")
+    for take in range(min(_MAX_SUFFIX_LABELS, len(labels)), 0, -1):
+        candidate = ".".join(labels[-take:])
+        if candidate in PUBLIC_SUFFIXES:
+            return candidate
+    return labels[-1]
+
+
+def registrable_domain(host: str) -> Optional[str]:
+    """eTLD+1 of *host*; ``None`` when the host *is* a public suffix."""
+    normalised = validate_hostname(host)
+    suffix = public_suffix(normalised)
+    if normalised == suffix:
+        return None
+    suffix_labels = suffix.count(".") + 1
+    labels = normalised.split(".")
+    return ".".join(labels[-(suffix_labels + 1):])
+
+
+def split_host(host: str) -> Tuple[str, str]:
+    """Split into ``(subdomain_part, registrable_domain)``.
+
+    The subdomain part is ``""`` when the host equals its eTLD+1.
+    """
+    normalised = validate_hostname(host)
+    base = registrable_domain(normalised)
+    if base is None:
+        return "", normalised
+    if normalised == base:
+        return "", base
+    return normalised[: -(len(base) + 1)], base
+
+
+def is_subdomain(host: str, domain: str) -> bool:
+    """True if *host* equals *domain* or sits beneath it."""
+    h = validate_hostname(host)
+    d = validate_hostname(domain)
+    return h == d or h.endswith("." + d)

@@ -1,0 +1,17 @@
+"""Geolocation databases (IPmap-like, IPinfo-like) with seeded error."""
+
+from repro.geodb.errors import GeoErrorKind, GeoErrorModel
+from repro.geodb.ipinfo import IPInfoService, IPMetadata
+from repro.geodb.ipmap import GeoClaim, IPMapService
+from repro.geodb.multidb import GeoDatabaseComparison, default_database_suite
+
+__all__ = [
+    "GeoClaim",
+    "GeoErrorKind",
+    "GeoErrorModel",
+    "IPInfoService",
+    "IPMapService",
+    "IPMetadata",
+    "GeoDatabaseComparison",
+    "default_database_suite",
+]

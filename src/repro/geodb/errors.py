@@ -1,0 +1,96 @@
+"""Geolocation-database error injection.
+
+Geo databases err in characteristic ways: an address is mapped to another
+city of the *same operator* (the database learned a stale or aggregated
+footprint — the paper's Google-in-Fujairah-really-in-Amsterdam example),
+to another city in the same country, or to nothing at all.  The error
+model decides, deterministically per address, which fate applies, so the
+multi-constraint pipeline's precision can be measured against ground
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.determinism import stable_rng
+from repro.netsim.geography import City, GeoRegistry
+
+__all__ = ["GeoErrorModel", "GeoErrorKind"]
+
+
+class GeoErrorKind:
+    NONE = "none"
+    MISSING = "missing"
+    WRONG_CITY = "wrong_city"  # right country, wrong city
+    WRONG_COUNTRY = "wrong_country"
+
+    ALL = (NONE, MISSING, WRONG_CITY, WRONG_COUNTRY)
+
+
+@dataclass
+class GeoErrorModel:
+    """Per-database error rates (fractions of all addresses)."""
+
+    missing_rate: float = 0.03
+    wrong_city_rate: float = 0.05
+    wrong_country_rate: float = 0.09
+    seed: str = "ipmap"
+
+    def __post_init__(self) -> None:
+        total = self.missing_rate + self.wrong_city_rate + self.wrong_country_rate
+        if not 0.0 <= total <= 1.0:
+            raise ValueError("error rates must be non-negative and sum to <= 1")
+
+    def classify(self, address: str) -> str:
+        """Which error (if any) this database makes for *address*."""
+        draw = stable_rng(self.seed, "kind", address).random()
+        if draw < self.missing_rate:
+            return GeoErrorKind.MISSING
+        draw -= self.missing_rate
+        if draw < self.wrong_city_rate:
+            return GeoErrorKind.WRONG_CITY
+        draw -= self.wrong_city_rate
+        if draw < self.wrong_country_rate:
+            return GeoErrorKind.WRONG_COUNTRY
+        return GeoErrorKind.NONE
+
+    def pick_wrong_city(
+        self,
+        address: str,
+        true_city: City,
+        registry: GeoRegistry,
+        sibling_cities: Optional[List[City]] = None,
+    ) -> City:
+        """Choose the erroneous location reported for *address*.
+
+        Prefers *sibling_cities* (other deployment sites of the same
+        operator) because that is how real databases get confused; falls
+        back to an arbitrary other city in the registry.
+        """
+        rng = stable_rng(self.seed, "city", address)
+        siblings = [c for c in (sibling_cities or []) if c.key != true_city.key]
+        if siblings and rng.random() < 0.85:
+            return rng.choice(sorted(siblings, key=lambda c: c.key))
+        pool = [
+            city
+            for country in registry.countries
+            for city in country.cities
+            if city.key != true_city.key
+        ]
+        return rng.choice(sorted(pool, key=lambda c: c.key))
+
+    def pick_wrong_city_same_country(
+        self, address: str, true_city: City, registry: GeoRegistry
+    ) -> Optional[City]:
+        """A different city within the true country, if one exists."""
+        candidates = [
+            city
+            for city in registry.cities_in(true_city.country_code)
+            if city.key != true_city.key
+        ]
+        if not candidates:
+            return None
+        rng = stable_rng(self.seed, "samecountry", address)
+        return rng.choice(sorted(candidates, key=lambda c: c.key))

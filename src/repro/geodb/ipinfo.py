@@ -1,0 +1,60 @@
+"""IPinfo-like metadata service: ASN, organisation, and network name.
+
+Unlike city geolocation, AS-level attribution from registry data is
+near-perfect in practice, so this service returns ground truth.  The
+analysis stage uses it for the AS-level lookups of section 6.5 (which
+trackers ride on AWS/Google Cloud infrastructure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.network import World
+
+__all__ = ["IPMetadata", "IPInfoService"]
+
+
+@dataclass(frozen=True)
+class IPMetadata:
+    """Registry-derived facts about one address."""
+
+    address: str
+    asn: int
+    as_name: str
+    org: str
+    country_code: str
+    is_cloud_hosted: bool
+
+
+class IPInfoService:
+    """ASN / organisation / network lookups over the served space."""
+
+    def __init__(self, world: World):
+        self._world = world
+
+    def lookup(self, address: str) -> Optional[IPMetadata]:
+        allocation = self._world.ips.lookup(address)
+        if allocation is None:
+            return None
+        asn = allocation.asn
+        if not self._world.asns.has(asn):
+            return None
+        asys = self._world.asns.get(asn)
+        return IPMetadata(
+            address=address,
+            asn=asn,
+            as_name=asys.name,
+            org=asys.org,
+            country_code=allocation.city.country_code,
+            is_cloud_hosted=asys.is_cloud,
+        )
+
+    def asn_of(self, address: str) -> Optional[int]:
+        meta = self.lookup(address)
+        return meta.asn if meta else None
+
+    def hosted_on_cloud(self, address: str) -> bool:
+        meta = self.lookup(address)
+        return bool(meta and meta.is_cloud_hosted)

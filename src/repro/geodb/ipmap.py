@@ -1,0 +1,93 @@
+"""RIPE-IPmap-like geolocation service.
+
+Returns a city-level location claim for any address in the served space.
+Claims are usually the ground truth but are corrupted per the configured
+:class:`~repro.geodb.errors.GeoErrorModel` — the whole reason the paper's
+pipeline layers latency and reverse-DNS constraints on top of the
+database.  Wrong-country claims are biased toward *other deployment
+cities of the same operator*, reproducing the confusion patterns the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.geodb.errors import GeoErrorKind, GeoErrorModel
+from repro.netsim.geography import City
+from repro.netsim.network import World
+
+__all__ = ["GeoClaim", "IPMapService"]
+
+
+@dataclass(frozen=True)
+class GeoClaim:
+    """One database answer for one address."""
+
+    address: str
+    city: City
+    source: str = "ipmap"
+
+    @property
+    def country_code(self) -> str:
+        return self.city.country_code
+
+    @property
+    def city_key(self) -> str:
+        return self.city.key
+
+
+class IPMapService:
+    """City-level IP geolocation with injected, deterministic error."""
+
+    def __init__(self, world: World, error_model: Optional[GeoErrorModel] = None):
+        self._world = world
+        self._errors = error_model or GeoErrorModel()
+        self._cache: Dict[str, Optional[GeoClaim]] = {}
+
+    @property
+    def error_model(self) -> GeoErrorModel:
+        return self._errors
+
+    def locate(self, address: str) -> Optional[GeoClaim]:
+        """The database's location claim for *address* (``None`` = no data)."""
+        if address not in self._cache:
+            self._cache[address] = self._locate_uncached(address)
+        return self._cache[address]
+
+    def _locate_uncached(self, address: str) -> Optional[GeoClaim]:
+        true_city = self._world.ips.true_city(address)
+        if true_city is None:
+            return None
+        kind = self._errors.classify(address)
+        if kind == GeoErrorKind.MISSING:
+            return None
+        if kind == GeoErrorKind.WRONG_CITY:
+            wrong = self._errors.pick_wrong_city_same_country(address, true_city, self._world.geo)
+            return GeoClaim(address, wrong or true_city)
+        if kind == GeoErrorKind.WRONG_COUNTRY:
+            wrong = self._errors.pick_wrong_city(
+                address, true_city, self._world.geo, self._sibling_cities(address, true_city)
+            )
+            return GeoClaim(address, wrong)
+        return GeoClaim(address, true_city)
+
+    def _sibling_cities(self, address: str, true_city: City) -> List[City]:
+        """Other PoP cities of the operator owning *address*."""
+        allocation = self._world.ips.lookup(address)
+        if allocation is None or not allocation.label:
+            return []
+        org_name = allocation.label.split("/", 1)[0]
+        deployment = self._world.deployments.get(org_name)
+        if deployment is None:
+            return []
+        return [pop.city for pop in deployment.pops]
+
+    def is_correct(self, address: str) -> Optional[bool]:
+        """Ground-truth check (test oracle): is the claim's country right?"""
+        claim = self.locate(address)
+        truth = self._world.ips.true_country(address)
+        if claim is None or truth is None:
+            return None
+        return claim.country_code == truth

@@ -1,0 +1,144 @@
+"""Multiple geolocation databases and their disagreement.
+
+Section 4.1 motivates the constraint pipeline by noting that the usual
+databases (MaxMind, NetAcuity, DB-IP, IPinfo, RIPE IPmap) "are not fully
+reliable" and disagree with each other.  This module instantiates a
+suite of databases with distinct, realistic error profiles, measures
+their pairwise agreement, and implements the naive alternative the paper
+implicitly rejects — majority voting — so benchmarks can show why
+latency/rDNS constraints are worth the extra measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.geodb.errors import GeoErrorModel
+from repro.geodb.ipmap import IPMapService
+from repro.netsim.network import World
+
+__all__ = ["default_database_suite", "GeoDatabaseComparison"]
+
+#: Error profiles loosely ordered by the reliability literature the paper
+#: cites: IPmap best, the commercial databases worse in different ways.
+_PROFILES: Dict[str, GeoErrorModel] = {
+    "ipmap-like": GeoErrorModel(missing_rate=0.03, wrong_city_rate=0.05, wrong_country_rate=0.09),
+    "maxmind-like": GeoErrorModel(missing_rate=0.02, wrong_city_rate=0.12, wrong_country_rate=0.15),
+    "netacuity-like": GeoErrorModel(missing_rate=0.04, wrong_city_rate=0.09, wrong_country_rate=0.12),
+    "dbip-like": GeoErrorModel(missing_rate=0.10, wrong_city_rate=0.10, wrong_country_rate=0.17),
+    "ipinfo-like": GeoErrorModel(missing_rate=0.03, wrong_city_rate=0.08, wrong_country_rate=0.13),
+}
+
+
+#: Databases that share upstream data sources (WHOIS scrapes, router
+#: hostname corpora) err on the *same* addresses — the correlated
+#: confusion that makes naive majority voting unsafe.
+_SHARED_UPSTREAM = frozenset({"maxmind-like", "netacuity-like", "dbip-like"})
+
+
+def default_database_suite(world: World, seed: str = "multidb") -> Dict[str, IPMapService]:
+    """Five databases over the same world.
+
+    The three commercial-style databases share an error seed (correlated
+    mistakes, different error rates); the IPmap-like and IPinfo-like
+    services err independently.
+    """
+    suite: Dict[str, IPMapService] = {}
+    for name, profile in _PROFILES.items():
+        error_seed = f"{seed}:commercial" if name in _SHARED_UPSTREAM else f"{seed}:{name}"
+        model = GeoErrorModel(
+            missing_rate=profile.missing_rate,
+            wrong_city_rate=profile.wrong_city_rate,
+            wrong_country_rate=profile.wrong_country_rate,
+            seed=error_seed,
+        )
+        suite[name] = IPMapService(world, model)
+    return suite
+
+
+@dataclass(frozen=True)
+class _Vote:
+    country: Optional[str]
+    city_key: Optional[str]
+
+
+class GeoDatabaseComparison:
+    """Cross-database agreement and majority voting."""
+
+    def __init__(self, databases: Dict[str, IPMapService]):
+        if len(databases) < 2:
+            raise ValueError("comparison needs at least two databases")
+        self._databases = dict(databases)
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._databases)
+
+    def _vote(self, name: str, address: str) -> _Vote:
+        claim = self._databases[name].locate(address)
+        if claim is None:
+            return _Vote(None, None)
+        return _Vote(claim.country_code, claim.city_key)
+
+    def country_agreement(self, addresses: Iterable[str]) -> Dict[Tuple[str, str], float]:
+        """Pairwise country-level agreement rate over *addresses*.
+
+        Pairs where either database has no record are skipped, mirroring
+        how comparison studies handle coverage differences.
+        """
+        names = self.names
+        hits: Dict[Tuple[str, str], int] = {}
+        totals: Dict[Tuple[str, str], int] = {}
+        for address in addresses:
+            votes = {name: self._vote(name, address) for name in names}
+            for i, a in enumerate(names):
+                for b in names[i + 1:]:
+                    if votes[a].country is None or votes[b].country is None:
+                        continue
+                    key = (a, b)
+                    totals[key] = totals.get(key, 0) + 1
+                    if votes[a].country == votes[b].country:
+                        hits[key] = hits.get(key, 0) + 1
+        return {
+            key: hits.get(key, 0) / total
+            for key, total in totals.items()
+            if total > 0
+        }
+
+    def mean_agreement(self, addresses: Iterable[str]) -> Optional[float]:
+        rates = list(self.country_agreement(addresses).values())
+        if not rates:
+            return None
+        return sum(rates) / len(rates)
+
+    def majority_country(self, address: str) -> Optional[str]:
+        """Country claimed by the most databases (ties -> alphabetical)."""
+        counts: Dict[str, int] = {}
+        for name in self.names:
+            vote = self._vote(name, address)
+            if vote.country is not None:
+                counts[vote.country] = counts.get(vote.country, 0) + 1
+        if not counts:
+            return None
+        return min(counts, key=lambda cc: (-counts[cc], cc))
+
+    def majority_is_nonlocal(self, address: str, measurement_country: str) -> Optional[bool]:
+        """The constraint-free strategy: trust the database majority."""
+        majority = self.majority_country(address)
+        if majority is None:
+            return None
+        return majority != measurement_country
+
+    def disagreeing_addresses(self, addresses: Iterable[str]) -> List[str]:
+        """Addresses on which the databases do not all name one country."""
+        result = []
+        for address in addresses:
+            countries = {
+                vote.country
+                for vote in (self._vote(name, address) for name in self.names)
+                if vote.country is not None
+            }
+            if len(countries) > 1:
+                result.append(address)
+        return result

@@ -1,0 +1,75 @@
+"""Autonomous-system registry.
+
+Every server, ISP access network, and probe in the world model belongs to
+an AS.  The registry mimics the role of CAIDA's AS-to-organisation mapping
+in the paper: the analysis stage uses it to attribute tracker IPs to cloud
+providers (e.g. the AWS-in-Nairobi finding of section 6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["AutonomousSystem", "ASRegistry"]
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """A single AS: number, human-readable name, owning org, home country."""
+
+    asn: int
+    name: str
+    org: str
+    country_code: str
+    is_cloud: bool = False  # cloud/CDN providers are attributed specially
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} {self.name}"
+
+
+class ASRegistry:
+    """Registry with lookup by ASN and by organisation."""
+
+    def __init__(self, systems: Iterable[AutonomousSystem] = ()):
+        self._by_asn: Dict[int, AutonomousSystem] = {}
+        self._by_org: Dict[str, List[AutonomousSystem]] = {}
+        for asys in systems:
+            self.add(asys)
+
+    def add(self, asys: AutonomousSystem) -> AutonomousSystem:
+        if asys.asn in self._by_asn:
+            raise ValueError(f"duplicate ASN {asys.asn}")
+        self._by_asn[asys.asn] = asys
+        self._by_org.setdefault(asys.org, []).append(asys)
+        return asys
+
+    def register(self, name: str, org: str, country_code: str, *, is_cloud: bool = False) -> AutonomousSystem:
+        """Create an AS with the next free number and add it."""
+        asn = self._next_asn()
+        return self.add(AutonomousSystem(asn, name, org, country_code, is_cloud))
+
+    def _next_asn(self) -> int:
+        return max(self._by_asn, default=64511) + 1
+
+    def get(self, asn: int) -> AutonomousSystem:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise KeyError(f"unknown ASN {asn}") from None
+
+    def has(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def by_org(self, org: str) -> List[AutonomousSystem]:
+        return list(self._by_org.get(org, []))
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self):
+        return iter(self._by_asn.values())
+
+    def org_of(self, asn: int) -> Optional[str]:
+        asys = self._by_asn.get(asn)
+        return asys.org if asys else None

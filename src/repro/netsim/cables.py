@@ -1,0 +1,137 @@
+"""Submarine-cable registry and connectivity metrics.
+
+Section 7 of the paper grounds several findings in physical
+infrastructure: Kenya hosts regional trackers partly because it "is also
+well connected with submarine cables" (six land there); India and
+Pakistan "both have landing points on IMEWE" yet exchange no tracking
+traffic (politics beats fibre); Sri Lanka has a dedicated cable to India
+it barely uses.  This module encodes a stylised cable map so those
+infrastructure arguments are checkable against the measured flows.
+
+Cables are modelled at country granularity with ordered landing points;
+the registry answers "how well-connected is this country" and "do these
+two countries share a cable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["SubmarineCable", "CableMap", "default_cable_map"]
+
+
+@dataclass(frozen=True)
+class SubmarineCable:
+    """One cable system: name and its landing countries, in order."""
+
+    name: str
+    landings: Tuple[str, ...]  # ISO country codes along the route
+
+    def __post_init__(self) -> None:
+        if len(self.landings) < 2:
+            raise ValueError(f"cable {self.name} needs at least two landings")
+
+    def lands_in(self, country_code: str) -> bool:
+        return country_code in self.landings
+
+
+class CableMap:
+    """Lookup over a set of cable systems."""
+
+    def __init__(self, cables: Sequence[SubmarineCable]):
+        self._cables = list(cables)
+        self._by_country: Dict[str, List[SubmarineCable]] = {}
+        for cable in self._cables:
+            for cc in cable.landings:
+                self._by_country.setdefault(cc, []).append(cable)
+
+    @property
+    def cables(self) -> List[SubmarineCable]:
+        return list(self._cables)
+
+    def cables_landing_in(self, country_code: str) -> List[SubmarineCable]:
+        return list(self._by_country.get(country_code, []))
+
+    def cable_count(self, country_code: str) -> int:
+        """How many systems land in the country (Kenya: six, per §7)."""
+        return len(self._by_country.get(country_code, []))
+
+    def share_cable(self, a: str, b: str) -> bool:
+        """Do two countries have landing points on a common system?"""
+        cables_a = {c.name for c in self.cables_landing_in(a)}
+        return any(c.name in cables_a for c in self.cables_landing_in(b))
+
+    def shared_cables(self, a: str, b: str) -> List[str]:
+        names_a = {c.name for c in self.cables_landing_in(a)}
+        return sorted(
+            c.name for c in self.cables_landing_in(b) if c.name in names_a
+        )
+
+    def connectivity_ranking(self, countries: Optional[Sequence[str]] = None) -> List[Tuple[str, int]]:
+        """Countries by landing count, descending."""
+        pool = countries if countries is not None else sorted(self._by_country)
+        return sorted(
+            ((cc, self.cable_count(cc)) for cc in pool),
+            key=lambda item: (-item[1], item[0]),
+        )
+
+    def reachable_over_cables(self, start: str) -> Set[str]:
+        """Countries reachable from *start* hopping across shared systems."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for cable in self.cables_landing_in(current):
+                for cc in cable.landings:
+                    if cc not in seen:
+                        seen.add(cc)
+                        frontier.append(cc)
+        seen.discard(start)
+        return seen
+
+
+def default_cable_map() -> CableMap:
+    """A stylised map of the systems the paper's discussion touches.
+
+    Routes are simplified to the countries in our registry; names follow
+    the real systems (IMEWE, Bharat Lanka, the Kenyan landings of
+    EASSy/TEAMS/SEACOM/LION2/DARE1/PEACE — six, as the paper cites, plus
+    the usual trans-oceanic trunks).
+    """
+    cables = [
+        # India-Middle East-Western Europe: the paper's India/Pakistan point.
+        SubmarineCable("IMEWE", ("IN", "PK", "AE", "SA", "LB", "EG", "IT", "FR")),
+        # Dedicated India <-> Sri Lanka link.
+        SubmarineCable("Bharat Lanka", ("IN", "LK")),
+        # The six Kenyan systems (simplified routes).
+        SubmarineCable("EASSy", ("ZA", "KE", "SA")),
+        SubmarineCable("TEAMS", ("KE", "AE")),
+        SubmarineCable("SEACOM", ("ZA", "KE", "EG", "FR")),
+        SubmarineCable("LION2", ("KE", "FR")),
+        SubmarineCable("DARE1", ("KE", "QA")),  # via Djibouti/Gulf, simplified
+        SubmarineCable("PEACE", ("KE", "PK", "EG", "FR")),
+        # Mediterranean / Europe-MEA trunks.
+        SubmarineCable("SEA-ME-WE-4", ("SG", "MY", "TH", "LK", "IN", "PK", "AE", "SA", "EG", "IT", "FR")),
+        SubmarineCable("SEA-ME-WE-5", ("SG", "MY", "LK", "AE", "SA", "EG", "TR", "IT", "FR")),
+        SubmarineCable("AAE-1", ("HK", "SG", "MY", "TH", "IN", "OM", "AE", "QA", "SA", "EG", "IT", "FR")),
+        # Atlantic and Pacific trunks.
+        SubmarineCable("TAT-14-like", ("US", "GB", "FR", "DE", "NL")),
+        SubmarineCable("Grace-Hopper-like", ("US", "GB", "ES")),
+        SubmarineCable("Southern Cross", ("AU", "NZ", "US")),
+        SubmarineCable("Hawaiki", ("AU", "NZ", "US")),
+        SubmarineCable("Tasman Global", ("AU", "NZ")),
+        SubmarineCable("Asia-America Gateway", ("US", "HK", "SG", "MY", "TH")),
+        SubmarineCable("JUPITER-like", ("US", "JP")),
+        SubmarineCable("APG", ("JP", "KR", "TW", "HK", "SG", "MY", "TH")),
+        # South America and Caribbean.
+        SubmarineCable("SAm-1", ("US", "BR", "AR", "CL")),
+        SubmarineCable("Tannat-like", ("BR", "AR")),
+        # Africa west/north.
+        SubmarineCable("ACE", ("FR", "ES", "GH", "ZA")),
+        SubmarineCable("2Africa", ("FR", "IT", "EG", "SA", "ZA", "GH", "GB")),
+        SubmarineCable("MedCable", ("DZ", "FR", "ES")),
+        # Black Sea / Caucasus (Azerbaijan reaches Europe over land+Black Sea).
+        SubmarineCable("Caucasus Online", ("AZ", "BG", "TR")),
+    ]
+    return CableMap(cables)

@@ -1,0 +1,225 @@
+"""Geographic model: continents, countries, and cities.
+
+The reproduction needs real-world coordinates because the paper's
+geolocation method is fundamentally geometric: round-trip times are
+compared against great-circle distances at fibre propagation speed.
+We therefore ship a registry of the 23 measurement countries plus every
+destination country that appears in the paper's flows, each with one or
+two anchor cities at their true coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Continent",
+    "City",
+    "Country",
+    "GeoRegistry",
+    "default_registry",
+    "MEASUREMENT_COUNTRIES",
+]
+
+
+class Continent:
+    """Continent name constants (plain strings, grouped for discoverability)."""
+
+    AFRICA = "Africa"
+    ASIA = "Asia"
+    EUROPE = "Europe"
+    NORTH_AMERICA = "North America"
+    OCEANIA = "Oceania"
+    SOUTH_AMERICA = "South America"
+
+    ALL = (AFRICA, ASIA, EUROPE, NORTH_AMERICA, OCEANIA, SOUTH_AMERICA)
+
+
+@dataclass(frozen=True)
+class City:
+    """A named location with WGS-84 coordinates."""
+
+    name: str
+    country_code: str
+    lat: float
+    lon: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}, {self.country_code}"
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country participating in the world model."""
+
+    code: str  # ISO-3166 alpha-2
+    name: str
+    continent: str
+    cities: tuple = field(default_factory=tuple)  # tuple[City, ...]
+    gov_tlds: tuple = field(default_factory=tuple)  # e.g. (".gov.au",)
+    cctld: str = ""  # e.g. ".au"
+
+    @property
+    def capital(self) -> City:
+        """The first city is treated as the country's anchor (capital/primary)."""
+        return self.cities[0]
+
+
+class GeoRegistry:
+    """Lookup service for countries and cities."""
+
+    def __init__(self, countries: Iterable[Country]):
+        self._countries: Dict[str, Country] = {}
+        self._cities: Dict[str, City] = {}
+        for country in countries:
+            self.add(country)
+
+    def add(self, country: Country) -> None:
+        if country.code in self._countries:
+            raise ValueError(f"duplicate country code {country.code!r}")
+        self._countries[country.code] = country
+        for city in country.cities:
+            self._cities[city.key] = city
+
+    def country(self, code: str) -> Country:
+        try:
+            return self._countries[code]
+        except KeyError:
+            raise KeyError(f"unknown country code {code!r}") from None
+
+    def has_country(self, code: str) -> bool:
+        return code in self._countries
+
+    def city(self, key: str) -> City:
+        try:
+            return self._cities[key]
+        except KeyError:
+            raise KeyError(f"unknown city {key!r}") from None
+
+    def cities_in(self, country_code: str) -> List[City]:
+        return list(self.country(country_code).cities)
+
+    def continent_of(self, country_code: str) -> str:
+        return self.country(country_code).continent
+
+    @property
+    def countries(self) -> List[Country]:
+        return list(self._countries.values())
+
+    @property
+    def country_codes(self) -> List[str]:
+        return list(self._countries)
+
+    def find_city(self, name: str, country_code: Optional[str] = None) -> City:
+        """Find a city by bare name, optionally constrained to a country."""
+        matches = [
+            c
+            for c in self._cities.values()
+            if c.name == name and (country_code is None or c.country_code == country_code)
+        ]
+        if not matches:
+            raise KeyError(f"no city named {name!r}" + (f" in {country_code}" if country_code else ""))
+        if len(matches) > 1:
+            raise KeyError(f"ambiguous city name {name!r}; pass country_code")
+        return matches[0]
+
+
+def _c(name: str, cc: str, lat: float, lon: float) -> City:
+    return City(name=name, country_code=cc, lat=lat, lon=lon)
+
+
+#: The 23 countries in which the paper collected measurements.
+MEASUREMENT_COUNTRIES = (
+    "AZ", "DZ", "EG", "RW", "UG", "AR", "RU", "LK", "TH", "AE", "GB", "AU",
+    "CA", "IN", "JP", "JO", "NZ", "PK", "QA", "SA", "TW", "US", "LB",
+)
+
+
+def _default_countries() -> List[Country]:
+    A, S, E, N, O, SA = (
+        Continent.AFRICA,
+        Continent.ASIA,
+        Continent.EUROPE,
+        Continent.NORTH_AMERICA,
+        Continent.OCEANIA,
+        Continent.SOUTH_AMERICA,
+    )
+    return [
+        # --- Measurement (source) countries -------------------------------
+        Country("AZ", "Azerbaijan", S, (_c("Baku", "AZ", 40.41, 49.87),), (".gov.az",), ".az"),
+        Country("DZ", "Algeria", A, (_c("Algiers", "DZ", 36.75, 3.06),), (".gov.dz",), ".dz"),
+        Country("EG", "Egypt", A, (_c("Cairo", "EG", 30.04, 31.24),), (".gov.eg",), ".eg"),
+        Country("RW", "Rwanda", A, (_c("Kigali", "RW", -1.95, 30.06),), (".gov.rw",), ".rw"),
+        Country("UG", "Uganda", A, (_c("Kampala", "UG", 0.35, 32.58),), (".go.ug",), ".ug"),
+        Country("AR", "Argentina", SA, (_c("Buenos Aires", "AR", -34.60, -58.38),), (".gob.ar", ".gov.ar"), ".ar"),
+        Country("RU", "Russia", E, (_c("Moscow", "RU", 55.76, 37.62),), (".gov.ru",), ".ru"),
+        Country("LK", "Sri Lanka", S, (_c("Colombo", "LK", 6.93, 79.85),), (".gov.lk",), ".lk"),
+        Country("TH", "Thailand", S, (_c("Bangkok", "TH", 13.76, 100.50),), (".go.th",), ".th"),
+        Country("AE", "United Arab Emirates", S,
+                (_c("Dubai", "AE", 25.20, 55.27), _c("Al Fujairah City", "AE", 25.12, 56.34)),
+                (".gov.ae",), ".ae"),
+        Country("GB", "United Kingdom", E, (_c("London", "GB", 51.51, -0.13),), (".gov.uk",), ".uk"),
+        Country("AU", "Australia", O,
+                (_c("Sydney", "AU", -33.87, 151.21), _c("Melbourne", "AU", -37.81, 144.96)),
+                (".gov.au",), ".au"),
+        Country("CA", "Canada", N, (_c("Toronto", "CA", 43.65, -79.38),), (".gc.ca", ".canada.ca"), ".ca"),
+        Country("IN", "India", S,
+                (_c("Mumbai", "IN", 19.08, 72.88), _c("Delhi", "IN", 28.61, 77.21)),
+                (".gov.in", ".nic.in"), ".in"),
+        Country("JP", "Japan", S, (_c("Tokyo", "JP", 35.68, 139.69),), (".go.jp",), ".jp"),
+        Country("JO", "Jordan", S, (_c("Amman", "JO", 31.95, 35.93),), (".gov.jo",), ".jo"),
+        Country("NZ", "New Zealand", O, (_c("Auckland", "NZ", -36.85, 174.76),), (".govt.nz",), ".nz"),
+        Country("PK", "Pakistan", S,
+                (_c("Karachi", "PK", 24.86, 67.00), _c("Lahore", "PK", 31.55, 74.34)),
+                (".gov.pk",), ".pk"),
+        Country("QA", "Qatar", S, (_c("Doha", "QA", 25.28, 51.53),), (".gov.qa",), ".qa"),
+        Country("SA", "Saudi Arabia", S, (_c("Riyadh", "SA", 24.71, 46.68),), (".gov.sa",), ".sa"),
+        Country("TW", "Taiwan", S, (_c("Taipei", "TW", 25.03, 121.56),), (".gov.tw",), ".tw"),
+        Country("US", "United States", N,
+                (_c("New York", "US", 40.71, -74.01), _c("Ashburn", "US", 39.04, -77.49),
+                 _c("San Jose", "US", 37.34, -121.89)),
+                (".gov",), ".us"),
+        Country("LB", "Lebanon", S, (_c("Beirut", "LB", 33.89, 35.50),), (".gov.lb",), ".lb"),
+        # --- Destination-only countries ------------------------------------
+        Country("FR", "France", E, (_c("Paris", "FR", 48.86, 2.35), _c("Marseille", "FR", 43.30, 5.37)),
+                (".gouv.fr",), ".fr"),
+        Country("DE", "Germany", E, (_c("Frankfurt", "DE", 50.11, 8.68), _c("Berlin", "DE", 52.52, 13.41)),
+                (".bund.de",), ".de"),
+        Country("KE", "Kenya", A, (_c("Nairobi", "KE", -1.29, 36.82), _c("Mombasa", "KE", -4.04, 39.66)),
+                (".go.ke",), ".ke"),
+        Country("MY", "Malaysia", S, (_c("Kuala Lumpur", "MY", 3.14, 101.69),), (".gov.my",), ".my"),
+        Country("SG", "Singapore", S, (_c("Singapore", "SG", 1.35, 103.82),), (".gov.sg",), ".sg"),
+        Country("HK", "Hong Kong", S, (_c("Hong Kong", "HK", 22.32, 114.17),), (".gov.hk",), ".hk"),
+        Country("OM", "Oman", S, (_c("Muscat", "OM", 23.59, 58.38),), (".gov.om",), ".om"),
+        Country("NL", "Netherlands", E, (_c("Amsterdam", "NL", 52.37, 4.90),), (".overheid.nl",), ".nl"),
+        Country("IE", "Ireland", E, (_c("Dublin", "IE", 53.35, -6.26),), (".gov.ie",), ".ie"),
+        Country("IT", "Italy", E, (_c("Milan", "IT", 45.46, 9.19),), (".gov.it",), ".it"),
+        Country("CH", "Switzerland", E, (_c("Zurich", "CH", 47.37, 8.54),), (".admin.ch",), ".ch"),
+        Country("BE", "Belgium", E, (_c("Brussels", "BE", 50.85, 4.35),), (".fgov.be",), ".be"),
+        Country("BG", "Bulgaria", E, (_c("Sofia", "BG", 42.70, 23.32),), (".government.bg",), ".bg"),
+        Country("FI", "Finland", E, (_c("Helsinki", "FI", 60.17, 24.94),), (".gov.fi",), ".fi"),
+        Country("BR", "Brazil", SA, (_c("Sao Paulo", "BR", -23.55, -46.63),), (".gov.br",), ".br"),
+        Country("IL", "Israel", S, (_c("Tel Aviv", "IL", 32.08, 34.78),), (".gov.il",), ".il"),
+        Country("TR", "Turkey", S, (_c("Istanbul", "TR", 41.01, 28.98),), (".gov.tr",), ".tr"),
+        Country("GH", "Ghana", A, (_c("Accra", "GH", 5.60, -0.19),), (".gov.gh",), ".gh"),
+        Country("ES", "Spain", E, (_c("Madrid", "ES", 40.42, -3.70),), (".gob.es",), ".es"),
+        Country("SE", "Sweden", E, (_c("Stockholm", "SE", 59.33, 18.07),), (".gov.se",), ".se"),
+        Country("PL", "Poland", E, (_c("Warsaw", "PL", 52.23, 21.01),), (".gov.pl",), ".pl"),
+        Country("ZA", "South Africa", A, (_c("Johannesburg", "ZA", -26.20, 28.05),), (".gov.za",), ".za"),
+        Country("KR", "South Korea", S, (_c("Seoul", "KR", 37.57, 126.98),), (".go.kr",), ".kr"),
+        Country("MX", "Mexico", N, (_c("Mexico City", "MX", 19.43, -99.13),), (".gob.mx",), ".mx"),
+        Country("CL", "Chile", SA, (_c("Santiago", "CL", -33.45, -70.67),), (".gob.cl",), ".cl"),
+    ]
+
+
+_DEFAULT: Optional[GeoRegistry] = None
+
+
+def default_registry() -> GeoRegistry:
+    """Return the shared default registry (constructed once, read-only use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = GeoRegistry(_default_countries())
+    return _DEFAULT

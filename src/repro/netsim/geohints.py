@@ -1,0 +1,117 @@
+"""Geographic hint codes used in router/server hostnames.
+
+Operators commonly embed IATA airport codes or city abbreviations in
+reverse-DNS hostnames ("edge-7.fra02.example.net").  The same table drives
+both sides of the reproduction: the synthetic reverse-DNS generator embeds
+these codes, and the reverse-DNS geolocation constraint (section 4.1.3 of
+the paper, following Luckie et al.'s hostname-geolocation work) extracts
+them.  Keeping one table honest on both sides mirrors reality, where the
+constraint works precisely because operators follow the same conventions
+researchers decode.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+__all__ = ["CITY_HINT_CODES", "hint_for_city", "city_for_hint", "extract_hint"]
+
+#: city key ("Name, CC") -> lower-case hostname hint code.
+CITY_HINT_CODES: Dict[str, str] = {
+    "Baku, AZ": "gyd",
+    "Algiers, DZ": "alg",
+    "Cairo, EG": "cai",
+    "Kigali, RW": "kgl",
+    "Kampala, UG": "ebb",
+    "Buenos Aires, AR": "eze",
+    "Moscow, RU": "dme",
+    "Colombo, LK": "cmb",
+    "Bangkok, TH": "bkk",
+    "Dubai, AE": "dxb",
+    "Al Fujairah City, AE": "fjr",
+    "London, GB": "lhr",
+    "Sydney, AU": "syd",
+    "Melbourne, AU": "mel",
+    "Toronto, CA": "yyz",
+    "Mumbai, IN": "bom",
+    "Delhi, IN": "del",
+    "Tokyo, JP": "nrt",
+    "Amman, JO": "amm",
+    "Auckland, NZ": "akl",
+    "Karachi, PK": "khi",
+    "Lahore, PK": "lhe",
+    "Doha, QA": "doh",
+    "Riyadh, SA": "ruh",
+    "Taipei, TW": "tpe",
+    "New York, US": "lga",
+    "Ashburn, US": "iad",
+    "San Jose, US": "sjc",
+    "Beirut, LB": "bey",
+    "Paris, FR": "cdg",
+    "Marseille, FR": "mrs",
+    "Frankfurt, DE": "fra",
+    "Berlin, DE": "ber",
+    "Nairobi, KE": "nbo",
+    "Mombasa, KE": "mba",
+    "Kuala Lumpur, MY": "kul",
+    "Singapore, SG": "sin",
+    "Hong Kong, HK": "hkg",
+    "Muscat, OM": "mct",
+    "Amsterdam, NL": "ams",
+    "Dublin, IE": "dub",
+    "Milan, IT": "mxp",
+    "Zurich, CH": "zrh",
+    "Brussels, BE": "bru",
+    "Sofia, BG": "sof",
+    "Helsinki, FI": "hel",
+    "Sao Paulo, BR": "gru",
+    "Tel Aviv, IL": "tlv",
+    "Istanbul, TR": "ist",
+    "Accra, GH": "acc",
+    "Madrid, ES": "mad",
+    "Stockholm, SE": "arn",
+    "Warsaw, PL": "waw",
+    "Johannesburg, ZA": "jnb",
+    "Seoul, KR": "icn",
+    "Mexico City, MX": "mex",
+    "Santiago, CL": "scl",
+}
+
+_HINT_TO_CITY: Dict[str, str] = {code: key for key, code in CITY_HINT_CODES.items()}
+
+#: Hostname labels that look like hints but are not (common false friends).
+_STOPWORDS = frozenset({"www", "cdn", "net", "com", "org", "edge", "pop", "srv", "dns", "ip"})
+
+_HINT_LABEL_RE = re.compile(r"^([a-z]{3})(\d{0,3})$")
+
+
+def hint_for_city(city_key: str) -> Optional[str]:
+    """The hostname code operators would use for this city, if known."""
+    return CITY_HINT_CODES.get(city_key)
+
+
+def city_for_hint(code: str) -> Optional[str]:
+    """Reverse lookup: hostname code -> city key."""
+    return _HINT_TO_CITY.get(code.lower())
+
+
+def extract_hint(hostname: str) -> Optional[str]:
+    """Extract a geographic city key from a hostname, if one is embedded.
+
+    Scans dot-separated labels for an ``<code>[digits]`` pattern whose code
+    appears in the hint table.  Returns the city key or ``None``.
+    """
+    if not hostname:
+        return None
+    for label in hostname.lower().split("."):
+        match = _HINT_LABEL_RE.match(label)
+        if not match:
+            continue
+        code = match.group(1)
+        if code in _STOPWORDS:
+            continue
+        city_key = _HINT_TO_CITY.get(code)
+        if city_key is not None:
+            return city_key
+    return None

@@ -1,0 +1,87 @@
+"""IPv4 address-space management for the world model.
+
+Prefixes are handed out as /24 blocks from conventionally-public space,
+skipping reserved ranges, so that every simulated address behaves like a
+routable unicast address under :mod:`ipaddress`.  Each allocation records
+the owning AS and the physical city the block is deployed in; the
+:class:`IPSpace` is therefore the simulation's ground truth that
+geolocation databases approximate (with injected error).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.netsim.geography import City
+
+__all__ = ["PrefixAllocation", "IPSpace"]
+
+
+@dataclass(frozen=True)
+class PrefixAllocation:
+    """A /24 block assigned to an AS at a physical location."""
+
+    network: ipaddress.IPv4Network
+    asn: int
+    city: City
+    label: str = ""  # free-form, e.g. "google pop fra1"
+
+    def address(self, host: int) -> ipaddress.IPv4Address:
+        """Return the host-th usable address of the block (1-based)."""
+        if not 1 <= host <= 254:
+            raise ValueError("host index must be in [1, 254]")
+        return self.network.network_address + host
+
+
+class IPSpace:
+    """Allocator plus reverse lookup over all allocated blocks."""
+
+    #: First /24 considered for allocation.
+    _FIRST = ipaddress.IPv4Network("5.0.0.0/24")
+
+    def __init__(self) -> None:
+        self._allocations: Dict[ipaddress.IPv4Network, PrefixAllocation] = {}
+        self._cursor = int(self._FIRST.network_address)
+
+    def allocate(self, asn: int, city: City, label: str = "") -> PrefixAllocation:
+        """Allocate the next free public /24 for *asn* located at *city*."""
+        network = self._next_public_slash24()
+        allocation = PrefixAllocation(network=network, asn=asn, city=city, label=label)
+        self._allocations[network] = allocation
+        return allocation
+
+    def _next_public_slash24(self) -> ipaddress.IPv4Network:
+        while True:
+            candidate = ipaddress.IPv4Network((self._cursor, 24))
+            self._cursor += 256
+            if self._cursor >= int(ipaddress.IPv4Address("224.0.0.0")):
+                raise RuntimeError("IPv4 allocation space exhausted")
+            if candidate.is_global and not candidate.is_multicast:
+                return candidate
+
+    def lookup(self, address) -> Optional[PrefixAllocation]:
+        """Return the allocation covering *address*, or ``None``."""
+        addr = ipaddress.IPv4Address(str(address))
+        network = ipaddress.IPv4Network((int(addr) & ~0xFF, 24))
+        return self._allocations.get(network)
+
+    def owner_asn(self, address) -> Optional[int]:
+        allocation = self.lookup(address)
+        return allocation.asn if allocation else None
+
+    def true_city(self, address) -> Optional[City]:
+        """Ground-truth location of *address* (what geo DBs try to guess)."""
+        allocation = self.lookup(address)
+        return allocation.city if allocation else None
+
+    def true_country(self, address) -> Optional[str]:
+        city = self.true_city(address)
+        return city.country_code if city else None
+
+    def __len__(self) -> int:
+        return len(self._allocations)
+
+    def __iter__(self) -> Iterator[PrefixAllocation]:
+        return iter(self._allocations.values())

@@ -1,0 +1,95 @@
+"""TLS endpoint simulation.
+
+Gamma's C3 component can probe TLS parameters (the paper mentions Nmap
+and testssl.sh).  Servers in the world model present certificates whose
+subject and SAN list derive from the owning organisation's domains, and
+negotiate protocol/cipher parameters typical of their operator's tier —
+large CDNs run modern stacks, small regional hosts lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.determinism import stable_rng
+from repro.domains import registrable_domain
+from repro.netsim.network import World
+
+__all__ = ["TLSEndpointInfo", "TLSInspector"]
+
+_MODERN_VERSIONS = ("TLS 1.3", "TLS 1.2")
+_LEGACY_VERSIONS = ("TLS 1.2", "TLS 1.1", "TLS 1.0")
+_MODERN_CIPHERS = (
+    "TLS_AES_256_GCM_SHA384",
+    "TLS_AES_128_GCM_SHA256",
+    "TLS_CHACHA20_POLY1305_SHA256",
+)
+_LEGACY_CIPHERS = (
+    "ECDHE-RSA-AES128-GCM-SHA256",
+    "ECDHE-RSA-AES256-SHA384",
+    "AES128-SHA",
+)
+
+
+@dataclass(frozen=True)
+class TLSEndpointInfo:
+    """What a TLS probe of one address observes."""
+
+    address: str
+    subject_cn: str
+    subject_org: str
+    san: Tuple[str, ...]
+    version: str
+    cipher: str
+    certificate_valid: bool
+
+    @property
+    def modern(self) -> bool:
+        return self.version == "TLS 1.3"
+
+
+class TLSInspector:
+    """testssl.sh-like probe over the world's served address space."""
+
+    def __init__(self, world: World):
+        self._world = world
+
+    def probe(self, address: str, sni: Optional[str] = None) -> Optional[TLSEndpointInfo]:
+        """Probe *address*; ``None`` when nothing is listening there."""
+        allocation = self._world.ips.lookup(address)
+        if allocation is None or not allocation.label:
+            return None
+        org_name = allocation.label.split("/", 1)[0]
+        # Cloud-hosted PoP labels are "<cloud>/<tenant>-<cc>": the tenant
+        # (not the cloud) terminates TLS, so recover it when possible.
+        tenant = allocation.label.split("/", 1)[1] if "/" in allocation.label else ""
+        organization = self._world.organizations.get(org_name)
+        if organization is not None and organization.is_cloud and tenant:
+            tenant_org_name = tenant.rsplit("-", 1)[0]
+            organization = self._world.organizations.get(tenant_org_name, organization)
+        if organization is None:
+            return None
+
+        domains = organization.domains or (f"{organization.name.lower()}.example",)
+        primary = sni if sni and self._covered_by(sni, domains) else domains[0]
+        san = tuple(f"*.{domain}" for domain in domains[:8]) + tuple(domains[:8])
+
+        rng = stable_rng("tls", address)
+        big_operator = len(organization.domains) >= 3 or organization.is_cloud
+        versions = _MODERN_VERSIONS if big_operator else _LEGACY_VERSIONS
+        ciphers = _MODERN_CIPHERS if big_operator else _LEGACY_CIPHERS
+        return TLSEndpointInfo(
+            address=address,
+            subject_cn=f"*.{registrable_domain(primary) or primary}",
+            subject_org=organization.name,
+            san=san,
+            version=rng.choice(versions),
+            cipher=rng.choice(ciphers),
+            certificate_valid=rng.random() > 0.02,  # rare expired certs
+        )
+
+    @staticmethod
+    def _covered_by(host: str, domains) -> bool:
+        base = registrable_domain(host)
+        return base in domains or host in domains

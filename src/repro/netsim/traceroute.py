@@ -1,0 +1,229 @@
+"""Traceroute synthesis and raw-output rendering.
+
+The engine produces a structured :class:`TracerouteResult` for a trace
+from a city to an IP, plus *raw textual renderings* in both the Linux
+``traceroute`` and Windows ``tracert`` formats.  Gamma's portability layer
+(section 3 of the paper) parses whichever format the "OS" produced and
+normalises both into one JSON schema — so the parsing/normalisation code
+under test is exercised against realistically messy output, including
+unresponsive ``*`` hops and traces that never reach the destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.determinism import stable_rng
+from repro.netsim.geography import City
+from repro.netsim.ip import IPSpace
+from repro.netsim.latency import LatencyModel
+from repro.netsim.routing import synthesize_path
+
+__all__ = [
+    "TracerouteHop",
+    "TracerouteResult",
+    "TracerouteBlocking",
+    "TracerouteEngine",
+    "render_linux",
+    "render_windows",
+]
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One TTL step.  ``address is None`` renders as ``*`` probes."""
+
+    index: int
+    address: Optional[str]
+    rtt_ms: Optional[float]
+
+    @property
+    def responded(self) -> bool:
+        return self.address is not None
+
+
+@dataclass
+class TracerouteResult:
+    """A completed (or abandoned) trace."""
+
+    target: str
+    source_city: City
+    reached: bool
+    hops: List[TracerouteHop] = field(default_factory=list)
+
+    @property
+    def first_hop_rtt(self) -> Optional[float]:
+        for hop in self.hops:
+            if hop.responded:
+                return hop.rtt_ms
+        return None
+
+    @property
+    def last_hop_rtt(self) -> Optional[float]:
+        for hop in reversed(self.hops):
+            if hop.responded:
+                return hop.rtt_ms
+        return None
+
+    @property
+    def destination_rtt(self) -> Optional[float]:
+        """RTT to the destination itself, only when the trace got there."""
+        if not self.reached or not self.hops:
+            return None
+        last = self.hops[-1]
+        return last.rtt_ms if last.address == self.target else None
+
+
+@dataclass
+class TracerouteBlocking:
+    """Failure policy.
+
+    *blocked_source_countries* reproduces the paper's observation that
+    traceroute probes failed entirely from Australia, India, Qatar and
+    Jordan (cause unknown — likely local filtering).  *unreachable_rate*
+    is the background probability that any given destination never answers
+    the final probes.
+    """
+
+    blocked_source_countries: Set[str] = field(default_factory=set)
+    unreachable_rate: float = 0.06
+
+    def source_blocked(self, country_code: str) -> bool:
+        return country_code in self.blocked_source_countries
+
+    def destination_unreachable(self, source_key: str, target: str) -> bool:
+        return stable_rng("trace-unreach", source_key, target).random() < self.unreachable_rate
+
+
+class TracerouteEngine:
+    """Produces hop-by-hop traces consistent with the latency model."""
+
+    _GATEWAY = "192.168.1.1"
+    _HOP_LOSS = 0.12  # chance an intermediate router ignores probes
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        ipspace: IPSpace,
+        blocking: Optional[TracerouteBlocking] = None,
+    ):
+        self._latency = latency
+        self._ipspace = ipspace
+        self._blocking = blocking or TracerouteBlocking()
+
+    @property
+    def blocking(self) -> TracerouteBlocking:
+        return self._blocking
+
+    def trace(self, source_city: City, target_ip: str, measurement_key: str = "") -> TracerouteResult:
+        rng = stable_rng("trace", source_city.key, target_ip, measurement_key)
+        if self._blocking.source_blocked(source_city.country_code):
+            return self._failed_trace(source_city, target_ip, rng, hops_before_loss=0)
+
+        destination_city = self._ipspace.true_city(target_ip)
+        if destination_city is None or self._blocking.destination_unreachable(
+            source_city.key, target_ip
+        ):
+            return self._failed_trace(source_city, target_ip, rng, hops_before_loss=rng.randint(3, 9))
+
+        total_rtt = self._latency.rtt_ms(source_city, destination_city, measurement_key)
+        hops = self._build_hops(source_city, destination_city, target_ip, total_rtt, measurement_key, rng)
+        return TracerouteResult(
+            target=target_ip, source_city=source_city, reached=True, hops=hops
+        )
+
+    def _build_hops(
+        self,
+        source_city: City,
+        destination_city: City,
+        target_ip: str,
+        total_rtt: float,
+        measurement_key: str,
+        rng,
+    ) -> List[TracerouteHop]:
+        hops: List[TracerouteHop] = []
+        # Hop 1: the volunteer's home gateway.
+        gateway_rtt = rng.uniform(0.4, 3.0)
+        hops.append(TracerouteHop(1, self._GATEWAY, round(gateway_rtt, 3)))
+        # Hop 2: the access ISP's first router; carries the local penalty.
+        access_rtt = gateway_rtt + self._latency.access_penalty(source_city) * rng.uniform(0.7, 1.2)
+        hops.append(TracerouteHop(2, self._transit_address(source_city.key, 0, rng), round(access_rtt, 3)))
+
+        waypoints = synthesize_path(source_city, destination_city, measurement_key)
+        propagation_budget = max(0.0, total_rtt - access_rtt - 1.0)
+        previous_rtt = access_rtt
+        for order, waypoint in enumerate(waypoints, start=1):
+            index = len(hops) + 1
+            if rng.random() < self._HOP_LOSS:
+                hops.append(TracerouteHop(index, None, None))
+                continue
+            rtt = access_rtt + propagation_budget * waypoint.fraction
+            rtt = max(previous_rtt + 0.05, rtt)  # keep the profile monotone
+            previous_rtt = rtt
+            hops.append(
+                TracerouteHop(index, self._transit_address(source_city.key + target_ip, order, rng), round(rtt, 3))
+            )
+        hops.append(TracerouteHop(len(hops) + 1, target_ip, round(max(previous_rtt + 0.05, total_rtt), 3)))
+        return hops
+
+    def _failed_trace(
+        self, source_city: City, target_ip: str, rng, hops_before_loss: int
+    ) -> TracerouteResult:
+        hops: List[TracerouteHop] = []
+        if hops_before_loss > 0:
+            hops.append(TracerouteHop(1, self._GATEWAY, round(rng.uniform(0.4, 3.0), 3)))
+            previous = hops[0].rtt_ms or 1.0
+            for i in range(2, hops_before_loss + 1):
+                previous = previous + rng.uniform(0.5, 12.0)
+                hops.append(TracerouteHop(i, self._transit_address(source_city.key, i, rng), round(previous, 3)))
+        start = len(hops) + 1
+        for i in range(start, start + 5):  # trailing all-star hops, then give up
+            hops.append(TracerouteHop(i, None, None))
+        return TracerouteResult(target=target_ip, source_city=source_city, reached=False, hops=hops)
+
+    @staticmethod
+    def _transit_address(key: str, order: int, rng) -> str:
+        """A plausible transit-router address (not part of the served space)."""
+        h = stable_rng("transit-ip", key, order, rng.random())
+        return f"62.{h.randint(0, 255)}.{h.randint(0, 255)}.{h.randint(1, 254)}"
+
+
+def render_linux(result: TracerouteResult, max_hops: int = 30) -> str:
+    """Render in the GNU ``traceroute`` text format Gamma parses on Linux."""
+    lines = [f"traceroute to {result.target} ({result.target}), {max_hops} hops max, 60 byte packets"]
+    for hop in result.hops:
+        if not hop.responded:
+            lines.append(f"{hop.index:2d}  * * *")
+            continue
+        rtts = _probe_rtts(hop)
+        rtt_text = "  ".join(f"{value:.3f} ms" for value in rtts)
+        lines.append(f"{hop.index:2d}  {hop.address} ({hop.address})  {rtt_text}")
+    return "\n".join(lines) + "\n"
+
+
+def render_windows(result: TracerouteResult, max_hops: int = 30) -> str:
+    """Render in the Windows ``tracert`` text format Gamma parses there."""
+    lines = [
+        "",
+        f"Tracing route to {result.target} over a maximum of {max_hops} hops",
+        "",
+    ]
+    for hop in result.hops:
+        if not hop.responded:
+            lines.append(f"  {hop.index:2d}     *        *        *     Request timed out.")
+            continue
+        cells = []
+        for value in _probe_rtts(hop):
+            cells.append("<1 ms" if value < 1.0 else f"{int(round(value)):d} ms")
+        lines.append(f"  {hop.index:2d}  {cells[0]:>8} {cells[1]:>8} {cells[2]:>8}  {hop.address}")
+    lines.append("")
+    lines.append("Trace complete." if result.reached else "Unable to resolve target system name or trace aborted.")
+    return "\n".join(lines) + "\n"
+
+
+def _probe_rtts(hop: TracerouteHop) -> List[float]:
+    """Three per-probe RTT samples around the hop's canonical RTT."""
+    assert hop.rtt_ms is not None
+    rng = stable_rng("probe-rtts", hop.index, hop.address, hop.rtt_ms)
+    return [max(0.05, hop.rtt_ms + rng.uniform(-0.4, 0.4)) for _ in range(3)]

@@ -1,0 +1,10 @@
+"""Data-localization policy registry (Table 1)."""
+
+from repro.policy.registry import (
+    PolicyRecord,
+    PolicyRegistry,
+    PolicyType,
+    default_policy_registry,
+)
+
+__all__ = ["PolicyRecord", "PolicyRegistry", "PolicyType", "default_policy_registry"]

@@ -1,0 +1,119 @@
+"""Data-localization policy registry (the paper's Table 1 inputs).
+
+Regimes are grouped into five types by decreasing strictness, following
+the paper's taxonomy (sourced from DataGuidance):
+
+* **CS** — cross-border transfer requires consent of the data subject.
+* **PA** — prior government approval or registration required.
+* **AC** — transfers allowed only to pre-approved countries.
+* **TA** — transfers allowed if comparable protections apply abroad.
+* **NR** — no restrictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["PolicyType", "PolicyRecord", "PolicyRegistry", "default_policy_registry"]
+
+
+class PolicyType:
+    CONSENT_OF_SUBJECT = "CS"
+    PRIOR_APPROVAL = "PA"
+    APPROVED_COUNTRIES = "AC"
+    TRANSFERS_ALLOWED = "TA"
+    NO_RESTRICTIONS = "NR"
+
+    #: Decreasing strictness, as ordered in Table 1.
+    ORDER = (
+        CONSENT_OF_SUBJECT,
+        PRIOR_APPROVAL,
+        APPROVED_COUNTRIES,
+        TRANSFERS_ALLOWED,
+        NO_RESTRICTIONS,
+    )
+
+    @classmethod
+    def strictness_rank(cls, policy_type: str) -> int:
+        """0 = strictest.  Raises on unknown types."""
+        return cls.ORDER.index(policy_type)
+
+
+@dataclass(frozen=True)
+class PolicyRecord:
+    """One country's data-localization stance."""
+
+    country_code: str
+    policy_type: str
+    enacted: bool
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.policy_type not in PolicyType.ORDER:
+            raise ValueError(f"unknown policy type {self.policy_type!r}")
+
+    @property
+    def strictness_rank(self) -> int:
+        return PolicyType.strictness_rank(self.policy_type)
+
+
+class PolicyRegistry:
+    """Lookup + ordering over policy records."""
+
+    def __init__(self, records: List[PolicyRecord]):
+        self._records: Dict[str, PolicyRecord] = {}
+        for record in records:
+            if record.country_code in self._records:
+                raise ValueError(f"duplicate policy for {record.country_code}")
+            self._records[record.country_code] = record
+
+    def get(self, country_code: str) -> PolicyRecord:
+        try:
+            return self._records[country_code]
+        except KeyError:
+            raise KeyError(f"no policy record for {country_code}") from None
+
+    def has(self, country_code: str) -> bool:
+        return country_code in self._records
+
+    def by_strictness(self) -> List[PolicyRecord]:
+        """Records sorted strictest-first, then by country code (Table 1 order)."""
+        return sorted(self._records.values(), key=lambda r: (r.strictness_rank, r.country_code))
+
+    def __iter__(self):
+        return iter(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def default_policy_registry() -> PolicyRegistry:
+    """The 23 measurement countries' regimes exactly as in Table 1."""
+    T = PolicyType
+    rows = [
+        ("AZ", T.CONSENT_OF_SUBJECT, True, ""),
+        ("DZ", T.PRIOR_APPROVAL, True, "Law 18-07"),
+        ("EG", T.PRIOR_APPROVAL, True, ""),
+        ("RW", T.PRIOR_APPROVAL, True, ""),
+        ("UG", T.PRIOR_APPROVAL, True, ""),
+        ("AR", T.APPROVED_COUNTRIES, True, "EU-style adequacy list"),
+        ("RU", T.APPROVED_COUNTRIES, True, ""),
+        ("LK", T.APPROVED_COUNTRIES, True, ""),
+        ("TH", T.APPROVED_COUNTRIES, False, "enacted after data collection"),
+        ("AE", T.APPROVED_COUNTRIES, True, "approved-country list not yet published"),
+        ("GB", T.APPROVED_COUNTRIES, True, ""),
+        ("AU", T.TRANSFERS_ALLOWED, True, ""),
+        ("CA", T.TRANSFERS_ALLOWED, True, ""),
+        ("IN", T.TRANSFERS_ALLOWED, False, "DPDP Act not yet in effect"),
+        ("JP", T.TRANSFERS_ALLOWED, True, "after opt-out period"),
+        ("JO", T.TRANSFERS_ALLOWED, True, "effective 2024-03-17"),
+        ("NZ", T.TRANSFERS_ALLOWED, True, ""),
+        ("PK", T.TRANSFERS_ALLOWED, False, "not yet in effect"),
+        ("QA", T.TRANSFERS_ALLOWED, True, ""),
+        ("SA", T.TRANSFERS_ALLOWED, True, ""),
+        ("TW", T.TRANSFERS_ALLOWED, True, "excluding mainland China"),
+        ("US", T.TRANSFERS_ALLOWED, True, "sectoral protections only"),
+        ("LB", T.NO_RESTRICTIONS, True, ""),
+    ]
+    return PolicyRegistry([PolicyRecord(cc, ptype, enacted, note) for cc, ptype, enacted, note in rows])

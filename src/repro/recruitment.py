@@ -1,0 +1,188 @@
+"""Volunteer recruitment, consent, and accommodations (sections 3.3–3.5).
+
+The paper's study design is as much about people as packets: volunteers
+were recruited through personal networks, social-media posts and
+snowball sampling; each received a consent document, could opt out of
+individual sites or whole components, and 22 people covered 23
+countries (one volunteer measured two).  This module models that
+workflow so the study's provenance — who measured what, under which
+consent — is a first-class, testable artefact, as the ethics section
+demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.gamma.volunteer import Volunteer
+from repro.determinism import stable_rng
+
+__all__ = [
+    "RecruitmentChannel",
+    "ConsentRecord",
+    "Participant",
+    "RecruitmentLog",
+    "build_recruitment_log",
+]
+
+
+class RecruitmentChannel:
+    """How a participant was reached (section 3.3)."""
+
+    PERSONAL_NETWORK = "personal network"
+    SOCIAL_MEDIA = "social media"
+    SNOWBALL = "snowball sampling"
+
+    ALL = (PERSONAL_NETWORK, SOCIAL_MEDIA, SNOWBALL)
+
+
+@dataclass(frozen=True)
+class ConsentRecord:
+    """What one participant agreed to."""
+
+    participant_id: str
+    consented: bool = True
+    #: Sites the participant declined to visit.
+    opted_out_sites: Tuple[str, ...] = ()
+    #: Whole components declined (e.g. "C3" — the Egyptian volunteer).
+    opted_out_components: Tuple[str, ...] = ()
+    #: Accommodations requested and provided (e.g. a demo run).
+    accommodations: Tuple[str, ...] = ()
+    withdrawn: bool = False
+
+    @property
+    def active(self) -> bool:
+        return self.consented and not self.withdrawn
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One person; may cover multiple countries (the paper had one)."""
+
+    participant_id: str
+    channel: str
+    country_codes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.channel not in RecruitmentChannel.ALL:
+            raise ValueError(f"unknown recruitment channel {self.channel!r}")
+        if not self.country_codes:
+            raise ValueError("participant must cover at least one country")
+
+
+@dataclass
+class RecruitmentLog:
+    """The study's provenance ledger."""
+
+    participants: List[Participant] = field(default_factory=list)
+    consents: Dict[str, ConsentRecord] = field(default_factory=dict)
+
+    @property
+    def active_participants(self) -> List[Participant]:
+        return [
+            p for p in self.participants
+            if self.consents.get(p.participant_id, ConsentRecord(p.participant_id)).active
+        ]
+
+    @property
+    def covered_countries(self) -> List[str]:
+        countries: Dict[str, None] = {}
+        for participant in self.active_participants:
+            for cc in participant.country_codes:
+                countries.setdefault(cc, None)
+        return sorted(countries)
+
+    def participant_for(self, country_code: str) -> Optional[Participant]:
+        for participant in self.active_participants:
+            if country_code in participant.country_codes:
+                return participant
+        return None
+
+    def consent_for_country(self, country_code: str) -> Optional[ConsentRecord]:
+        participant = self.participant_for(country_code)
+        if participant is None:
+            return None
+        return self.consents.get(participant.participant_id)
+
+    def channel_breakdown(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for participant in self.active_participants:
+            counts[participant.channel] = counts.get(participant.channel, 0) + 1
+        return counts
+
+    def validate_against_volunteers(self, volunteers: Dict[str, Volunteer]) -> List[str]:
+        """Consistency check: every volunteer is backed by active consent
+        whose opt-outs match the volunteer's configuration.  Returns a
+        list of problems (empty = consistent)."""
+        problems: List[str] = []
+        for cc, volunteer in volunteers.items():
+            consent = self.consent_for_country(cc)
+            if consent is None:
+                problems.append(f"{cc}: no consenting participant")
+                continue
+            if volunteer.traceroute_opt_out and "C3" not in consent.opted_out_components:
+                problems.append(f"{cc}: traceroute opt-out not recorded in consent")
+            if set(volunteer.opted_out_sites) - set(consent.opted_out_sites):
+                problems.append(f"{cc}: site opt-outs exceed consent record")
+        return problems
+
+
+def build_recruitment_log(
+    volunteers: Dict[str, Volunteer],
+    paired_countries: Sequence[Tuple[str, str]] = (("LB", "JO"),),
+    seed: str = "recruitment",
+) -> RecruitmentLog:
+    """Derive the provenance ledger for a scenario's volunteers.
+
+    One participant per country except for *paired_countries*, which one
+    person covers both of (the paper: 22 volunteers, 23 countries).
+    Channels are assigned deterministically with the paper's mix (mostly
+    personal network, some social media, snowballs late in recruitment).
+    """
+    log = RecruitmentLog()
+    paired: Dict[str, str] = {}
+    for first, second in paired_countries:
+        if first in volunteers and second in volunteers:
+            paired[second] = first
+
+    next_id = 1
+    person_of_country: Dict[str, str] = {}
+    for cc in sorted(volunteers):
+        if cc in paired:
+            continue  # resolved below, once the partner has an ID
+        participant_id = f"P{next_id:02d}"
+        next_id += 1
+        person_of_country[cc] = participant_id
+    for cc, partner in paired.items():
+        person_of_country[cc] = person_of_country[partner]
+
+    persons: Dict[str, List[str]] = {}
+    for cc, pid in person_of_country.items():
+        persons.setdefault(pid, []).append(cc)
+
+    for pid, countries in sorted(persons.items()):
+        rng = stable_rng(seed, "channel", pid)
+        channel = rng.choices(
+            RecruitmentChannel.ALL, weights=(0.5, 0.3, 0.2), k=1
+        )[0]
+        log.participants.append(Participant(
+            participant_id=pid, channel=channel,
+            country_codes=tuple(sorted(countries)),
+        ))
+        opted_sites: List[str] = []
+        components: List[str] = []
+        accommodations: List[str] = []
+        for cc in countries:
+            volunteer = volunteers[cc]
+            opted_sites.extend(sorted(volunteer.opted_out_sites))
+            if volunteer.traceroute_opt_out:
+                components.append("C3")
+                accommodations.append("ran without active probes on request")
+        log.consents[pid] = ConsentRecord(
+            participant_id=pid,
+            opted_out_sites=tuple(opted_sites),
+            opted_out_components=tuple(sorted(set(components))),
+            accommodations=tuple(accommodations),
+        )
+    return log

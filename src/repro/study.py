@@ -1,0 +1,199 @@
+"""End-to-end study driver.
+
+``run_study`` executes the paper's whole methodology over a scenario:
+run Gamma from each volunteer's machine, fall back to Atlas-style probes
+where volunteer traceroutes failed (or were opted out of), geolocate
+every responding server through the multi-constraint pipeline, identify
+trackers, and expose every figure/table analysis over the joined results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.analysis.continents import ContinentFlowAnalysis
+from repro.core.analysis.crosscountry import CrossCountryAnalysis
+from repro.core.analysis.firstparty import FirstPartyAnalysis
+from repro.core.analysis.flows import FlowAnalysis
+from repro.core.analysis.hosting import HostingAnalysis
+from repro.core.analysis.infrastructure import InfrastructureAnalysis
+from repro.core.analysis.localtrackers import LocalTrackerAnalysis
+from repro.core.analysis.organizations import OrganizationAnalysis
+from repro.core.analysis.perwebsite import PerWebsiteAnalysis
+from repro.core.analysis.policy import PolicyAnalysis
+from repro.core.analysis.prevalence import PrevalenceAnalysis
+from repro.core.analysis.records import CountryStudyResult, build_country_result
+from repro.core.gamma.config import GammaConfig
+from repro.core.gamma.output import VolunteerDataset, anonymize
+from repro.core.gamma.suite import GammaSuite
+from repro.core.gamma.volunteer import Volunteer
+from repro.core.geoloc.pipeline import (
+    DatasetGeolocation,
+    FunnelCounters,
+    GeolocationPipeline,
+    PipelineConfig,
+    SourceTraces,
+)
+from repro.worldgen.builder import Scenario
+
+__all__ = ["StudyConfig", "StudyOutcome", "run_study", "build_source_traces"]
+
+
+@dataclass
+class StudyConfig:
+    """Knobs for a full study run."""
+
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    visit_key: str = "visit-1"
+    #: Anonymise volunteer IPs after analysis (section 3.5).
+    anonymize_ips: bool = True
+
+
+@dataclass
+class StudyOutcome:
+    """Everything a study run produced, with analysis accessors."""
+
+    scenario: Scenario
+    datasets: Dict[str, VolunteerDataset] = field(default_factory=dict)
+    geolocations: Dict[str, DatasetGeolocation] = field(default_factory=dict)
+    results: List[CountryStudyResult] = field(default_factory=list)
+    #: per country: "volunteer" or "atlas:<country the probe sat in>".
+    source_trace_origins: Dict[str, str] = field(default_factory=dict)
+
+    def funnel(self) -> FunnelCounters:
+        merged = FunnelCounters()
+        for geolocation in self.geolocations.values():
+            merged = merged.merged_with(geolocation.funnel)
+        return merged
+
+    # -- analysis accessors (one per paper artefact) -------------------------
+    def prevalence(self) -> PrevalenceAnalysis:
+        return PrevalenceAnalysis(self.results)
+
+    def per_website(self) -> PerWebsiteAnalysis:
+        return PerWebsiteAnalysis(self.results)
+
+    def flows(self) -> FlowAnalysis:
+        return FlowAnalysis(self.results)
+
+    def continents(self) -> ContinentFlowAnalysis:
+        return ContinentFlowAnalysis(self.results, self.scenario.world.geo)
+
+    def organizations(self) -> OrganizationAnalysis:
+        return OrganizationAnalysis(self.results, self.scenario.directory, self.scenario.ipinfo)
+
+    def hosting(self) -> HostingAnalysis:
+        return HostingAnalysis(self.results)
+
+    def first_party(self) -> FirstPartyAnalysis:
+        return FirstPartyAnalysis(self.results, self.scenario.party_classifier)
+
+    def policy(self) -> PolicyAnalysis:
+        return PolicyAnalysis(self.results, self.scenario.policy)
+
+    def cross_country(self) -> CrossCountryAnalysis:
+        """Same-site behaviour comparison across countries (section 8)."""
+        return CrossCountryAnalysis(
+            self.datasets, self.scenario.identifier, self.scenario.directory
+        )
+
+    def infrastructure(self) -> InfrastructureAnalysis:
+        """Cable/geography alignment of the flows (section 7 discussion)."""
+        return InfrastructureAnalysis(self.results, self.scenario.world.geo)
+
+    def local_trackers(self) -> LocalTrackerAnalysis:
+        """In-country tracker analysis (section 8 future work)."""
+        return LocalTrackerAnalysis(
+            self.datasets, self.geolocations, self.scenario.identifier,
+            self.scenario.directory,
+        )
+
+    def summary(self):
+        """Headline metrics as one JSON-ready object."""
+        from repro.core.analysis.summary import summarize_study
+
+        return summarize_study(self)
+
+    def result_for(self, country_code: str) -> CountryStudyResult:
+        for result in self.results:
+            if result.country_code == country_code:
+                return result
+        raise KeyError(f"no result for {country_code}")
+
+
+def build_source_traces(
+    scenario: Scenario, volunteer: Volunteer, dataset: VolunteerDataset
+) -> SourceTraces:
+    """Source-side traces for the geolocation pipeline.
+
+    Prefers the volunteer's own traceroutes; when the volunteer opted out
+    (Egypt) or every probe failed (Australia/India/Qatar/Jordan), launches
+    traceroutes from the nearest Atlas-style probe — possibly in a
+    neighbouring country, as the paper did for Qatar and Jordan.
+    """
+    merged: Dict[str, object] = {}
+    for measurement in dataset.websites.values():
+        for address, trace in measurement.traceroutes.items():
+            merged.setdefault(address, trace)
+    any_reached = any(getattr(t, "reached", False) for t in merged.values())
+    if merged and any_reached:
+        return SourceTraces(city=volunteer.city, traces=merged, origin="volunteer")
+
+    probe, used_country = scenario.atlas.mesh.probe_for_country(
+        volunteer.country_code, volunteer.city
+    )
+    if probe is None:
+        return SourceTraces(city=volunteer.city, traces={}, origin="none")
+    addresses = sorted({
+        address
+        for measurement in dataset.websites.values()
+        for address in measurement.dns.values()
+    })
+    traces = {
+        address: scenario.atlas.traceroute(probe, address, f"src-fallback:{address}")
+        for address in addresses
+    }
+    return SourceTraces(city=probe.city, traces=traces, origin=f"atlas:{used_country}")
+
+
+def run_study(
+    scenario: Scenario,
+    countries: Optional[List[str]] = None,
+    config: Optional[StudyConfig] = None,
+) -> StudyOutcome:
+    """Run the full methodology over *countries* (default: all volunteers)."""
+    config = config or StudyConfig()
+    countries = countries or scenario.countries
+    outcome = StudyOutcome(scenario=scenario)
+    pipeline = GeolocationPipeline(
+        ipmap=scenario.ipmap,
+        atlas=scenario.atlas,
+        stats=scenario.stats,
+        latency=scenario.world.latency,
+        config=config.pipeline,
+    )
+
+    for cc in countries:
+        volunteer = scenario.volunteers[cc]
+        targets = scenario.targets[cc].without(sorted(volunteer.opted_out_sites))
+        gamma = GammaSuite(
+            scenario.world,
+            scenario.catalog,
+            GammaConfig.study_defaults(os_name=volunteer.os_name),
+            browser_config=scenario.browser_config,
+            ipinfo=scenario.ipinfo,
+        )
+        dataset = gamma.run(volunteer, targets, visit_key=config.visit_key)
+        source_traces = build_source_traces(scenario, volunteer, dataset)
+        outcome.source_trace_origins[cc] = source_traces.origin
+        geolocation = pipeline.classify_dataset(dataset, source_traces)
+        result = build_country_result(
+            dataset, geolocation, scenario.identifier, scenario.directory
+        )
+        if config.anonymize_ips:
+            anonymize(dataset)
+        outcome.datasets[cc] = dataset
+        outcome.geolocations[cc] = geolocation
+        outcome.results.append(result)
+    return outcome

@@ -1,0 +1,88 @@
+"""Page-source synthesis and hardcoded-domain extraction.
+
+Gamma's C1 can save full webpages, and C2 resolves "all captured
+domains, whether obtained through network requests or hardcoded on the
+webpage" (section 3).  These functions provide both halves: render a
+deterministic HTML document for a website (script/img/link tags for its
+embedded resources plus plain-text hardcoded references), and scrape a
+saved page for every domain it mentions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Set
+
+from repro.determinism import stable_rng
+from repro.web.website import ResourceKind, Website
+
+__all__ = ["render_page_html", "extract_domains_from_html"]
+
+_TAG_FOR_KIND = {
+    ResourceKind.SCRIPT: '<script src="https://{host}/tag.js"></script>',
+    ResourceKind.IMAGE: '<img src="https://{host}/px.gif" alt="">',
+    ResourceKind.STYLESHEET: '<link rel="stylesheet" href="https://{host}/site.css">',
+    ResourceKind.XHR: '<script>fetch("https://{host}/api/v1/collect");</script>',
+    ResourceKind.FRAME: '<iframe src="https://{host}/frame" title="embed"></iframe>',
+}
+
+_HEADLINES = (
+    "Top stories today", "Market watch", "Weather outlook", "Sport results",
+    "Community notices", "Classified listings", "Opinion", "Business briefs",
+)
+
+
+def render_page_html(site: Website, visit_key: str = "visit-1",
+                     country_code: Optional[str] = None) -> str:
+    """Deterministic landing-page HTML for *site*.
+
+    Every resource that fires on this visit appears as a real tag; one or
+    two additional partner domains appear only as *hardcoded text links*
+    (never fetched by the browser) so the C2 hardcoded-domain path has
+    something to find.
+    """
+    rng = stable_rng("html", site.domain, visit_key)
+    lines: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en">',
+        "<head>",
+        f"  <title>{site.domain}</title>",
+        f'  <link rel="canonical" href="https://{site.domain}/">',
+        f'  <link rel="stylesheet" href="https://static.{site.domain}/main.css">',
+        "</head>",
+        "<body>",
+        f"  <h1>{rng.choice(_HEADLINES)}</h1>",
+    ]
+    for resource in site.embedded:
+        if not resource.fires(visit_key, country_code):
+            continue
+        template = _TAG_FOR_KIND.get(resource.kind, _TAG_FOR_KIND[ResourceKind.SCRIPT])
+        lines.append("  " + template.format(host=resource.host))
+    # Hardcoded partner references: mentioned in markup, never requested.
+    partners = [f"partner{rng.randint(1, 3)}.{site.domain}", "mirror.archive-example.org"]
+    for partner in partners:
+        lines.append(f'  <p>Also available via <a href="https://{partner}/">{partner}</a></p>')
+    lines.append(f"  <footer>&copy; {site.owner_org}</footer>")
+    lines.append("</body>")
+    lines.append("</html>")
+    return "\n".join(lines) + "\n"
+
+
+_URL_RE = re.compile(r"""https?://([a-z0-9.-]+)""", re.IGNORECASE)
+_HOSTISH_RE = re.compile(
+    r"""(?<![\w.-])((?:[a-z0-9-]+\.)+[a-z]{2,})(?![\w-])""", re.IGNORECASE
+)
+
+
+def extract_domains_from_html(html: str) -> Set[str]:
+    """Every domain a saved page references (URLs and bare hostnames)."""
+    found: Set[str] = set()
+    for match in _URL_RE.finditer(html):
+        found.add(match.group(1).lower().rstrip("."))
+    for match in _HOSTISH_RE.finditer(html):
+        candidate = match.group(1).lower().rstrip(".")
+        # Filter obvious non-hosts (file names picked up by the loose regex).
+        if candidate.endswith((".js", ".css", ".gif", ".png", ".html", ".jpg")):
+            continue
+        found.add(candidate)
+    return found

@@ -1,0 +1,112 @@
+"""Website and embedded-resource structures.
+
+A :class:`Website` is one entry of a country's target list: its landing
+hostname, its owner, and the third-party hosts its landing page pulls in.
+Embedded resources may be unconditional (analytics snippets baked into the
+page) or probabilistic (ad-auction winners that only appear on some
+visits), matching the visit-to-visit variability the paper flags as a
+limitation of single-visit crawls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.determinism import stable_rng
+from repro.domains import validate_hostname
+
+__all__ = ["ResourceKind", "EmbeddedResource", "Website", "CATEGORY_REGIONAL", "CATEGORY_GOVERNMENT"]
+
+CATEGORY_REGIONAL = "regional"
+CATEGORY_GOVERNMENT = "government"
+
+
+class ResourceKind:
+    """Resource types a page can request."""
+
+    SCRIPT = "script"
+    IMAGE = "image"
+    STYLESHEET = "stylesheet"
+    XHR = "xhr"
+    FRAME = "frame"
+
+    ALL = (SCRIPT, IMAGE, STYLESHEET, XHR, FRAME)
+
+
+@dataclass(frozen=True)
+class EmbeddedResource:
+    """A third-party (or same-site) host the landing page requests."""
+
+    host: str
+    kind: str = ResourceKind.SCRIPT
+    #: Probability the resource loads on any given visit (1.0 = always).
+    load_probability: float = 1.0
+    #: Measurement countries where this resource fires (geo-targeted ad
+    #: campaigns); empty tuple = everywhere.
+    countries: tuple = ()
+
+    def __post_init__(self) -> None:
+        validate_hostname(self.host)
+        if self.kind not in ResourceKind.ALL:
+            raise ValueError(f"unknown resource kind {self.kind!r}")
+        if not 0.0 < self.load_probability <= 1.0:
+            raise ValueError("load_probability must be in (0, 1]")
+
+    def fires(self, visit_key: str, country_code: Optional[str] = None) -> bool:
+        """Whether this resource loads on this visit from this country."""
+        if self.countries and country_code not in self.countries:
+            return False
+        if self.load_probability >= 1.0:
+            return True
+        return stable_rng("resource-fire", self.host, visit_key).random() < self.load_probability
+
+
+@dataclass
+class Website:
+    """One target-list entry."""
+
+    domain: str  # landing hostname, e.g. "www.dailynews.lk"
+    country_code: str  # country whose target list it appears on
+    category: str  # CATEGORY_REGIONAL or CATEGORY_GOVERNMENT
+    owner_org: str  # organisation that operates the site
+    embedded: List[EmbeddedResource] = field(default_factory=list)
+    #: Page weight factor >= 1.0; heavier pages render slower.
+    complexity: float = 1.0
+    #: Adult sites are removed from target lists (section 3.2).
+    adult: bool = False
+    #: Sites banned in their own country are removed from target lists.
+    banned: bool = False
+    #: Global popularity score used by ranking providers (higher = more popular).
+    popularity: float = 0.0
+    #: For multi-national sites: measurement countries whose regional
+    #: rankings list this site (beyond its own country).
+    listed_in: tuple = ()
+
+    def __post_init__(self) -> None:
+        self.domain = validate_hostname(self.domain)
+        if self.category not in (CATEGORY_REGIONAL, CATEGORY_GOVERNMENT):
+            raise ValueError(f"unknown category {self.category!r}")
+        if self.complexity < 1.0:
+            raise ValueError("complexity must be >= 1.0")
+
+    def requested_hosts(self, visit_key: str, country_code: Optional[str] = None) -> List[Tuple[str, str]]:
+        """Hosts the page requests on one visit: ``[(host, kind), ...]``.
+
+        Always begins with the landing host itself (document request),
+        then its own static-asset host, then whichever embedded resources
+        fire for this visit from this country.  Order is deterministic.
+        """
+        requests: List[Tuple[str, str]] = [(self.domain, "document")]
+        requests.append((f"static.{self.domain}", ResourceKind.IMAGE))
+        for resource in self.embedded:
+            if resource.fires(visit_key, country_code):
+                requests.append((resource.host, resource.kind))
+        return requests
+
+    @property
+    def is_government(self) -> bool:
+        return self.category == CATEGORY_GOVERNMENT
+
+    def embedded_hosts(self) -> List[str]:
+        return [resource.host for resource in self.embedded]

@@ -1,0 +1,29 @@
+"""Calibrated scenario generation: orgs, profiles, sites, world assembly."""
+
+from repro.worldgen.builder import (
+    Scenario,
+    TRACEROUTE_BLOCKED_COUNTRIES,
+    build_scenario,
+)
+from repro.worldgen.datacenters import datacenter_city, volunteer_city
+from repro.worldgen.orgspec import ListMembership, OrgKind, OrgSpec
+from repro.worldgen.profiles import PROFILES, CountryProfile
+from repro.worldgen.selfcheck import check_scenario
+from repro.worldgen.sites import GeneratedSite, generate_country_sites, generate_global_sites
+
+__all__ = [
+    "CountryProfile",
+    "GeneratedSite",
+    "ListMembership",
+    "OrgKind",
+    "OrgSpec",
+    "PROFILES",
+    "Scenario",
+    "TRACEROUTE_BLOCKED_COUNTRIES",
+    "build_scenario",
+    "check_scenario",
+    "datacenter_city",
+    "generate_country_sites",
+    "generate_global_sites",
+    "volunteer_city",
+]

@@ -1,0 +1,46 @@
+"""Datacenter city per country.
+
+PoPs are placed in the city where a country's hosting infrastructure
+actually concentrates (Ashburn rather than New York, Frankfurt rather
+than Berlin); volunteers, by contrast, sit in the country's primary
+population centre.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.netsim.geography import City, GeoRegistry
+
+__all__ = ["DATACENTER_CITY", "datacenter_city", "volunteer_city"]
+
+#: country code -> city name hosting its datacenters.
+DATACENTER_CITY: Dict[str, str] = {
+    "US": "Ashburn",
+    "FR": "Paris",
+    "DE": "Frankfurt",
+    "IN": "Mumbai",
+    "AU": "Sydney",
+    "KE": "Nairobi",
+    "AE": "Dubai",
+    "GB": "London",
+    "CA": "Toronto",
+    "BR": "Sao Paulo",
+    "PK": "Karachi",
+}
+
+
+def datacenter_city(registry: GeoRegistry, country_code: str) -> City:
+    """Where an org's PoP in *country_code* physically sits."""
+    country = registry.country(country_code)
+    wanted = DATACENTER_CITY.get(country_code)
+    if wanted is not None:
+        for city in country.cities:
+            if city.name == wanted:
+                return city
+    return country.capital
+
+
+def volunteer_city(registry: GeoRegistry, country_code: str) -> City:
+    """Where the study's volunteer for *country_code* lives."""
+    return registry.country(country_code).capital

@@ -1,0 +1,575 @@
+"""The organisation catalogue: every tracker, CDN, cloud and publisher org.
+
+This file is the heart of the calibration.  PoP footprints and serving
+policies are chosen so that the *shape* of every result in the paper
+emerges from geography + policy, not from hard-coding outcomes:
+
+* majors (Google-like, Meta-like...) have local PoPs in the US, Canada,
+  India, the UK, Russia, Taiwan, Sri Lanka, Japan and Australia — making
+  those countries tracker-local — but not in Azerbaijan, Egypt, Rwanda,
+  Uganda, Qatar, Pakistan, Thailand or New Zealand;
+* in-country caches (India, Russia, Sri Lanka, Taiwan) are restricted to
+  domestic clients, reproducing e.g. Pakistan *never* being served from
+  India despite proximity;
+* European hub preferences differ per org (Google->DE, Meta/Twitter->FR,
+  Yahoo->GB), yielding France as the top destination with Germany and
+  the UK behind it;
+* a cluster of long-tail trackers rides an AWS-like edge in Nairobi that
+  only serves African clients — the paper's Kenya finding;
+* Gulf, South-East-Asia and South-America edges produce the
+  Pakistan->UAE/Oman, Thailand->Malaysia/Singapore/HK/Japan and
+  Argentina->Brazil flows.
+
+Organisation home countries track the paper's ownership statistics
+(about half US-based, ~10 % UK, plus NL/IL/FR/DE and a long regional
+tail).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.worldgen.orgspec import ListMembership as L
+from repro.worldgen.orgspec import OrgKind as K
+from repro.worldgen.orgspec import OrgSpec
+
+__all__ = [
+    "AFRICA_CLIENTS",
+    "GULF_CLIENTS",
+    "SEA_CLIENTS",
+    "CLOUD_SPECS",
+    "MAJOR_SPECS",
+    "LONGTAIL_SPECS",
+    "LOCAL_SPECS",
+    "CONTENT_SPECS",
+    "GLOBAL_PUBLISHER_SPECS",
+    "all_org_specs",
+]
+
+#: Client groups used by restricted edges.
+AFRICA_CLIENTS = ("RW", "UG", "KE", "EG", "DZ", "GH", "ZA")
+GULF_CLIENTS = ("AE", "PK", "QA", "SA", "OM", "LB", "JO")
+SEA_CLIENTS = ("TH", "MY")
+
+# -- infrastructure providers -------------------------------------------------
+
+CLOUD_SPECS: List[OrgSpec] = [
+    OrgSpec(
+        name="Amazon Web Services", home="US", kind=K.CLOUD,
+        domains=("amazonaws.com",), pops=(),
+        rdns_apex="compute.amazonaws.com", rdns_coverage=0.9, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Google Cloud", home="US", kind=K.CLOUD,
+        domains=("googleusercontent.com",), pops=(),
+        rdns_apex="bc.googleusercontent.com", rdns_coverage=0.8, rdns_hinted=True,
+    ),
+]
+
+# -- the major tracking networks ----------------------------------------------
+
+MAJOR_SPECS: List[OrgSpec] = [
+    OrgSpec(
+        name="Google", home="US", kind=K.MAJOR, is_tracker=True,
+        category="advertising/analytics", list_membership=L.EASYLIST,
+        domains=(
+            "googletagmanager.com", "google-analytics.com", "doubleclick.net",
+            "googlesyndication.com", "googleadservices.com", "googleapis.com",
+            "gstatic.com", "google.com", "youtube.com",
+            "google.com.eg", "google.co.th", "google.com.qa", "google.jo",
+            "google.az", "google.dz", "google.rw", "google.co.ug",
+            "google.com.pk", "google.com.sa",
+        ),
+        hosts=(
+            "www.googletagmanager.com", "www.google-analytics.com",
+            "stats.g.doubleclick.net", "ad.doubleclick.net",
+            "securepubads.g.doubleclick.net", "pagead2.googlesyndication.com",
+            "tpc.googlesyndication.com", "safeframe.googlesyndication.com",
+            "www.googleadservices.com", "fonts.googleapis.com",
+            "ajax.googleapis.com", "www.gstatic.com",
+        ),
+        pops=("US", "CA", "GB", "FR", "DE", "IT", "IN", "JP", "AU", "BR", "SG", "TW", "RU", "LK"),
+        restricted={"IN": ("IN",), "RU": ("RU",), "LK": ("LK",), "TW": ("TW",)},
+        preferences={"FR": 1.5, "DE": 1.1},
+        pinned={"EG": "DE"},
+        rdns_apex="gglhost.net", rdns_coverage=0.9, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Meta", home="US", kind=K.MAJOR, is_tracker=True,
+        category="advertising/social", list_membership=L.EASYLIST,
+        domains=("facebook.com", "facebook.net", "fbcdn.net", "instagram.com", "whatsapp.com"),
+        hosts=(
+            "connect.facebook.net", "graph.facebook.com", "pixel.facebook.com",
+            "static.xx.fbcdn.net", "scontent.fbcdn.net",
+        ),
+        pops=("US", "CA", "FR", "IE", "IN", "SG", "AU", "BR", "AE", "MY"),
+        restricted={"IN": ("IN",), "AE": GULF_CLIENTS, "MY": SEA_CLIENTS},
+        preferences={"FR": 1.2},
+        rdns_apex="fbedge.net", rdns_coverage=0.85, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Twitter", home="US", kind=K.MAJOR, is_tracker=True,
+        category="advertising/social", list_membership=L.EASYLIST,
+        domains=("twitter.com", "ads-twitter.com", "twimg.com"),
+        hosts=(
+            "static.ads-twitter.com", "analytics.twitter.com",
+            "platform.twitter.com", "abs.twimg.com", "syndication.twitter.com",
+        ),
+        pops=("US", "CA", "FR", "IN", "SG", "AU", "BR", "JP"),
+        restricted={"IN": ("IN",)},
+        preferences={"FR": 1.3},
+        rdns_apex="twtrcdn.net", rdns_coverage=0.75, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Amazon", home="US", kind=K.MAJOR, is_tracker=True,
+        category="advertising", list_membership=L.EASYLIST,
+        domains=("amazon-adsystem.com",),
+        hosts=(
+            "s.amazon-adsystem.com", "c.amazon-adsystem.com",
+            "aax.amazon-adsystem.com", "fls-na.amazon-adsystem.com",
+        ),
+        pops=("US", "CA", "DE", "IN", "JP", "AU", "SG", "KE"),
+        restricted={"IN": ("IN",), "KE": AFRICA_CLIENTS},
+        cloud_pops={
+            "US": "Amazon Web Services", "CA": "Amazon Web Services",
+            "DE": "Amazon Web Services", "IN": "Amazon Web Services",
+            "JP": "Amazon Web Services", "AU": "Amazon Web Services",
+            "SG": "Amazon Web Services", "KE": "Amazon Web Services",
+        },
+        rdns_apex="adsys-aws.net", rdns_coverage=0.8, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Yahoo", home="US", kind=K.MAJOR, is_tracker=True,
+        category="advertising/analytics", list_membership=L.EASYPRIVACY,
+        domains=("yahoo.com", "yimg.com"),
+        hosts=("analytics.yahoo.com", "ads.yahoo.com", "geo.yahoo.com", "s.yimg.com"),
+        pops=("US", "CA", "GB", "JP"),
+        preferences={"GB": 1.1},
+        rdns_apex="yhost.net", rdns_coverage=0.8, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Microsoft", home="US", kind=K.MAJOR, is_tracker=True,
+        category="advertising/analytics", list_membership=L.EASYPRIVACY,
+        domains=("clarity.ms", "bing.com", "linkedin.com", "licdn.com"),
+        hosts=(
+            "www.clarity.ms", "c.clarity.ms", "bat.bing.com",
+            "px.ads.linkedin.com", "snap.licdn.com",
+        ),
+        pops=("US", "CA", "DE", "IN", "SG", "AU"),
+        restricted={"IN": ("IN",)},
+        rdns_apex="msedge-net.net", rdns_coverage=0.85, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Adobe", home="US", kind=K.MAJOR, is_tracker=True,
+        category="analytics", list_membership=L.EASYPRIVACY,
+        domains=("demdex.net", "omtrdc.net", "everesttech.net"),
+        hosts=("dpm.demdex.net", "sync.omtrdc.net", "cm.everesttech.net"),
+        pops=("US", "CA", "DE", "IN", "JP", "AU"),
+        restricted={"IN": ("IN",)},
+        rdns_apex="adbedge.net", rdns_coverage=0.7, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Oracle", home="US", kind=K.MAJOR, is_tracker=True,
+        category="data broker", list_membership=L.EASYLIST,
+        domains=("bluekai.com", "addthis.com"),
+        hosts=("tags.bluekai.com", "stags.bluekai.com", "s7.addthis.com"),
+        pops=("US", "DE", "SG"),
+        rdns_apex="orclcloud.net", rdns_coverage=0.7, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Criteo", home="FR", kind=K.MAJOR, is_tracker=True,
+        category="advertising", list_membership=L.EASYLIST,
+        domains=("criteo.com", "criteo.net"),
+        hosts=("static.criteo.net", "bidder.criteo.com", "sslwidget.criteo.com"),
+        pops=("FR", "US", "SG", "BR"),
+        rdns_apex="crtolb.net", rdns_coverage=0.8, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Taboola", home="IL", kind=K.MAJOR, is_tracker=True,
+        category="advertising", list_membership=L.EASYLIST,
+        domains=("taboola.com",),
+        hosts=("cdn.taboola.com", "trc.taboola.com"),
+        pops=("US", "IL", "GB", "SG"),
+        restricted={"IL": ("IL",)},
+        rdns_apex="tblcdn.net", rdns_coverage=0.7, rdns_hinted=True,
+    ),
+    OrgSpec(
+        name="Outbrain", home="US", kind=K.MAJOR, is_tracker=True,
+        category="advertising", list_membership=L.EASYLIST,
+        domains=("outbrain.com",),
+        hosts=("widgets.outbrain.com", "amplify.outbrain.com"),
+        pops=("US", "DE", "SG"),
+        rdns_apex="obrcdn.net", rdns_coverage=0.7, rdns_hinted=True,
+    ),
+]
+
+# -- the long tail -------------------------------------------------------------
+
+def _lt(
+    name: str,
+    home: str,
+    domains: Tuple[str, ...],
+    hosts: Tuple[str, ...],
+    pops: Tuple[str, ...],
+    membership: str = L.EASYLIST,
+    category: str = "advertising",
+    restricted: Dict[str, Tuple[str, ...]] = None,  # type: ignore[assignment]
+    cloud_pops: Dict[str, str] = None,  # type: ignore[assignment]
+    preferences: Dict[str, float] = None,  # type: ignore[assignment]
+) -> OrgSpec:
+    return OrgSpec(
+        name=name, home=home, kind=K.LONGTAIL, is_tracker=True,
+        category=category, list_membership=membership,
+        domains=domains, hosts=hosts, pops=pops,
+        restricted=restricted or {}, cloud_pops=cloud_pops or {},
+        preferences=preferences or {},
+        rdns_apex=f"{domains[0].split('.')[0]}-srv.net",
+        rdns_coverage=0.6, rdns_hinted=True,
+    )
+
+
+_AWS = "Amazon Web Services"
+_GCP = "Google Cloud"
+_KE_EDGE = {"KE": AFRICA_CLIENTS}
+_AWS_KE = {"KE": _AWS, "DE": _AWS, "US": _AWS}
+
+LONGTAIL_SPECS: List[OrgSpec] = [
+    # US-based, AWS-hosted, with the Nairobi edge (the paper's Kenya cluster).
+    _lt("comScore", "US", ("scorecardresearch.com",),
+        ("sb.scorecardresearch.com", "b.scorecardresearch.com"),
+        ("US", "GB", "KE"), L.EASYPRIVACY, "analytics", _KE_EDGE,
+        {"KE": _AWS, "GB": _AWS, "US": _AWS}),
+    _lt("Lotame", "US", ("crwdcntrl.net",),
+        ("tags.crwdcntrl.net", "bcp.crwdcntrl.net"),
+        ("US", "GB", "KE"), L.EASYPRIVACY, "data broker", _KE_EDGE,
+        {"KE": _AWS, "GB": _AWS, "US": _AWS}),
+    _lt("Snap", "US", ("snapchat.com", "sc-static.net"),
+        ("tr.snapchat.com", "app.snapchat.com", "cf-st.sc-static.net"),
+        ("US", "DE", "KE", "AU"), L.EASYLIST, "advertising", _KE_EDGE,
+        {"KE": _AWS, "DE": _AWS}),
+    _lt("Spot.im", "IL", ("spot.im",),
+        ("launcher.spot.im", "recirculation.spot.im"),
+        ("US", "IL", "KE"), L.EASYLIST, "engagement",
+        {"KE": AFRICA_CLIENTS, "IL": ("IL",)}, {"KE": _AWS, "US": _AWS}),
+    _lt("33Across", "US", ("33across.com",),
+        ("lexicon.33across.com", "sic.33across.com"),
+        ("US", "DE", "KE"), L.EASYLIST, "advertising", _KE_EDGE, _AWS_KE),
+    _lt("SoundCloud", "DE", ("soundcloud.com", "sndcdn.com"),
+        ("api-widget.soundcloud.com", "widget.sndcdn.com"),
+        ("DE", "US", "KE"), L.EASYPRIVACY, "media/analytics", _KE_EDGE, _AWS_KE),
+    _lt("OpenX", "US", ("openx.net",),
+        ("us-u.openx.net", "rtb.openx.net"),
+        ("US", "DE", "SG"), L.EASYLIST, "advertising", None, {"DE": _AWS}),
+    _lt("ImproveDigital", "NL", ("360yield.com",),
+        ("ad.360yield.com",), ("NL", "US"), L.EASYLIST),
+    _lt("Smaato", "DE", ("smaato.net",),
+        ("sdk.ad.smaato.net",), ("DE", "US", "SG"), L.EASYLIST),
+    _lt("Dotomi", "US", ("dotomi.com",),
+        ("apps.dotomi.com",), ("US", "FR"), L.EASYLIST),
+    _lt("Quantcast", "US", ("quantserve.com",),
+        ("pixel.quantserve.com", "secure.quantserve.com"),
+        ("US", "GB", "AU"), L.EASYPRIVACY, "analytics"),
+    _lt("Chartbeat", "US", ("chartbeat.com", "chartbeat.net"),
+        ("static.chartbeat.com", "ping.chartbeat.net"),
+        ("US", "GB"), L.EASYPRIVACY, "analytics"),
+    _lt("PubMatic", "US", ("pubmatic.com",),
+        ("ads.pubmatic.com", "image6.pubmatic.com"),
+        ("US", "FR", "SG"), L.EASYLIST),
+    _lt("Magnite", "US", ("rubiconproject.com",),
+        ("eus.rubiconproject.com", "fastlane.rubiconproject.com"),
+        ("US", "DE"), L.EASYLIST),
+    _lt("TripleLift", "US", ("3lift.com",),
+        ("tlx.3lift.com", "eb2.3lift.com"), ("US", "FR"), L.EASYLIST),
+    _lt("MediaMath", "US", ("mathtag.com",),
+        ("pixel.mathtag.com",), ("US", "FR"), L.EASYLIST),
+    _lt("TheTradeDesk", "US", ("adsrvr.org",),
+        ("match.adsrvr.org", "js.adsrvr.org"), ("US", "DE", "SG"), L.EASYLIST),
+    _lt("LiveRamp", "US", ("rlcdn.com",),
+        ("idsync.rlcdn.com", "api.rlcdn.com"), ("US", "GB"), L.EASYPRIVACY, "data broker"),
+    _lt("Tapad", "US", ("tapad.com",),
+        ("pixel.tapad.com",), ("US", "DE"), L.EASYPRIVACY, "data broker"),
+    _lt("Bombora", "US", ("ml314.com",),
+        ("ml314.com",), ("US", "DE"), L.EASYPRIVACY, "data broker"),
+    _lt("Neustar", "US", ("agkn.com",),
+        ("aa.agkn.com",), ("US", "DE"), L.EASYPRIVACY, "data broker"),
+    _lt("Moat", "US", ("moatads.com",),
+        ("z.moatads.com", "px.moatads.com"), ("US", "GB"), L.EASYLIST, "verification"),
+    _lt("IntegralAds", "US", ("adsafeprotected.com",),
+        ("pixel.adsafeprotected.com", "static.adsafeprotected.com"),
+        ("US", "DE"), L.EASYLIST, "verification"),
+    _lt("DoubleVerify", "US", ("doubleverify.com",),
+        ("cdn.doubleverify.com", "rtb0.doubleverify.com"),
+        ("US", "DE"), L.EASYLIST, "verification"),
+    _lt("Sovrn", "US", ("lijit.com",),
+        ("ap.lijit.com",), ("US", "FR"), L.EASYLIST),
+    _lt("LiveIntent", "US", ("liadm.com",),
+        ("i.liadm.com",), ("US", "GB"), L.EASYLIST),
+    _lt("Mixpanel", "US", ("mixpanel.com", "mxpnl.com"),
+        ("api.mixpanel.com", "cdn.mxpnl.com"), ("US", "DE"), L.EASYPRIVACY, "analytics"),
+    _lt("Segment", "US", ("segment.io",),
+        ("api.segment.io", "cdn.segment.io"), ("US", "DE"), L.EASYPRIVACY, "analytics",
+        None, {"US": _AWS, "DE": _AWS}),
+    _lt("Amplitude", "US", ("amplitude.com",),
+        ("api.amplitude.com", "cdn.amplitude.com"), ("US", "DE"), L.EASYPRIVACY, "analytics",
+        None, {"US": _AWS, "DE": _AWS}),
+    _lt("Branch", "US", ("branch.io",),
+        ("api2.branch.io", "cdn.branch.io"), ("US", "DE"), L.EASYPRIVACY, "attribution",
+        None, {"US": _AWS, "DE": _AWS}),
+    _lt("Parsely", "US", ("parsely.com",),
+        ("srv.parsely.com", "cdn.parsely.com"), ("US", "DE"), L.EASYPRIVACY, "analytics"),
+    _lt("NewRelic", "US", ("nr-data.net",),
+        ("bam.nr-data.net", "js-agent.nr-data.net"), ("US", "DE"), L.EASYPRIVACY, "analytics"),
+    _lt("CrazyEgg", "US", ("crazyegg.com",),
+        ("script.crazyegg.com",), ("US", "DE"), L.EASYPRIVACY, "analytics"),
+    _lt("FullStory", "US", ("fullstory.com",),
+        ("rs.fullstory.com", "edge.fullstory.com"), ("US", "DE"), L.EASYPRIVACY, "analytics",
+        None, {"US": _GCP, "DE": _GCP}),
+    _lt("Heap", "US", ("heapanalytics.com",),
+        ("cdn.heapanalytics.com",), ("US",), L.EASYPRIVACY, "analytics",
+        None, {"US": _AWS}),
+    _lt("KruxDigital", "US", ("krxd.net",),
+        ("cdn.krxd.net", "beacon.krxd.net"), ("US",), L.EASYPRIVACY, "data broker"),
+    _lt("Zeta", "US", ("rezync.com",),
+        ("p.rezync.com",), ("US",), L.EASYLIST, "data broker"),
+    _lt("StackAdapt", "US", ("stackadapt.com",),
+        ("srv.stackadapt.com",), ("US",), L.EASYLIST),
+    # UK-based (about 10 % of observed organisations).
+    _lt("Hotjar", "GB", ("hotjar.com",),
+        ("static.hotjar.com", "script.hotjar.com"), ("IE", "US"),
+        L.EASYPRIVACY, "analytics", None, {"IE": _AWS, "US": _AWS}),
+    _lt("OzoneProject", "GB", ("theozone-project.com",),
+        ("elements.theozone-project.com",), ("DE",), L.MANUAL, "advertising",
+        None, {"DE": _AWS}),
+    _lt("Permutive", "GB", ("permutive.app", "permutive.com"),
+        ("api.permutive.app", "cdn.permutive.com"), ("DE",), L.EASYPRIVACY, "analytics",
+        None, {"DE": _AWS}),
+    _lt("ID5", "GB", ("id5-sync.com",),
+        ("id5-sync.com",), ("DE", "US"), L.EASYPRIVACY, "identity"),
+    _lt("LoopMe", "GB", ("loopme.me",),
+        ("i.loopme.me",), ("DE", "US"), L.EASYLIST),
+    _lt("Captify", "GB", ("cpx.to", "captify.co.uk"),
+        ("p.cpx.to",), ("DE",), L.EASYLIST, "advertising", None, {"DE": _AWS}),
+    _lt("Adludio", "GB", ("adludio.com",),
+        ("serve.adludio.com",), ("DE",), L.MANUAL, "advertising", None, {"DE": _AWS}),
+    # Netherlands / Israel / France / Germany / Canada / others.
+    _lt("AdScience", "NL", ("adscience.io",),
+        ("label.adscience.io",), ("NL",), L.EASYLIST),
+    _lt("TulipAds", "NL", ("tulipads.io",),
+        ("t.tulipads.io",), ("NL",), L.MANUAL),
+    _lt("AppsFlyer", "IL", ("appsflyer.com",),
+        ("wa.appsflyer.com",), ("US", "DE"), L.EASYPRIVACY, "attribution",
+        None, {"US": _AWS, "DE": _AWS}),
+    _lt("Teads", "FR", ("teads.tv",),
+        ("a.teads.tv", "cdn.teads.tv"), ("FR", "US", "SG"), L.EASYLIST),
+    _lt("SmartAdServer", "FR", ("smartadserver.com",),
+        ("ced.smartadserver.com", "www8.smartadserver.com"), ("FR", "US"), L.EASYLIST),
+    _lt("Adjust", "DE", ("adjust.com",),
+        ("app.adjust.com",), ("DE",), L.EASYPRIVACY, "attribution"),
+    _lt("IndexExchange", "CA", ("casalemedia.com",),
+        ("htlb.casalemedia.com", "dsum.casalemedia.com"), ("CA", "US", "DE"), L.EASYLIST),
+    _lt("Sharethrough", "CA", ("sharethrough.com",),
+        ("btlr.sharethrough.com",), ("CA", "US"), L.EASYLIST),
+    _lt("Seedtag", "ES", ("seedtag.com",),
+        ("t.seedtag.com",), ("ES", "DE"), L.EASYLIST),
+    _lt("Adform", "SE", ("adform.net",),
+        ("track.adform.net", "s1.adform.net"), ("SE", "DE"), L.EASYLIST),
+    _lt("Gemius", "PL", ("gemius.pl",),
+        ("gapt.hit.gemius.pl",), ("PL", "DE"), L.EASYPRIVACY, "analytics"),
+    _lt("Optad360", "PL", ("optad360.io",),
+        ("cdn.optad360.io", "tags.optad360.io"), ("DE",), L.MANUAL),
+    _lt("OneTag", "IT", ("onetag-sys.com",),
+        ("onetag-sys.com", "get.onetag-sys.com"), ("DE",), L.MANUAL),
+    _lt("AdRiver", "RU", ("adriver.ru",),
+        ("ad.adriver.ru",), ("FI",), L.REGIONAL),
+    _lt("Rokt", "AU", ("rokt.com",),
+        ("apps.rokt.com",), ("AU", "US"), L.EASYLIST),
+    _lt("Matomo", "NZ", ("matomo.cloud",),
+        ("cdn.matomo.cloud",), ("DE",), L.EASYPRIVACY, "analytics", None, {"DE": _AWS}),
+    _lt("Navegg", "BR", ("navdmp.com",),
+        ("tm.navdmp.com",), ("BR",), L.EASYLIST, "data broker"),
+    _lt("Popin", "JP", ("popin.cc",),
+        ("api.popin.cc",), ("JP",), L.EASYLIST),
+    _lt("Dable", "KR", ("dable.io",),
+        ("static.dable.io", "api.dable.io"), ("KR", "SG"), L.EASYLIST),
+    # Gulf / South Asia / Africa regional trackers.
+    _lt("ArabAdNet", "AE", ("arabadnet.com",),
+        ("cdn.arabadnet.com", "track.arabadnet.com"), ("AE", "OM"), L.MANUAL,
+        "advertising", {"AE": GULF_CLIENTS, "OM": GULF_CLIENTS}),
+    _lt("KhaleejTrack", "SA", ("khaleejtrack.com",),
+        ("px.khaleejtrack.com",), ("AE",), L.MANUAL, "analytics", {"AE": GULF_CLIENTS}),
+    _lt("GulfAdX", "QA", ("gulfadx.com",),
+        ("serve.gulfadx.com",), ("AE",), L.MANUAL, "advertising", {"AE": GULF_CLIENTS}),
+    _lt("Jubnaadserve", "JO", ("jubnaadserve.com",),
+        ("cdn.jubnaadserve.com", "serve.jubnaadserve.com", "px.jubnaadserve.com"),
+        ("AE", "DE"), L.MANUAL, "advertising", {"AE": GULF_CLIENTS}),
+    _lt("AdStudio", "IN", ("adstudio.cloud",),
+        ("cdn.adstudio.cloud",), ("IN",), L.REGIONAL),
+    _lt("AfriTrack", "KE", ("afritrack.co.ke",),
+        ("px.afritrack.co.ke",), ("KE",), L.MANUAL, "analytics",
+        {"KE": AFRICA_CLIENTS}, {"KE": _AWS}),
+    _lt("UgAdsNet", "UG", ("ugadsnet.com",),
+        ("serve.ugadsnet.com",), ("KE",), L.MANUAL, "advertising",
+        {"KE": AFRICA_CLIENTS}, {"KE": _AWS}),
+    _lt("LankaAds", "LK", ("lankaads.io",),
+        ("cdn.lankaads.io", "px.lankaads.io", "serve.lankaads.io"),
+        ("SG",), L.REGIONAL, "advertising", None, {"SG": _AWS}),
+    _lt("AsiaEdgeAds", "HK", ("asiaedgeads.com",),
+        ("bid.asiaedgeads.com",), ("HK", "JP"), L.EASYLIST, "advertising",
+        {"HK": ("TH", "TW", "HK"), "JP": ("JP", "TH", "TW")}),
+]
+
+#: Long-tail orgs that additionally serve Africa from the AWS Nairobi edge
+#: (the paper's section-6.5 finding: dozens of trackers on Amazon-owned
+#: addresses in Kenya, before AWS even had a Kenyan region).
+_AFRICA_EDGE_EXPANSION = (
+    "OpenX", "TheTradeDesk", "Magnite", "IntegralAds", "DoubleVerify",
+    "Segment", "Amplitude", "Branch", "Mixpanel", "NewRelic", "Smaato",
+    "Tapad", "Neustar", "Bombora", "Parsely", "CrazyEgg", "FullStory",
+    "AppsFlyer", "Teads", "PubMatic", "TripleLift", "Quantcast",
+)
+
+
+def _with_africa_edge(spec: OrgSpec) -> OrgSpec:
+    from dataclasses import replace
+
+    if "KE" in spec.pops:
+        return replace(spec, preferences={**spec.preferences, "KE": 1.6})
+    return replace(
+        spec,
+        pops=spec.pops + ("KE",),
+        restricted={**spec.restricted, "KE": AFRICA_CLIENTS},
+        preferences={**spec.preferences, "KE": 1.6},
+        cloud_pops={**spec.cloud_pops, "KE": _AWS},
+    )
+
+
+LONGTAIL_SPECS = [
+    _with_africa_edge(spec)
+    if spec.name in _AFRICA_EDGE_EXPANSION or "KE" in spec.pops
+    else spec
+    for spec in LONGTAIL_SPECS
+]
+
+# -- purely in-country trackers (local flows; never non-local) -----------------
+
+LOCAL_SPECS: List[OrgSpec] = [
+    OrgSpec(
+        name="Metrika", home="RU", kind=K.LOCAL, is_tracker=True,
+        category="analytics", list_membership=L.EASYPRIVACY,
+        domains=("rumetrica.ru",), hosts=("mc.rumetrica.ru",), pops=("RU",),
+        rdns_apex="rumetrica-dc.ru", rdns_coverage=0.7,
+    ),
+    OrgSpec(
+        name="AdMobi", home="IN", kind=K.LOCAL, is_tracker=True,
+        category="advertising", list_membership=L.REGIONAL,
+        domains=("admobi.in",), hosts=("ads.admobi.in", "t.admobi.in"), pops=("IN",),
+        rdns_apex="admobi-dc.in", rdns_coverage=0.6,
+    ),
+    OrgSpec(
+        name="MisrAds", home="EG", kind=K.LOCAL, is_tracker=True,
+        category="advertising", list_membership=L.MANUAL,
+        domains=("misrads.com.eg",), hosts=("serve.misrads.com.eg",), pops=("EG",),
+        rdns_apex="misrads-dc.net", rdns_coverage=0.5,
+    ),
+    OrgSpec(
+        name="ThaiAds", home="TH", kind=K.LOCAL, is_tracker=True,
+        category="advertising", list_membership=L.MANUAL,
+        domains=("thaiads.co.th",), hosts=("cdn.thaiads.co.th",), pops=("TH",),
+        rdns_apex="thaiads-dc.net", rdns_coverage=0.5,
+    ),
+    OrgSpec(
+        name="BaykalMetrics", home="AZ", kind=K.LOCAL, is_tracker=True,
+        category="analytics", list_membership=L.MANUAL,
+        domains=("baykalmetrics.az",), hosts=("px.baykalmetrics.az",), pops=("AZ",),
+        rdns_apex="baykal-dc.net", rdns_coverage=0.5,
+    ),
+]
+
+# -- non-tracking third parties (content CDNs etc.) ----------------------------
+
+_ALL_MEASUREMENT = (
+    "AZ", "DZ", "EG", "RW", "UG", "AR", "RU", "LK", "TH", "AE", "GB", "AU",
+    "CA", "IN", "JP", "JO", "NZ", "PK", "QA", "SA", "TW", "US", "LB",
+)
+
+
+def _content(name, home, domains, hosts, pops, cloud_pops=None):
+    return OrgSpec(
+        name=name, home=home, kind=K.CONTENT, is_tracker=False,
+        category="content", list_membership=L.NONE,
+        domains=domains, hosts=hosts, pops=pops, cloud_pops=cloud_pops or {},
+        rdns_apex=f"{domains[0].split('.')[0]}-cdn.net", rdns_coverage=0.7,
+    )
+
+
+CONTENT_SPECS: List[OrgSpec] = [
+    # A Cloudflare-like everywhere-CDN: always local, never flagged.
+    _content("CloudMesh", "US", ("cloudmesh-cdn.com",),
+             ("cdnjs.cloudmesh-cdn.com", "assets.cloudmesh-cdn.com"),
+             _ALL_MEASUREMENT + ("FR", "DE", "KE", "SG", "HK", "MY", "NL", "BR")),
+    # Foreign-hosted content providers: non-local but *not* trackers —
+    # these populate the gap between "non-local domains" and "non-local
+    # trackers" in the section-5 funnel.
+    _content("JsMirror", "US", ("jsdelivr-mirror.net",),
+             ("cdn.jsdelivr-mirror.net",), ("US", "DE", "SG")),
+    _content("FontServe", "US", ("fontserve.io",),
+             ("fonts.fontserve.io", "use.fontserve.io"), ("US", "DE")),
+    _content("MapTiles", "CH", ("maptiles.ch",),
+             ("tile1.maptiles.ch", "tile2.maptiles.ch"), ("CH", "US")),
+    _content("CaptchaGate", "US", ("captchagate.com",),
+             ("api.captchagate.com",), ("US", "DE")),
+    _content("VidEmbed", "US", ("vidembed.net",),
+             ("player.vidembed.net", "stream.vidembed.net"), ("US", "DE", "SG")),
+    _content("WeatherBox", "FI", ("weatherbox.fi",),
+             ("api.weatherbox.fi",), ("FI", "US")),
+    _content("UnpkgLike", "US", ("unpkg-mirror.org",),
+             ("unpkg-mirror.org",), ("US", "DE"), {"US": _AWS, "DE": _AWS}),
+    _content("CommentWidget", "US", ("commentbox.dev",),
+             ("embed.commentbox.dev",), ("US",), {"US": _AWS}),
+    _content("PayGate", "NL", ("paygate.nl",),
+             ("checkout.paygate.nl",), ("NL", "US")),
+]
+
+# -- global publisher organisations (sites that appear in many target lists) ---
+
+GLOBAL_PUBLISHER_SPECS: List[OrgSpec] = [
+    OrgSpec(
+        name="Wikimedia", home="US", kind=K.PUBLISHER,
+        domains=("wikipedia.org", "wikimedia.org"),
+        hosts=("upload.wikimedia.org",),
+        pops=("US", "NL", "SG"),
+        rdns_apex="wikimedia-lb.org", rdns_coverage=0.9,
+    ),
+    OrgSpec(
+        name="OpenAI", home="US", kind=K.PUBLISHER,
+        domains=("openai.com",), hosts=("cdn.openai.com",), pops=("US",),
+        rdns_apex="oai-edge.net", rdns_coverage=0.5,
+    ),
+    OrgSpec(
+        name="BBC", home="GB", kind=K.PUBLISHER,
+        domains=("bbc.com", "bbci.co.uk"),
+        hosts=("static.files.bbci.co.uk", "cookie-oven.api.bbci.co.uk"),
+        pops=("GB",),
+        rdns_apex="bbc-dc.net", rdns_coverage=0.8,
+    ),
+    OrgSpec(
+        name="Booking.com", home="NL", kind=K.PUBLISHER,
+        domains=("booking.com", "bstatic.com"),
+        hosts=("cf.bstatic.com", "b.bstatic.com"),
+        pops=("NL", "US"),
+        rdns_apex="bkng-dc.net", rdns_coverage=0.7,
+    ),
+]
+
+
+def all_org_specs() -> List[OrgSpec]:
+    """Every organisation the world builder instantiates (before
+    per-country publishers/hosting, which are generated)."""
+    return (
+        CLOUD_SPECS
+        + MAJOR_SPECS
+        + LONGTAIL_SPECS
+        + LOCAL_SPECS
+        + CONTENT_SPECS
+        + GLOBAL_PUBLISHER_SPECS
+    )

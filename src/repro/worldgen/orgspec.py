@@ -1,0 +1,86 @@
+"""Organisation specification format for world generation.
+
+An :class:`OrgSpec` is the declarative description of one organisation:
+who they are, which tracking/content domains they own (with the concrete
+hostnames pages embed), where their PoPs sit, how their GeoDNS routes
+clients, how their reverse DNS looks, and which filter lists know about
+them.  The builder turns specs into live deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["OrgKind", "ListMembership", "OrgSpec"]
+
+
+class OrgKind:
+    MAJOR = "major"  # global tracking networks (Google, Meta...)
+    LONGTAIL = "longtail"  # smaller ad/analytics providers
+    LOCAL = "local"  # in-country trackers (Yandex-Metrica-like)
+    CONTENT = "content"  # non-tracking third parties (CDNs, font hosts)
+    PUBLISHER = "publisher"  # website owners
+    HOSTING = "hosting"  # web hosting for publisher sites
+    CLOUD = "cloud"  # infrastructure providers (AWS-like)
+
+
+class ListMembership:
+    """Which identification channel knows a tracker (section 4.2)."""
+
+    EASYLIST = "easylist"
+    EASYPRIVACY = "easyprivacy"
+    REGIONAL = "regional"  # regional filter list of the org's home region
+    MANUAL = "manual"  # only found via manual inspection / WhoTracksMe
+    NONE = "none"  # not a tracker, in no list
+
+
+@dataclass(frozen=True)
+class OrgSpec:
+    """Declarative description of one organisation."""
+
+    name: str
+    home: str  # ISO country code of headquarters
+    kind: str
+    #: Registrable domains the org owns.
+    domains: Tuple[str, ...]
+    #: Concrete hostnames pages embed (each under one of *domains*).
+    hosts: Tuple[str, ...] = ()
+    #: PoP countries.  The builder places each PoP in the country's
+    #: datacenter city and allocates it a /24.
+    pops: Tuple[str, ...] = ()
+    #: pop country -> client countries it exclusively serves.
+    restricted: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: pop country -> GeoDNS preference weight (>1 = preferred).
+    preferences: Dict[str, float] = field(default_factory=dict)
+    #: client country -> pop country pin.
+    pinned: Dict[str, str] = field(default_factory=dict)
+    #: PoPs hosted on another org's (cloud) address space: pop cc -> cloud org.
+    cloud_pops: Dict[str, str] = field(default_factory=dict)
+    is_tracker: bool = False
+    category: str = ""  # "advertising", "analytics", ...
+    list_membership: str = ListMembership.NONE
+    #: Reverse-DNS convention (apex domain, PTR coverage, city hints).
+    rdns_apex: str = ""
+    rdns_coverage: float = 0.85
+    rdns_hinted: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.domains:
+            raise ValueError(f"org {self.name} owns no domains")
+        if not self.pops and self.kind != OrgKind.CLOUD:
+            raise ValueError(f"org {self.name} has no PoPs")
+        for pop in self.restricted:
+            if pop not in self.pops:
+                raise ValueError(f"org {self.name}: restriction on unknown PoP {pop}")
+        for pop in self.cloud_pops:
+            if pop not in self.pops:
+                raise ValueError(f"org {self.name}: cloud mapping for unknown PoP {pop}")
+        for host in self.hosts:
+            if not any(host == d or host.endswith("." + d) for d in self.domains):
+                raise ValueError(f"org {self.name}: host {host} not under any owned domain")
+
+    @property
+    def effective_hosts(self) -> Tuple[str, ...]:
+        """Hostnames used in embeddings (falls back to bare domains)."""
+        return self.hosts if self.hosts else self.domains

@@ -1,0 +1,361 @@
+"""Per-country web-ecosystem profiles.
+
+A profile describes how a country's websites embed trackers: which major
+networks at what adoption rates, which long-tail pool feeds additional
+trackers, how government sites differ from regional ones, plus the
+volunteer's machine and connection characteristics.  Profiles encode the
+*inputs* any replication of the paper would need (tracker adoption is a
+property of each country's web, not something the method computes); the
+resulting localness/flows then emerge from org footprints + GeoDNS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["CountryProfile", "PROFILES", "GLOBAL_SITE_DOMAINS"]
+
+
+@dataclass(frozen=True)
+class CountryProfile:
+    """Calibration inputs for one measurement country."""
+
+    country: str
+    #: org name -> probability a regional site embeds it.
+    major_adoption: Dict[str, float]
+    #: how many of a major org's hostnames one embedding pulls in.
+    major_hosts_range: Tuple[int, int] = (2, 4)
+    #: weighted pool of long-tail orgs for additional per-site trackers.
+    longtail_pool: Tuple[Tuple[str, float], ...] = ()
+    #: mean number of long-tail trackers per regional site.
+    longtail_mean: float = 1.0
+    #: multipliers applied to adoption on government sites.
+    gov_major_factor: float = 0.8
+    gov_longtail_factor: float = 0.5
+    #: mean number of non-tracking third parties per site.
+    content_mean: float = 2.0
+    #: fraction of regional sites that carry *any* tracking stack at all;
+    #: un-monetised sites embed only content third parties.
+    monetized_rate: float = 1.0
+    #: same, for government sites.
+    gov_monetized_rate: float = 1.0
+    #: page-load failure probability (drives Figure 2b).
+    load_failure_rate: float = 0.08
+    volunteer_os: str = "linux"
+    traceroute_opt_out: bool = False
+    #: number of target sites the volunteer declines to visit.
+    opt_out_sites: int = 0
+    #: how many government sites exist for this country (paper Fig. 2a).
+    gov_site_count: int = 48
+    #: global platforms present in this country's regional top-50.
+    global_sites: Tuple[str, ...] = ()
+    #: when set, government sites may only embed these orgs (e.g. Russian
+    #: government portals that use domestic analytics exclusively).
+    gov_allowed_orgs: Tuple[str, ...] = ()
+    #: per-org adoption overrides applying to government sites only.
+    gov_adoption_overrides: Dict[str, float] = field(default_factory=dict)
+
+
+#: The near-universal platforms of section 3.2 and where they chart.
+_EVERYWHERE = ("google.com", "wikipedia.org")
+_MOSTLY = ("youtube.com", "facebook.com", "instagram.com", "twitter.com",
+           "whatsapp.com", "linkedin.com", "openai.com")
+
+GLOBAL_SITE_DOMAINS = _EVERYWHERE + _MOSTLY + ("yahoo.com", "bbc.com", "booking.com")
+
+
+def _globals(*extra: str, drop: Tuple[str, ...] = ()) -> Tuple[str, ...]:
+    base = [d for d in _EVERYWHERE + _MOSTLY if d not in drop]
+    return tuple(base + list(extra))
+
+
+# -- long-tail pools -----------------------------------------------------------
+
+_GENERIC_POOL: Tuple[Tuple[str, float], ...] = (
+    ("comScore", 2.0), ("Quantcast", 1.4), ("Hotjar", 1.4), ("OpenX", 1.2),
+    ("PubMatic", 1.2), ("TheTradeDesk", 1.2), ("Magnite", 1.0),
+    ("IntegralAds", 1.0), ("DoubleVerify", 1.0), ("Chartbeat", 1.0),
+    ("NewRelic", 1.0), ("LiveRamp", 0.9), ("Moat", 0.9), ("Lotame", 0.9),
+    ("Mixpanel", 0.8), ("Segment", 0.8), ("TripleLift", 0.8),
+    ("MediaMath", 0.8), ("Teads", 0.8), ("SmartAdServer", 0.7),
+    ("Smaato", 0.7), ("ImproveDigital", 0.7), ("33Across", 0.7),
+    ("Snap", 0.7), ("Spot.im", 0.6), ("Sovrn", 0.6), ("LiveIntent", 0.6),
+    ("AppsFlyer", 0.6), ("Amplitude", 0.6), ("Dotomi", 0.5),
+    ("Tapad", 0.5), ("Neustar", 0.5), ("Bombora", 0.4), ("Parsely", 0.5),
+    ("CrazyEgg", 0.4), ("FullStory", 0.4), ("Branch", 0.4),
+    ("Adjust", 0.4), ("ID5", 0.5), ("Adform", 0.5), ("Gemius", 0.4),
+    ("Seedtag", 0.4), ("SoundCloud", 0.4), ("LoopMe", 0.3),
+    ("AdScience", 0.3), ("TulipAds", 0.2), ("Outbrain", 0.8),
+    ("Taboola", 0.9), ("Oracle", 0.7), ("Criteo", 0.9),
+)
+
+_US_ONLY_RARE: Tuple[Tuple[str, float], ...] = (
+    ("Heap", 0.25), ("KruxDigital", 0.2), ("Zeta", 0.15), ("StackAdapt", 0.2),
+)
+
+_AFRICA_POOL = _GENERIC_POOL + _US_ONLY_RARE + (
+    ("comScore", 2.5), ("Lotame", 2.0), ("Snap", 2.0), ("Spot.im", 2.0),
+    ("33Across", 1.8), ("SoundCloud", 1.8), ("OpenX", 1.2),
+)
+
+_GULF_POOL = _GENERIC_POOL + _US_ONLY_RARE + (
+    ("ArabAdNet", 2.5), ("KhaleejTrack", 1.2),
+)
+
+_ASIA_POOL = _GENERIC_POOL + _US_ONLY_RARE + (
+    ("AsiaEdgeAds", 1.5), ("Dable", 1.0), ("Popin", 0.8),
+)
+
+_SAM_POOL = _GENERIC_POOL + _US_ONLY_RARE + (("Navegg", 2.0),)
+
+#: Canada's pool is restricted to orgs with Canadian PoPs (keeps CA at 0 %).
+_CA_POOL: Tuple[Tuple[str, float], ...] = (
+    ("IndexExchange", 2.0), ("Sharethrough", 1.5),
+)
+
+_IN_POOL: Tuple[Tuple[str, float], ...] = (
+    ("AdMobi", 2.5), ("AdStudio", 1.5),
+)
+
+_DEFAULT_MAJORS: Dict[str, float] = {
+    "Google": 0.88, "Meta": 0.52, "Twitter": 0.32, "Amazon": 0.25,
+    "Yahoo": 0.10, "Microsoft": 0.12, "Adobe": 0.08,
+}
+
+
+def _majors(**overrides: float) -> Dict[str, float]:
+    merged = dict(_DEFAULT_MAJORS)
+    merged.update(overrides)
+    return {k: v for k, v in merged.items() if v > 0}
+
+
+PROFILES: Dict[str, CountryProfile] = {
+    "AZ": CountryProfile(
+        country="AZ",
+        major_adoption=_majors(Google=0.92, Meta=0.6, Twitter=0.42, BaykalMetrics=0.4),
+        major_hosts_range=(2, 5), longtail_pool=_GENERIC_POOL, longtail_mean=2.2,
+        monetized_rate=0.97, gov_monetized_rate=0.78,
+        gov_major_factor=0.95, gov_longtail_factor=0.5,
+        load_failure_rate=0.11, volunteer_os="windows",
+        gov_site_count=30, global_sites=_globals("google.az"),
+    ),
+    "DZ": CountryProfile(
+        country="DZ",
+        major_adoption=_majors(Google=0.85, Meta=0.45, Twitter=0.25, Amazon=0.12),
+        major_hosts_range=(1, 3), longtail_pool=_GENERIC_POOL, longtail_mean=1.0,
+        monetized_rate=0.44, gov_monetized_rate=0.42,
+        gov_major_factor=0.95, gov_longtail_factor=0.5,
+        load_failure_rate=0.13, volunteer_os="linux",
+        gov_site_count=10, global_sites=_globals("google.dz", drop=("openai.com", "youtube.com")),
+    ),
+    "EG": CountryProfile(
+        country="EG",
+        major_adoption=_majors(Google=0.88, Meta=0.55, Yahoo=0.25, MisrAds=0.45),
+        major_hosts_range=(2, 5), longtail_pool=_AFRICA_POOL, longtail_mean=7.0,
+        monetized_rate=0.82, gov_monetized_rate=0.68,
+        gov_major_factor=0.85, gov_longtail_factor=0.55,
+        load_failure_rate=0.12, volunteer_os="windows", traceroute_opt_out=True,
+        opt_out_sites=4,
+        gov_site_count=40, global_sites=_globals("google.com.eg", "bbc.com"),
+    ),
+    "RW": CountryProfile(
+        country="RW",
+        major_adoption=_majors(Google=0.96, Meta=0.65, Twitter=0.4, AfriTrack=0.5),
+        major_hosts_range=(2, 5), longtail_pool=_AFRICA_POOL, longtail_mean=8.0,
+        monetized_rate=0.99, gov_monetized_rate=0.42,
+        gov_major_factor=0.9, gov_longtail_factor=0.6,
+        load_failure_rate=0.13, volunteer_os="linux",
+        gov_site_count=25, global_sites=_globals("google.rw", drop=("openai.com", "linkedin.com")),
+    ),
+    "UG": CountryProfile(
+        country="UG",
+        major_adoption=_majors(Google=0.9, Meta=0.6, Twitter=0.35, UgAdsNet=0.4),
+        major_hosts_range=(2, 5), longtail_pool=_AFRICA_POOL, longtail_mean=7.5,
+        monetized_rate=0.78, gov_monetized_rate=0.86,
+        gov_major_factor=1.0, gov_longtail_factor=0.9,
+        load_failure_rate=0.13, volunteer_os="linux",
+        gov_site_count=28, global_sites=_globals("google.co.ug", drop=("openai.com",)),
+    ),
+    "AR": CountryProfile(
+        country="AR",
+        major_adoption=_majors(Google=0.85, Meta=0.5, Twitter=0.35, Amazon=0.15),
+        major_hosts_range=(1, 2), longtail_pool=_SAM_POOL, longtail_mean=0.5,
+        monetized_rate=0.8, gov_monetized_rate=0.72,
+        gov_major_factor=0.95, gov_longtail_factor=0.5,
+        load_failure_rate=0.09, volunteer_os="windows",
+        gov_site_count=40, global_sites=_globals(),
+    ),
+    "RU": CountryProfile(
+        country="RU",
+        major_adoption={"Google": 0.8, "Metrika": 0.9, "AdRiver": 0.06, "Microsoft": 0.02},
+        major_hosts_range=(1, 3), longtail_pool=(), longtail_mean=0.0,
+        gov_major_factor=0.7, gov_longtail_factor=0.0,
+        load_failure_rate=0.07, volunteer_os="windows", opt_out_sites=4,
+        gov_site_count=12, global_sites=_globals(drop=("facebook.com", "instagram.com", "twitter.com", "linkedin.com", "whatsapp.com")),
+        gov_allowed_orgs=("Google", "Metrika"),
+    ),
+    "LK": CountryProfile(
+        country="LK",
+        major_adoption={"Google": 0.8, "Meta": 0.07, "Yahoo": 0.05,
+                        "LankaAds": 0.05, "AdStudio": 0.02},
+        major_hosts_range=(1, 3), longtail_pool=(), longtail_mean=0.0,
+        gov_major_factor=0.8, gov_longtail_factor=0.0,
+        load_failure_rate=0.1, volunteer_os="linux",
+        gov_site_count=38, global_sites=_globals("yahoo.com", drop=("openai.com",)),
+    ),
+    "TH": CountryProfile(
+        country="TH",
+        major_adoption=_majors(Google=0.88, Meta=0.65, Twitter=0.35, Yahoo=0.18,
+                               ThaiAds=0.5, AsiaEdgeAds=0.4, Dable=0.22, Rokt=0.18),
+        major_hosts_range=(2, 4), longtail_pool=_ASIA_POOL, longtail_mean=2.5,
+        monetized_rate=0.64, gov_monetized_rate=0.55,
+        gov_major_factor=0.95, gov_longtail_factor=0.5,
+        load_failure_rate=0.08, volunteer_os="linux",
+        gov_site_count=44, global_sites=_globals("google.co.th", "yahoo.com"),
+    ),
+    "AE": CountryProfile(
+        country="AE",
+        major_adoption={"Google": 0.55, "Meta": 0.5, "Twitter": 0.25, "Yahoo": 0.1,
+                        "Amazon": 0.08, "Microsoft": 0.05, "ArabAdNet": 0.45, "Rokt": 0.2},
+        major_hosts_range=(1, 3), longtail_pool=_GULF_POOL, longtail_mean=1.2,
+        monetized_rate=0.33, gov_monetized_rate=0.44,
+        gov_major_factor=1.0, gov_longtail_factor=0.7,
+        load_failure_rate=0.08, volunteer_os="windows",
+        gov_site_count=42, global_sites=_globals("yahoo.com", "bbc.com", "booking.com"),
+    ),
+    "GB": CountryProfile(
+        country="GB",
+        major_adoption=_majors(Google=0.92, Meta=0.6, Twitter=0.4, Yahoo=0.2,
+                               Criteo=0.3, OzoneProject=0.25, Permutive=0.2, Captify=0.1,
+                               Hotjar=0.3, Rokt=0.12),
+        major_hosts_range=(1, 3), longtail_pool=_GENERIC_POOL, longtail_mean=0.5,
+        monetized_rate=0.7, gov_monetized_rate=0.45,
+        gov_major_factor=0.8, gov_longtail_factor=0.3,
+        load_failure_rate=0.05, volunteer_os="darwin",
+        gov_site_count=50, global_sites=_globals("yahoo.com", "bbc.com", "booking.com"),
+    ),
+    "AU": CountryProfile(
+        country="AU",
+        major_adoption=_majors(Google=0.9, Meta=0.55, Twitter=0.35, Yahoo=0.03,
+                               Rokt=0.25, Heap=0.05, KruxDigital=0.03),
+        major_hosts_range=(2, 4), longtail_pool=_US_ONLY_RARE, longtail_mean=0.06,
+        gov_major_factor=1.0, gov_longtail_factor=0.02,
+        load_failure_rate=0.06, volunteer_os="linux",
+        gov_site_count=50, global_sites=_globals("yahoo.com"),
+        gov_adoption_overrides={"Heap": 0.012, "KruxDigital": 0.0, "Yahoo": 0.0},
+    ),
+    "CA": CountryProfile(
+        country="CA",
+        major_adoption=_majors(Google=0.9, Meta=0.55, Twitter=0.35, Yahoo=0.15,
+                               IndexExchange=0.3, Sharethrough=0.2),
+        major_hosts_range=(2, 4), longtail_pool=_CA_POOL, longtail_mean=0.6,
+        gov_major_factor=0.7, gov_longtail_factor=0.3,
+        load_failure_rate=0.05, volunteer_os="darwin",
+        gov_site_count=50, global_sites=_globals(),
+    ),
+    "IN": CountryProfile(
+        country="IN",
+        major_adoption=_majors(Google=0.92, Meta=0.6, Twitter=0.35, Amazon=0.3,
+                               Yahoo=0.0, AdMobi=0.5, AdStudio=0.25),
+        major_hosts_range=(2, 4), longtail_pool=_IN_POOL, longtail_mean=1.0,
+        gov_major_factor=0.8, gov_longtail_factor=0.4,
+        load_failure_rate=0.09, volunteer_os="windows",
+        gov_site_count=50, global_sites=_globals("yahoo.com"),
+    ),
+    "JP": CountryProfile(
+        country="JP",
+        major_adoption=_majors(Google=0.9, Meta=0.13, Twitter=0.4, Yahoo=0.5,
+                               Amazon=0.3, Adobe=0.2, Microsoft=0.05, Popin=0.35, Rokt=0.08),
+        major_hosts_range=(1, 3), longtail_pool=(("Dable", 1.0), ("AsiaEdgeAds", 0.6)),
+        longtail_mean=0.25,
+        gov_major_factor=0.7, gov_longtail_factor=0.2,
+        load_failure_rate=0.36, volunteer_os="windows",
+        gov_site_count=48, global_sites=_globals("yahoo.com"),
+    ),
+    "JO": CountryProfile(
+        country="JO",
+        major_adoption=_majors(Google=0.85, Meta=0.6, Twitter=0.4, Yahoo=0.3,
+                               Jubnaadserve=0.45, OneTag=0.3, Optad360=0.3, ArabAdNet=0.45),
+        major_hosts_range=(3, 6), longtail_pool=_GULF_POOL, longtail_mean=9.0,
+        monetized_rate=0.52, gov_monetized_rate=0.46,
+        gov_major_factor=0.9, gov_longtail_factor=0.7,
+        load_failure_rate=0.1, volunteer_os="linux",
+        gov_site_count=26, global_sites=_globals("google.jo"),
+    ),
+    "NZ": CountryProfile(
+        country="NZ",
+        major_adoption=_majors(Google=0.92, Meta=0.6, Twitter=0.4, Microsoft=0.3,
+                               Adobe=0.2, Matomo=0.2, Quantcast=0.25),
+        major_hosts_range=(2, 4), longtail_pool=_GENERIC_POOL, longtail_mean=1.5,
+        monetized_rate=0.85, gov_monetized_rate=0.9,
+        gov_major_factor=1.0, gov_longtail_factor=0.7,
+        load_failure_rate=0.06, volunteer_os="linux",
+        gov_site_count=48, global_sites=_globals(),
+    ),
+    "PK": CountryProfile(
+        country="PK",
+        major_adoption=_majors(Google=0.85, Meta=0.6, Twitter=0.4, Yahoo=0.18,
+                               ArabAdNet=0.45, KhaleejTrack=0.25),
+        major_hosts_range=(2, 4), longtail_pool=_GULF_POOL, longtail_mean=2.0,
+        monetized_rate=0.7, gov_monetized_rate=0.75,
+        gov_major_factor=1.0, gov_longtail_factor=0.6,
+        load_failure_rate=0.12, volunteer_os="windows", opt_out_sites=6,
+        gov_site_count=42, global_sites=_globals("google.com.pk"),
+    ),
+    "QA": CountryProfile(
+        country="QA",
+        major_adoption=_majors(Google=0.9, Meta=0.6, Twitter=0.45, Yahoo=0.25,
+                               GulfAdX=0.35, ArabAdNet=0.35, Rokt=0.18),
+        major_hosts_range=(2, 3), longtail_pool=_GULF_POOL, longtail_mean=0.6,
+        monetized_rate=0.85, gov_monetized_rate=0.72,
+        gov_major_factor=0.95, gov_longtail_factor=0.6,
+        load_failure_rate=0.09, volunteer_os="linux",
+        gov_site_count=35, global_sites=_globals("google.com.qa", "yahoo.com", "bbc.com"),
+    ),
+    "SA": CountryProfile(
+        country="SA",
+        major_adoption=_majors(Google=0.85, Meta=0.55, Twitter=0.4, Yahoo=0.18,
+                               KhaleejTrack=0.35, ArabAdNet=0.3, Rokt=0.16),
+        major_hosts_range=(2, 4), longtail_pool=_GULF_POOL, longtail_mean=1.5,
+        monetized_rate=0.85, gov_monetized_rate=0.84,
+        gov_major_factor=0.95, gov_longtail_factor=0.6,
+        load_failure_rate=0.44, volunteer_os="windows",
+        gov_site_count=40, global_sites=_globals("google.com.sa"),
+    ),
+    "TW": CountryProfile(
+        country="TW",
+        major_adoption={"Google": 0.9, "Meta": 0.035, "Twitter": 0.015, "Yahoo": 0.01,
+                        "AsiaEdgeAds": 0.025},
+        major_hosts_range=(1, 3), longtail_pool=(("AsiaEdgeAds", 1.0), ("Dable", 0.6)),
+        longtail_mean=0.04,
+        gov_major_factor=2.0, gov_longtail_factor=1.6,
+        load_failure_rate=0.07, volunteer_os="linux", opt_out_sites=4,
+        gov_site_count=46, global_sites=_globals(),
+    ),
+    "US": CountryProfile(
+        country="US",
+        major_adoption=_majors(Google=0.92, Meta=0.6, Twitter=0.4, Amazon=0.35,
+                               Yahoo=0.2, Oracle=0.2, Criteo=0.0),
+        major_hosts_range=(2, 4),
+        longtail_pool=tuple((n, w) for n, w in _GENERIC_POOL if n not in (
+            "Criteo", "Teads", "SmartAdServer", "Adjust", "Seedtag", "Adform",
+            "Gemius", "AdScience", "TulipAds", "ImproveDigital", "SoundCloud",
+            "Hotjar", "LoopMe", "ID5", "Smaato",
+        )) + _US_ONLY_RARE,
+        longtail_mean=2.0,
+        gov_major_factor=0.7, gov_longtail_factor=0.3,
+        load_failure_rate=0.04, volunteer_os="linux",
+        gov_site_count=50, global_sites=_globals("yahoo.com"),
+    ),
+    "LB": CountryProfile(
+        country="LB",
+        major_adoption={"Google": 0.85, "Meta": 0.5, "Twitter": 0.25,
+                        "Microsoft": 0.1, "Yahoo": 0.1, "ArabAdNet": 0.3},
+        major_hosts_range=(1, 2), longtail_pool=_GULF_POOL, longtail_mean=0.6,
+        monetized_rate=0.42, gov_monetized_rate=0.4,
+        gov_major_factor=0.9, gov_longtail_factor=0.5,
+        load_failure_rate=0.12, volunteer_os="linux",
+        gov_site_count=8, global_sites=_globals(drop=("openai.com",)),
+    ),
+}

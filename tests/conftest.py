@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+Scenario construction costs ~1 s and a full 23-country study ~10 s, so
+both are session-scoped.  ``study_small`` covers a 5-country subset that
+includes the interesting special cases: a tracker-local country (CA), a
+foreign-heavy country (NZ), the Nairobi-edge countries (RW), a
+traceroute-blocked country (QA, whose probe fallback crosses a border),
+and the traceroute-opt-out volunteer (EG).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_scenario, run_study
+from repro.netsim.geography import default_registry
+from repro.netsim.latency import LatencyModel
+
+SMALL_COUNTRIES = ["CA", "NZ", "RW", "QA", "EG"]
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def latency_model():
+    return LatencyModel()
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return build_scenario()
+
+
+@pytest.fixture(scope="session")
+def study_small(scenario):
+    return run_study(scenario, countries=SMALL_COUNTRIES)
+
+
+@pytest.fixture(scope="session")
+def study_full(scenario):
+    return run_study(scenario)

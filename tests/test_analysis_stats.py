@@ -1,0 +1,161 @@
+"""Statistics helpers: correlation, quantiles, boxplots, skewness."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.analysis.stats import (
+    boxplot_stats,
+    mean,
+    pearson,
+    quantile,
+    skewness,
+    spearman,
+    stdev,
+)
+
+# Subnormal floats make 0.5*a + 0.5*a differ from a in the last ulp,
+# which is numerical noise rather than a quantile bug; exclude them.
+_floats = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_subnormal=False),
+    min_size=2, max_size=50,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev_population(self):
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_stdev_constant_zero(self):
+        assert stdev([5, 5, 5]) == 0.0
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_uncorrelated(self):
+        assert abs(pearson([1, 2, 3, 4], [1, -1, 1, -1])) < 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+    def test_constant_undefined(self):
+        with pytest.raises(ValueError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    @given(_floats)
+    def test_self_correlation_is_one(self, xs):
+        if stdev(xs) == 0:
+            return
+        assert pearson(xs, xs) == pytest.approx(1.0)
+
+    @given(_floats)
+    def test_bounded(self, xs):
+        ys = list(reversed(xs))
+        if stdev(xs) == 0 or stdev(ys) == 0:
+            return
+        assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [math.exp(x) for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+    def test_handles_ties(self):
+        # Ties get averaged ranks; result stays in [-1, 1].
+        rho = spearman([1, 1, 2, 3], [4, 4, 5, 6])
+        assert -1 - 1e-9 <= rho <= 1 + 1e-9
+        assert rho == pytest.approx(1.0)
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([3, 1, 2], 0.5) == 2
+
+    def test_median_even_interpolates(self):
+        assert quantile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert quantile(values, 0.0) == 1
+        assert quantile(values, 1.0) == 9
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    @given(_floats, st.floats(min_value=0, max_value=1))
+    def test_within_range(self, values, q):
+        result = quantile(values, q)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(_floats)
+    def test_monotone_in_q(self, values):
+        qs = [0.1, 0.25, 0.5, 0.75, 0.9]
+        results = [quantile(values, q) for q in qs]
+        assert all(b >= a - 1e-9 for a, b in zip(results, results[1:]))
+
+
+class TestBoxplot:
+    def test_five_number_summary(self):
+        box = boxplot_stats([1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert box.median == 5
+        assert box.q1 == 3
+        assert box.q3 == 7
+        assert box.minimum == 1 and box.maximum == 9
+        assert box.iqr == 4
+
+    def test_outliers_detected(self):
+        box = boxplot_stats([1, 2, 3, 4, 5, 100])
+        assert 100 in box.outliers
+        assert box.whisker_high <= 5
+
+    def test_no_outliers(self):
+        box = boxplot_stats([1, 2, 3, 4, 5])
+        assert box.outliers == ()
+        assert box.whisker_low == 1 and box.whisker_high == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+    @given(_floats)
+    def test_ordering_invariants(self, values):
+        box = boxplot_stats(values)
+        assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+        assert box.count == len(values)
+
+
+class TestSkewness:
+    def test_right_skew_positive(self):
+        assert skewness([1, 1, 1, 2, 2, 10]) > 0
+
+    def test_left_skew_negative(self):
+        assert skewness([1, 9, 9, 10, 10, 10]) < 0
+
+    def test_symmetric_near_zero(self):
+        assert abs(skewness([1, 2, 3, 4, 5])) < 1e-9
+
+    def test_degenerate_none(self):
+        assert skewness([1, 2]) is None
+        assert skewness([3, 3, 3]) is None

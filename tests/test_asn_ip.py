@@ -1,0 +1,120 @@
+"""AS registry and IPv4 address-space management."""
+
+import ipaddress
+
+import pytest
+
+from repro.netsim.asn import ASRegistry, AutonomousSystem
+from repro.netsim.geography import City
+from repro.netsim.ip import IPSpace
+
+CITY = City("Testville", "XX", 10.0, 20.0)
+OTHER = City("Elsewhere", "YY", -5.0, 60.0)
+
+
+class TestASRegistry:
+    def test_register_assigns_sequential_asns(self):
+        registry = ASRegistry()
+        a = registry.register("A-NET", "OrgA", "US")
+        b = registry.register("B-NET", "OrgB", "DE")
+        assert b.asn == a.asn + 1
+
+    def test_duplicate_asn_rejected(self):
+        registry = ASRegistry()
+        registry.add(AutonomousSystem(100, "X", "OrgX", "US"))
+        with pytest.raises(ValueError):
+            registry.add(AutonomousSystem(100, "Y", "OrgY", "US"))
+
+    def test_lookup(self):
+        registry = ASRegistry()
+        asys = registry.register("A-NET", "OrgA", "US")
+        assert registry.get(asys.asn).org == "OrgA"
+        assert registry.has(asys.asn)
+        assert not registry.has(asys.asn + 99)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ASRegistry().get(1)
+
+    def test_by_org(self):
+        registry = ASRegistry()
+        registry.register("A1", "OrgA", "US")
+        registry.register("A2", "OrgA", "DE")
+        registry.register("B1", "OrgB", "US")
+        assert len(registry.by_org("OrgA")) == 2
+        assert registry.by_org("missing") == []
+
+    def test_cloud_flag(self):
+        registry = ASRegistry()
+        asys = registry.register("CLOUD", "Cloudy", "US", is_cloud=True)
+        assert registry.get(asys.asn).is_cloud
+
+    def test_org_of(self):
+        registry = ASRegistry()
+        asys = registry.register("A", "OrgA", "US")
+        assert registry.org_of(asys.asn) == "OrgA"
+        assert registry.org_of(999999) is None
+
+    def test_len_and_iter(self):
+        registry = ASRegistry()
+        registry.register("A", "OrgA", "US")
+        registry.register("B", "OrgB", "US")
+        assert len(registry) == 2
+        assert {a.org for a in registry} == {"OrgA", "OrgB"}
+
+
+class TestIPSpace:
+    def test_allocates_global_slash24(self):
+        space = IPSpace()
+        allocation = space.allocate(65000, CITY)
+        assert allocation.network.prefixlen == 24
+        assert allocation.network.is_global
+
+    def test_allocations_disjoint(self):
+        space = IPSpace()
+        nets = [space.allocate(1, CITY).network for _ in range(20)]
+        for i, a in enumerate(nets):
+            for b in nets[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_lookup_roundtrip(self):
+        space = IPSpace()
+        allocation = space.allocate(42, CITY, label="test/pop")
+        address = allocation.address(7)
+        found = space.lookup(address)
+        assert found is allocation
+        assert space.owner_asn(address) == 42
+        assert space.true_city(address) is CITY
+        assert space.true_country(address) == "XX"
+
+    def test_lookup_unallocated_returns_none(self):
+        space = IPSpace()
+        assert space.lookup("8.8.8.8") is None
+        assert space.true_country("8.8.8.8") is None
+
+    def test_address_host_bounds(self):
+        allocation = IPSpace().allocate(1, CITY)
+        with pytest.raises(ValueError):
+            allocation.address(0)
+        with pytest.raises(ValueError):
+            allocation.address(255)
+        assert int(allocation.address(1)) == int(allocation.network.network_address) + 1
+
+    def test_different_cities_tracked(self):
+        space = IPSpace()
+        a = space.allocate(1, CITY)
+        b = space.allocate(1, OTHER)
+        assert space.true_city(a.address(1)).key == CITY.key
+        assert space.true_city(b.address(1)).key == OTHER.key
+
+    def test_len_and_iter(self):
+        space = IPSpace()
+        space.allocate(1, CITY)
+        space.allocate(2, OTHER)
+        assert len(space) == 2
+        assert {a.asn for a in space} == {1, 2}
+
+    def test_addresses_parse_as_ipv4(self):
+        allocation = IPSpace().allocate(1, CITY)
+        parsed = ipaddress.IPv4Address(str(allocation.address(10)))
+        assert parsed in allocation.network

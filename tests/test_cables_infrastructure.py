@@ -1,0 +1,83 @@
+"""Submarine-cable registry and the §7 infrastructure analysis."""
+
+import pytest
+
+from repro.core.analysis.infrastructure import InfrastructureAnalysis
+from repro.netsim.cables import CableMap, SubmarineCable, default_cable_map
+
+
+class TestSubmarineCable:
+    def test_needs_two_landings(self):
+        with pytest.raises(ValueError):
+            SubmarineCable("Lonely", ("KE",))
+
+    def test_lands_in(self):
+        cable = SubmarineCable("X", ("KE", "FR"))
+        assert cable.lands_in("KE") and not cable.lands_in("US")
+
+
+class TestCableMap:
+    @pytest.fixture(scope="class")
+    def cable_map(self):
+        return default_cable_map()
+
+    def test_kenya_has_six_cables(self, cable_map):
+        # The paper cites six submarine cables landing in Kenya.
+        assert cable_map.cable_count("KE") == 6
+
+    def test_india_pakistan_share_imewe(self, cable_map):
+        assert "IMEWE" in cable_map.shared_cables("IN", "PK")
+        assert cable_map.share_cable("IN", "PK")
+
+    def test_bharat_lanka_link(self, cable_map):
+        assert "Bharat Lanka" in cable_map.shared_cables("IN", "LK")
+
+    def test_no_cable_for_landlocked_pairs(self, cable_map):
+        # Rwanda and Uganda are landlocked: no landings at all.
+        assert cable_map.cable_count("RW") == 0
+        assert cable_map.cable_count("UG") == 0
+        assert not cable_map.share_cable("RW", "KE")
+
+    def test_connectivity_ranking_order(self, cable_map):
+        ranking = cable_map.connectivity_ranking(["KE", "QA", "FR"])
+        assert ranking[0][0] == "FR"
+        assert dict(ranking)["KE"] > dict(ranking)["QA"]
+
+    def test_reachability_closure(self, cable_map):
+        reachable = cable_map.reachable_over_cables("NZ")
+        assert "AU" in reachable and "US" in reachable
+        assert "JP" in reachable  # via the US trunks
+        assert "RW" not in reachable  # landlocked
+
+    def test_unknown_country_empty(self, cable_map):
+        assert cable_map.cables_landing_in("XX") == []
+        assert cable_map.cable_count("XX") == 0
+
+
+class TestInfrastructureAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self, study_full):
+        return study_full.infrastructure()
+
+    def test_annotated_flows_complete(self, analysis, study_full):
+        annotated = analysis.annotated_flows()
+        assert len(annotated) == len(study_full.flows().edges())
+        for flow in annotated:
+            assert flow.distance_km > 0
+            assert flow.shares_cable == bool(flow.shared_cables)
+
+    def test_india_pakistan_silent_despite_cable(self, analysis):
+        silent = analysis.cable_without_flow()
+        assert any(src == "PK" and dst == "IN" for src, dst, _ in silent)
+
+    def test_hosting_correlates_with_connectivity(self, analysis):
+        rho = analysis.hosting_connectivity_correlation()
+        assert rho is not None and rho > 0.2  # infrastructure attracts hosting
+
+    def test_cable_alignment_substantial(self, analysis):
+        share = analysis.cable_alignment_share()
+        assert 0.2 < share < 1.0
+
+    def test_mean_flow_distance_reasonable(self, analysis):
+        km = analysis.mean_flow_distance_km()
+        assert 1000 < km < 12000  # intercontinental but not antipodal

@@ -1,0 +1,80 @@
+"""CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_country_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["volunteer", "XX"])
+
+    def test_study_countries_validation(self):
+        with pytest.raises(SystemExit):
+            main(["study", "--countries", "CA,XX"])
+
+
+class TestCommands:
+    def test_volunteer_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "dataset.json"
+        assert main(["volunteer", "LB", "--output", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "vol-LB" in captured
+        payload = json.loads(out.read_text())
+        assert payload["country"] == "LB"
+        assert payload["websites"]
+
+    def test_study_subset(self, capsys):
+        assert main(["study", "--countries", "CA,NZ"]) == 0
+        out = capsys.readouterr().out
+        assert "CA" in out and "NZ" in out
+        assert "funnel:" in out
+
+    def test_audit(self, capsys):
+        assert main(["audit", "NZ"]) == 0
+        out = capsys.readouterr().out
+        assert "New Zealand" in out
+        assert "Destinations" in out
+
+
+class TestExtensionCommands:
+    def test_recruitment(self, capsys):
+        assert main(["recruitment"]) == 0
+        out = capsys.readouterr().out
+        assert "22 volunteers covering 23 countries" in out
+        assert "consent ledger consistent" in out
+
+    def test_stability(self, capsys):
+        assert main(["stability", "JO", "--visits", "2", "--limit", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Jaccard" in out
+
+    def test_whatif_parser_validates_country(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["whatif", "XX"])
+
+
+class TestReportCommand:
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "PK", "--output", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# Tracker data-flow report: Pakistan (PK)")
+        for heading in ("## Headline", "## Where the data goes", "## Who receives it",
+                        "## Policy context", "## Measurement provenance"):
+            assert heading in text
+        # Pakistan's flows never reach India.
+        assert "India (IN)" not in text
+
+    def test_report_stdout(self, capsys):
+        assert main(["report", "CA"]) == 0
+        text = capsys.readouterr().out
+        assert "Canada" in text
+        assert "No verified cross-border tracker flows" in text

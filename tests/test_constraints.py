@@ -1,0 +1,178 @@
+"""Geolocation constraints: SOL, the 80 % rule, destination, reverse DNS."""
+
+import pytest
+
+from repro.core.gamma.parsers import NormalizedHop, NormalizedTraceroute
+from repro.core.geoloc.constraints import (
+    ConstraintStatus,
+    DestinationConstraint,
+    ReverseDNSConstraint,
+    SourceConstraint,
+    adjusted_latency_ms,
+)
+from repro.core.geoloc.latency_stats import SyntheticStatsProvider
+from repro.netsim.distance import city_distance_km, min_rtt_ms
+from repro.netsim.geography import default_registry
+from repro.netsim.latency import LatencyModel
+
+REG = default_registry()
+MODEL = LatencyModel()
+STATS = SyntheticStatsProvider("stats", MODEL, noise_range=(1.0, 1.0))  # exact
+
+
+def trace(last_rtt, first_rtt=1.0, reached=True, target="5.0.0.1"):
+    hops = []
+    if first_rtt is not None:
+        hops.append(NormalizedHop(1, "192.168.1.1", (first_rtt,)))
+    hops.append(NormalizedHop(2, target if reached else "62.0.0.1", (last_rtt,)))
+    return NormalizedTraceroute(target=target, reached=reached, hops=hops)
+
+
+class TestAdjustedLatency:
+    def test_subtracts_first_hop(self):
+        assert adjusted_latency_ms(trace(50.0, 2.0)) == pytest.approx(48.0)
+
+    def test_keeps_last_when_no_first(self):
+        assert adjusted_latency_ms(trace(50.0, None)) == pytest.approx(50.0)
+
+    def test_keeps_last_when_first_larger(self):
+        # Degenerate but possible: queueing on the gateway.
+        t = trace(50.0, 60.0)
+        assert adjusted_latency_ms(t) == pytest.approx(50.0)
+
+    def test_none_when_no_hops(self):
+        empty = NormalizedTraceroute(target="x", reached=False, hops=[])
+        assert adjusted_latency_ms(empty) is None
+
+
+class TestSourceConstraint:
+    def setup_method(self):
+        self.constraint = SourceConstraint(STATS, 0.8)
+        self.src = REG.city("London, GB")
+        self.claim = REG.city("Tokyo, JP")
+        self.typical = MODEL.typical_rtt_ms(self.src, self.claim)
+
+    def test_missing_trace_fails(self):
+        assert self.constraint.check(None, self.src, self.claim).failed
+
+    def test_unreached_trace_fails(self):
+        result = self.constraint.check(trace(100, reached=False), self.src, self.claim)
+        assert result.failed
+        assert "did not reach" in result.reason
+
+    def test_consistent_latency_passes(self):
+        result = self.constraint.check(trace(self.typical), self.src, self.claim)
+        assert result.passed
+
+    def test_sol_violation_fails(self):
+        floor = min_rtt_ms(city_distance_km(self.src, self.claim))
+        result = self.constraint.check(trace(floor * 0.5), self.src, self.claim)
+        assert result.failed
+        assert "speed-of-light" in result.reason
+
+    def test_eighty_percent_rule(self):
+        # Above the SOL floor but below 80 % of published statistics:
+        # the server responded too fast to be in Tokyo.
+        floor = min_rtt_ms(city_distance_km(self.src, self.claim))
+        published = STATS.published_rtt_ms(self.src, self.claim)
+        midpoint = (floor + 0.8 * published) / 2
+        result = self.constraint.check(trace(midpoint + 1.0, first_rtt=1.0), self.src, self.claim)
+        assert result.failed
+        assert "80%" in result.reason
+
+    def test_exactly_at_threshold_passes(self):
+        published = STATS.published_rtt_ms(self.src, self.claim)
+        result = self.constraint.check(
+            trace(0.8 * published + 1.0, first_rtt=1.0), self.src, self.claim
+        )
+        assert result.passed
+
+    def test_missing_statistics_pass_on_sol_alone(self):
+        sparse = SyntheticStatsProvider("sparse", MODEL, covered_cities=[])
+        constraint = SourceConstraint(sparse, 0.8)
+        result = constraint.check(trace(self.typical), self.src, self.claim)
+        assert result.passed
+        assert "no published statistics" in result.reason
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SourceConstraint(STATS, 0.0)
+
+
+class TestDestinationConstraint:
+    def setup_method(self):
+        self.constraint = DestinationConstraint(MODEL)
+        self.probe = REG.city("Frankfurt, DE")
+        self.claim = REG.city("Frankfurt, DE")
+
+    def test_missing_trace_fails(self):
+        assert self.constraint.check(None, self.probe, self.claim).failed
+        assert self.constraint.check(trace(10), None, self.claim).failed
+
+    def test_unreached_fails(self):
+        assert self.constraint.check(trace(10, reached=False), self.probe, self.claim).failed
+
+    def test_small_rtt_passes(self):
+        assert self.constraint.check(trace(8.0), self.probe, self.claim).passed
+
+    def test_large_rtt_passes_by_default(self):
+        # No physical upper bound: a server behind an awful path could
+        # still be in the claimed city (paper semantics).
+        assert self.constraint.check(trace(250.0), self.probe, self.claim).passed
+
+    def test_sol_floor_applies_with_distant_probe(self):
+        # Probe in Paris, claim in Tokyo: an RTT below the physical floor
+        # proves the server is NOT in Tokyo.
+        constraint = DestinationConstraint(MODEL)
+        paris = REG.city("Paris, FR")
+        tokyo = REG.city("Tokyo, JP")
+        result = constraint.check(trace(5.0), paris, tokyo)
+        assert result.failed
+
+    def test_strict_bound_rejects_large_rtt(self):
+        strict = DestinationConstraint(MODEL, strict_bound=True)
+        result = strict.check(trace(250.0), self.probe, self.claim)
+        assert result.failed
+        assert "too high" in result.reason
+
+    def test_plausible_bound_monotone_in_distance(self):
+        constraint = DestinationConstraint(MODEL)
+        near = constraint.plausible_rtt_bound_ms(self.probe, REG.city("Paris, FR"))
+        far = constraint.plausible_rtt_bound_ms(self.probe, REG.city("Tokyo, JP"))
+        assert far > near
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            DestinationConstraint(MODEL, max_inflation=0.5)
+        with pytest.raises(ValueError):
+            DestinationConstraint(MODEL, slack_ms=-1)
+
+
+class TestReverseDNSConstraint:
+    def setup_method(self):
+        self.constraint = ReverseDNSConstraint()
+        self.claim_fr = REG.city("Paris, FR")
+
+    def test_no_ptr_skips(self):
+        result = self.constraint.check(None, self.claim_fr)
+        assert result.status == ConstraintStatus.SKIP
+
+    def test_no_hint_skips(self):
+        result = self.constraint.check("server-1.example.net", self.claim_fr)
+        assert result.status == ConstraintStatus.SKIP
+
+    def test_matching_hint_passes(self):
+        result = self.constraint.check("edge-2.cdg01.example.net", self.claim_fr)
+        assert result.passed
+
+    def test_same_country_other_city_passes(self):
+        # Marseille hint against a Paris claim: same country, retained.
+        result = self.constraint.check("edge-2.mrs01.example.net", self.claim_fr)
+        assert result.passed
+
+    def test_contradicting_hint_fails(self):
+        # The paper's Fujairah/Amsterdam case.
+        fujairah = REG.city("Al Fujairah City, AE")
+        result = self.constraint.check("edge-7.ams02.example.net", fujairah)
+        assert result.failed
+        assert "Amsterdam" in result.reason

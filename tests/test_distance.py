@@ -1,0 +1,106 @@
+"""Great-circle geometry and fibre physics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.distance import (
+    EARTH_RADIUS_KM,
+    FIBER_KM_PER_MS,
+    city_distance_km,
+    haversine_km,
+    interpolate,
+    max_feasible_distance_km,
+    min_rtt_ms,
+)
+from repro.netsim.geography import City
+
+_lat = st.floats(min_value=-90, max_value=90, allow_nan=False)
+_lon = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(10, 20, 10, 20) == 0.0
+
+    def test_known_pair_london_paris(self):
+        # London-Paris great circle is ~344 km.
+        d = haversine_km(51.51, -0.13, 48.86, 2.35)
+        assert 330 < d < 360
+
+    def test_known_pair_antipodal(self):
+        d = haversine_km(0, 0, 0, 180)
+        assert abs(d - math.pi * EARTH_RADIUS_KM) < 1.0
+
+    @given(_lat, _lon, _lat, _lon)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        assert haversine_km(lat1, lon1, lat2, lon2) == pytest.approx(
+            haversine_km(lat2, lon2, lat1, lon1)
+        )
+
+    @given(_lat, _lon, _lat, _lon)
+    def test_bounded_by_half_circumference(self, lat1, lon1, lat2, lon2):
+        d = haversine_km(lat1, lon1, lat2, lon2)
+        assert 0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    def test_city_distance_wrapper(self):
+        a = City("A", "XX", 0, 0)
+        b = City("B", "YY", 0, 90)
+        assert city_distance_km(a, b) == pytest.approx(haversine_km(0, 0, 0, 90))
+
+
+class TestFiberPhysics:
+    def test_133_km_per_ms(self):
+        assert FIBER_KM_PER_MS == 133.0
+
+    def test_min_rtt_roundtrip_factor(self):
+        # 133 km one-way takes 1 ms, so RTT over 133 km is 2 ms.
+        assert min_rtt_ms(133.0) == pytest.approx(2.0)
+
+    def test_min_rtt_zero(self):
+        assert min_rtt_ms(0) == 0.0
+
+    def test_min_rtt_negative_raises(self):
+        with pytest.raises(ValueError):
+            min_rtt_ms(-1)
+
+    def test_max_feasible_inverse_of_min_rtt(self):
+        for km in (10, 500, 12000):
+            assert max_feasible_distance_km(min_rtt_ms(km)) == pytest.approx(km)
+
+    def test_max_feasible_negative_raises(self):
+        with pytest.raises(ValueError):
+            max_feasible_distance_km(-0.1)
+
+    @given(st.floats(min_value=0, max_value=40000, allow_nan=False))
+    def test_min_rtt_monotone(self, km):
+        assert min_rtt_ms(km) <= min_rtt_ms(km + 1)
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        assert interpolate(10, 20, 30, 40, 0.0) == pytest.approx((10, 20))
+        lat, lon = interpolate(10, 20, 30, 40, 1.0)
+        assert (lat, lon) == pytest.approx((30, 40), abs=1e-6)
+
+    def test_midpoint_on_equator(self):
+        lat, lon = interpolate(0, 0, 0, 90, 0.5)
+        assert lat == pytest.approx(0, abs=1e-6)
+        assert lon == pytest.approx(45, abs=1e-6)
+
+    def test_coincident_points(self):
+        assert interpolate(5, 5, 5, 5, 0.7) == (5, 5)
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            interpolate(0, 0, 1, 1, 1.5)
+
+    @given(_lat, _lon, _lat, _lon, st.floats(min_value=0, max_value=1, allow_nan=False))
+    def test_point_between_endpoints(self, lat1, lon1, lat2, lon2, f):
+        total = haversine_km(lat1, lon1, lat2, lon2)
+        lat, lon = interpolate(lat1, lon1, lat2, lon2, f)
+        to_start = haversine_km(lat1, lon1, lat, lon)
+        # The interpolated point never sits farther along than the endpoint.
+        assert to_start <= total + 1.0

@@ -1,0 +1,135 @@
+"""Public-suffix list and eTLD+1 extraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains import (
+    PUBLIC_SUFFIXES,
+    is_subdomain,
+    public_suffix,
+    registrable_domain,
+    split_host,
+    validate_hostname,
+)
+
+
+class TestValidateHostname:
+    def test_lowercases(self):
+        assert validate_hostname("EXAMPLE.Com") == "example.com"
+
+    def test_strips_trailing_dot(self):
+        assert validate_hostname("example.com.") == "example.com"
+
+    def test_strips_whitespace(self):
+        assert validate_hostname("  example.com ") == "example.com"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            validate_hostname("")
+
+    def test_empty_label_raises(self):
+        with pytest.raises(ValueError):
+            validate_hostname("a..b")
+
+    def test_long_label_raises(self):
+        with pytest.raises(ValueError):
+            validate_hostname("x" * 64 + ".com")
+
+
+class TestPublicSuffix:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("example.com", "com"),
+            ("example.co.uk", "co.uk"),
+            ("www.example.gov.au", "gov.au"),
+            ("a.b.gob.ar", "gob.ar"),
+            ("site.gouv.fr", "gouv.fr"),
+            ("ministry.go.th", "go.th"),
+            ("x.nic.in", "nic.in"),
+            ("plain.unknowntld", "unknowntld"),
+        ],
+    )
+    def test_known_suffixes(self, host, expected):
+        assert public_suffix(host) == expected
+
+    def test_prefers_longest_match(self):
+        # gov.uk beats uk.
+        assert public_suffix("service.gov.uk") == "gov.uk"
+
+
+class TestRegistrableDomain:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("www.example.com", "example.com"),
+            ("example.com", "example.com"),
+            ("stats.g.doubleclick.net", "doubleclick.net"),
+            ("www.bbc.co.uk", "bbc.co.uk"),
+            ("health.gov.au", "health.gov.au"),
+            ("google.com.eg", "google.com.eg"),
+            ("deep.sub.of.google.com.eg", "google.com.eg"),
+        ],
+    )
+    def test_extraction(self, host, expected):
+        assert registrable_domain(host) == expected
+
+    def test_bare_suffix_returns_none(self):
+        assert registrable_domain("com") is None
+        assert registrable_domain("co.uk") is None
+
+    def test_case_insensitive(self):
+        assert registrable_domain("WWW.Example.COM") == "example.com"
+
+
+class TestSplitHost:
+    def test_with_subdomain(self):
+        assert split_host("a.b.example.com") == ("a.b", "example.com")
+
+    def test_without_subdomain(self):
+        assert split_host("example.com") == ("", "example.com")
+
+    def test_bare_suffix(self):
+        assert split_host("co.uk") == ("", "co.uk")
+
+
+class TestIsSubdomain:
+    def test_equal(self):
+        assert is_subdomain("example.com", "example.com")
+
+    def test_true_subdomain(self):
+        assert is_subdomain("a.example.com", "example.com")
+
+    def test_not_suffix_string_trick(self):
+        # notexample.com must NOT count as a subdomain of example.com.
+        assert not is_subdomain("notexample.com", "example.com")
+
+    def test_reverse_is_false(self):
+        assert not is_subdomain("example.com", "a.example.com")
+
+
+# Hostname label strategy (lowercase alphanumerics).
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=10)
+
+
+class TestProperties:
+    @given(st.lists(_label, min_size=1, max_size=4))
+    def test_registrable_is_suffix_of_host(self, labels):
+        host = ".".join(labels)
+        base = registrable_domain(host)
+        if base is not None:
+            assert is_subdomain(host, base)
+
+    @given(st.lists(_label, min_size=2, max_size=4))
+    def test_split_reassembles(self, labels):
+        host = ".".join(labels)
+        sub, base = split_host(host)
+        reassembled = f"{sub}.{base}" if sub else base
+        assert reassembled == validate_hostname(host)
+
+    @given(st.lists(_label, min_size=1, max_size=4))
+    def test_public_suffix_in_table_or_last_label(self, labels):
+        host = ".".join(labels)
+        suffix = public_suffix(host)
+        assert suffix in PUBLIC_SUFFIXES or suffix == labels[-1]

@@ -1,0 +1,234 @@
+"""Gamma suite end-to-end: one volunteer, checkpointing, accommodations."""
+
+import pytest
+
+from repro.browser.engine import BrowserConfig
+from repro.core.gamma.checkpoint import Checkpoint
+from repro.core.gamma.config import GammaConfig
+from repro.core.gamma.probes import ProbeRunner
+from repro.core.gamma.suite import GammaSuite
+from repro.core.gamma.volunteer import Volunteer
+from repro.core.targets.builder import TargetList
+from repro.netsim.geography import default_registry
+from repro.netsim.network import World
+from repro.web.catalog import SiteCatalog
+from repro.web.website import CATEGORY_GOVERNMENT, CATEGORY_REGIONAL, EmbeddedResource, Website
+
+from tests.test_servers_dns import make_deployment
+
+REG = default_registry()
+
+
+@pytest.fixture()
+def mini_setup():
+    world = World(geo=REG)
+    publisher = make_deployment(["TH"], org_name="ThaiHost", domains=("thaihost.net",),
+                                space=world.ips)
+    tracker = make_deployment(["FR"], org_name="AdOrg", domains=("adorg.net",), space=world.ips)
+    google = make_deployment(["US"], org_name="Google",
+                             domains=("googleapis.com", "google.com"), space=world.ips)
+    for deployment in (publisher, tracker, google):
+        world.deployments[deployment.org.name] = deployment
+        for domain in deployment.org.domains:
+            world.dns.register(domain, deployment)
+    sites = []
+    for i, category in [(0, CATEGORY_REGIONAL), (1, CATEGORY_REGIONAL), (2, CATEGORY_GOVERNMENT)]:
+        domain = f"site{i}.co.th" if category == CATEGORY_REGIONAL else "health.go.th"
+        world.dns.register(domain, publisher)
+        sites.append(Website(
+            domain=domain, country_code="TH", category=category, owner_org="Pub",
+            embedded=[EmbeddedResource(host="px.adorg.net")],
+        ))
+    catalog = SiteCatalog(sites)
+    targets = TargetList("TH", regional=["site0.co.th", "site1.co.th"],
+                         government=["health.go.th"])
+    volunteer = Volunteer(name="vol-TH", city=REG.country("TH").capital, ip="5.99.0.10")
+    return world, catalog, targets, volunteer
+
+
+def _suite(world, catalog, **config_overrides):
+    return GammaSuite(
+        world, catalog,
+        GammaConfig.study_defaults(**config_overrides),
+        browser_config=BrowserConfig(default_failure_rate=0.0),
+    )
+
+
+class TestGammaSuite:
+    def test_full_run_records_everything(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        dataset = _suite(world, catalog).run(volunteer, targets)
+        assert dataset.attempted_count == 3
+        assert dataset.loaded_count == 3
+        measurement = dataset.websites["site0.co.th"]
+        assert "px.adorg.net" in measurement.requested_hosts
+        assert measurement.dns["px.adorg.net"]
+        assert measurement.traceroutes  # C3 ran
+        assert measurement.category == CATEGORY_REGIONAL
+        assert dataset.websites["health.go.th"].category == CATEGORY_GOVERNMENT
+
+    def test_background_hosts_separated(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        dataset = _suite(world, catalog).run(volunteer, targets)
+        measurement = dataset.websites["site0.co.th"]
+        assert "update.googleapis.com" in measurement.background_hosts
+        assert "update.googleapis.com" not in measurement.requested_hosts
+
+    def test_rdns_recorded_for_resolved_ips(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        dataset = _suite(world, catalog).run(volunteer, targets)
+        measurement = dataset.websites["site0.co.th"]
+        for address in measurement.resolved_addresses:
+            assert address in measurement.rdns  # value may be None (no PTR)
+
+    def test_site_opt_out_respected(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        volunteer.opted_out_sites = {"site1.co.th"}
+        dataset = _suite(world, catalog).run(volunteer, targets)
+        assert "site1.co.th" not in dataset.websites
+        assert dataset.attempted_count == 2
+
+    def test_traceroute_opt_out(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        volunteer.traceroute_opt_out = True
+        dataset = _suite(world, catalog).run(volunteer, targets)
+        assert all(not m.traceroutes for m in dataset.websites.values())
+        # C2 still ran.
+        assert dataset.websites["site0.co.th"].dns
+
+    def test_checkpoint_resume_skips_done(self, mini_setup, tmp_path):
+        world, catalog, targets, volunteer = mini_setup
+        checkpoint = Checkpoint(path=tmp_path / "ckpt.json")
+        suite = _suite(world, catalog)
+        # First run: only the first site, then "interrupt".
+        partial_targets = TargetList("TH", regional=["site0.co.th"])
+        suite.run(volunteer, partial_targets, checkpoint=checkpoint)
+        assert checkpoint.is_done("site0.co.th")
+
+        # Resume with the full list: already-done sites are not revisited.
+        resumed = Checkpoint.load(tmp_path / "ckpt.json")
+        visited = []
+        dataset = suite.run(volunteer, targets, checkpoint=resumed,
+                            progress=lambda url, m: visited.append(url))
+        assert "site0.co.th" not in visited
+        assert set(dataset.websites) == {"site0.co.th", "site1.co.th", "health.go.th"}
+
+    def test_checkpoint_country_mismatch_raises(self, mini_setup, tmp_path):
+        world, catalog, targets, volunteer = mini_setup
+        checkpoint = Checkpoint(path=tmp_path / "ckpt.json")
+        _suite(world, catalog).run(volunteer, targets, checkpoint=checkpoint)
+        other = Volunteer(name="vol-JP", city=REG.country("JP").capital, ip="5.99.0.11")
+        with pytest.raises(ValueError):
+            _suite(world, catalog).run(other, targets, checkpoint=Checkpoint.load(tmp_path / "ckpt.json"))
+
+    def test_browser_mismatch_rejected(self, mini_setup):
+        world, catalog, _, _ = mini_setup
+        with pytest.raises(ValueError):
+            GammaSuite(world, catalog, GammaConfig.study_defaults(browser="firefox"),
+                       browser_config=BrowserConfig(browser="chrome"))
+
+    def test_windows_volunteer_uses_tracert(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        volunteer.os_name = "windows"
+        dataset = _suite(world, catalog, os_name="windows").run(volunteer, targets)
+        for measurement in dataset.websites.values():
+            for trace in measurement.traceroutes.values():
+                assert trace.tool == "tracert"
+
+    def test_deterministic_runs(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        a = _suite(world, catalog).run(volunteer, targets)
+        b = _suite(world, catalog).run(volunteer, targets)
+        assert a.to_json() == b.to_json()
+
+
+class TestProbeRunner:
+    def test_ping(self, mini_setup):
+        world, catalog, _, volunteer = mini_setup
+        runner = ProbeRunner(world, "linux")
+        target = next(iter(world.ips)).address(1)
+        result = runner.ping(volunteer.city, str(target))
+        assert result.sent == 4
+        assert result.received > 0
+        assert result.avg_rtt_ms > 0
+
+    def test_ping_unknown_target(self, mini_setup):
+        world, catalog, _, volunteer = mini_setup
+        runner = ProbeRunner(world, "linux")
+        assert runner.ping(volunteer.city, "8.8.8.8") is None
+
+
+class TestCheckpoint:
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            Checkpoint().save()
+
+    def test_load_missing_file_returns_fresh(self, tmp_path):
+        checkpoint = Checkpoint.load(tmp_path / "absent.json")
+        assert not checkpoint.completed
+        assert checkpoint.partial_dataset() is None
+
+    def test_mark_done_persists(self, tmp_path):
+        checkpoint = Checkpoint(path=tmp_path / "c.json")
+        checkpoint.mark_done("a.com")
+        assert Checkpoint.load(tmp_path / "c.json").is_done("a.com")
+
+
+class TestPageSaving:
+    def test_save_pages_records_html_and_hardcoded_domains(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        dataset = _suite(world, catalog, save_pages=True).run(volunteer, targets)
+        measurement = dataset.websites["site0.co.th"]
+        assert measurement.page_html is not None
+        assert "px.adorg.net" in measurement.page_html
+        assert measurement.hardcoded_domains  # partner links, never requested
+        for domain in measurement.hardcoded_domains:
+            assert domain not in measurement.requested_hosts
+
+    def test_hardcoded_domains_resolved_by_c2(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        dataset = _suite(world, catalog, save_pages=True).run(volunteer, targets)
+        measurement = dataset.websites["site0.co.th"]
+        # partner<N>.site0.co.th is under the publisher's registrable
+        # domain, so GeoDNS resolves it; the external mirror does not.
+        resolved = set(measurement.dns)
+        assert any(d.startswith("partner") for d in resolved if d in measurement.hardcoded_domains)
+        assert "mirror.archive-example.org" not in resolved
+
+    def test_page_html_roundtrips_through_json(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        from repro.core.gamma.output import VolunteerDataset
+
+        dataset = _suite(world, catalog, save_pages=True).run(volunteer, targets)
+        back = VolunteerDataset.from_json(dataset.to_json())
+        assert back.websites["site0.co.th"].page_html == dataset.websites["site0.co.th"].page_html
+
+    def test_default_study_config_skips_pages(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        dataset = _suite(world, catalog).run(volunteer, targets)
+        assert dataset.websites["site0.co.th"].page_html is None
+        assert dataset.websites["site0.co.th"].hardcoded_domains == []
+
+
+class TestParallelInstances:
+    def test_single_instance_preserves_list_order(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        visited = []
+        _suite(world, catalog).run(volunteer, targets,
+                                   progress=lambda url, m: visited.append(url))
+        assert visited == targets.all_sites
+
+    def test_multiple_instances_interleave(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        visited = []
+        _suite(world, catalog, instances=2).run(
+            volunteer, targets, progress=lambda url, m: visited.append(url))
+        # Stripes: [site0, health] and [site1]; interleaved order.
+        assert visited == ["site0.co.th", "site1.co.th", "health.go.th"]
+        assert set(visited) == set(targets.all_sites)
+
+    def test_results_independent_of_instance_count(self, mini_setup):
+        world, catalog, targets, volunteer = mini_setup
+        serial = _suite(world, catalog).run(volunteer, targets)
+        parallel = _suite(world, catalog, instances=3).run(volunteer, targets)
+        assert serial.to_json() == parallel.to_json()

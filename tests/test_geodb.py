@@ -1,0 +1,138 @@
+"""Geolocation databases: error injection and metadata lookups."""
+
+import pytest
+
+from repro.geodb.errors import GeoErrorKind, GeoErrorModel
+from repro.geodb.ipinfo import IPInfoService
+from repro.geodb.ipmap import IPMapService
+from repro.netsim.geography import default_registry
+from repro.netsim.network import World
+from repro.netsim.servers import Deployment, Organization, PoP
+
+REG = default_registry()
+
+
+@pytest.fixture()
+def world_with_org():
+    world = World(geo=REG)
+    asys = world.asns.register("ORG-NET", "OrgX", "US")
+    cloud = world.asns.register("CLOUD-NET", "CloudCo", "US", is_cloud=True)
+    pops = []
+    for cc in ("FR", "DE", "JP"):
+        city = REG.country(cc).capital
+        allocation = world.ips.allocate(asys.asn, city, label=f"OrgX/{cc.lower()}1")
+        pops.append(PoP("OrgX", f"{cc.lower()}1", city, allocation, asys.asn))
+    cloud_alloc = world.ips.allocate(cloud.asn, REG.city("Nairobi, KE"), label="CloudCo/OrgX-ke")
+    pops.append(PoP("OrgX", "ke1", REG.city("Nairobi, KE"), cloud_alloc, cloud.asn))
+    world.add_deployment(Deployment(org=Organization("OrgX", "US", ("orgx.com",)), pops=pops))
+    return world
+
+
+class TestGeoErrorModel:
+    def test_rates_must_sum_below_one(self):
+        with pytest.raises(ValueError):
+            GeoErrorModel(missing_rate=0.5, wrong_city_rate=0.4, wrong_country_rate=0.3)
+
+    def test_zero_rates_never_err(self):
+        model = GeoErrorModel(missing_rate=0, wrong_city_rate=0, wrong_country_rate=0)
+        assert all(model.classify(f"5.0.0.{i}") == GeoErrorKind.NONE for i in range(100))
+
+    def test_classification_deterministic(self):
+        model = GeoErrorModel()
+        assert model.classify("5.0.0.1") == model.classify("5.0.0.1")
+
+    def test_rates_approximately_respected(self):
+        model = GeoErrorModel(missing_rate=0.2, wrong_city_rate=0.0, wrong_country_rate=0.0)
+        missing = sum(
+            1 for i in range(500) if model.classify(f"5.0.{i // 250}.{i % 250}") == GeoErrorKind.MISSING
+        )
+        assert 60 < missing < 140  # ~100 expected
+
+    def test_wrong_city_prefers_siblings(self):
+        model = GeoErrorModel()
+        true_city = REG.city("Frankfurt, DE")
+        siblings = [REG.city("Paris, FR"), REG.city("Tokyo, JP")]
+        hits = 0
+        for i in range(100):
+            wrong = model.pick_wrong_city(f"5.0.1.{i}", true_city, REG, siblings)
+            assert wrong.key != true_city.key
+            if wrong.key in {c.key for c in siblings}:
+                hits += 1
+        assert hits > 60
+
+    def test_wrong_city_same_country(self):
+        model = GeoErrorModel()
+        wrong = model.pick_wrong_city_same_country("5.0.0.9", REG.city("Paris, FR"), REG)
+        assert wrong.country_code == "FR"
+        assert wrong.name != "Paris"
+
+    def test_wrong_city_same_country_single_city_none(self):
+        model = GeoErrorModel()
+        assert model.pick_wrong_city_same_country("5.0.0.9", REG.city("Doha, QA"), REG) is None
+
+
+class TestIPMapService:
+    def test_perfect_db_returns_truth(self, world_with_org):
+        ipmap = IPMapService(world_with_org, GeoErrorModel(0, 0, 0))
+        for allocation in world_with_org.ips:
+            claim = ipmap.locate(str(allocation.address(1)))
+            assert claim.city_key == allocation.city.key
+
+    def test_unknown_address_none(self, world_with_org):
+        ipmap = IPMapService(world_with_org)
+        assert ipmap.locate("8.8.8.8") is None
+
+    def test_wrong_country_biased_to_sibling_pops(self, world_with_org):
+        model = GeoErrorModel(missing_rate=0, wrong_city_rate=0, wrong_country_rate=1.0)
+        ipmap = IPMapService(world_with_org, model)
+        pop_cities = {"Paris, FR", "Frankfurt, DE", "Tokyo, JP", "Nairobi, KE"}
+        sibling_hits = 0
+        allocation = next(iter(world_with_org.ips))
+        for host in range(1, 100):
+            claim = ipmap.locate(str(allocation.address(host)))
+            assert claim.city_key != allocation.city.key
+            if claim.city_key in pop_cities:
+                sibling_hits += 1
+        assert sibling_hits > 50
+
+    def test_caches_consistently(self, world_with_org):
+        ipmap = IPMapService(world_with_org)
+        allocation = next(iter(world_with_org.ips))
+        address = str(allocation.address(3))
+        assert ipmap.locate(address) is ipmap.locate(address)
+
+    def test_is_correct_oracle(self, world_with_org):
+        perfect = IPMapService(world_with_org, GeoErrorModel(0, 0, 0))
+        allocation = next(iter(world_with_org.ips))
+        assert perfect.is_correct(str(allocation.address(1))) is True
+        assert perfect.is_correct("8.8.8.8") is None
+
+    def test_always_wrong_country_flagged(self, world_with_org):
+        model = GeoErrorModel(missing_rate=0, wrong_city_rate=0, wrong_country_rate=1.0)
+        ipmap = IPMapService(world_with_org, model)
+        allocation = next(iter(world_with_org.ips))
+        assert ipmap.is_correct(str(allocation.address(1))) is False
+
+
+class TestIPInfoService:
+    def test_lookup_metadata(self, world_with_org):
+        ipinfo = IPInfoService(world_with_org)
+        allocation = next(a for a in world_with_org.ips if a.label.startswith("OrgX/"))
+        meta = ipinfo.lookup(str(allocation.address(1)))
+        assert meta.org == "OrgX"
+        assert meta.country_code == allocation.city.country_code
+        assert not meta.is_cloud_hosted
+
+    def test_cloud_attribution(self, world_with_org):
+        ipinfo = IPInfoService(world_with_org)
+        cloud_alloc = next(a for a in world_with_org.ips if a.label.startswith("CloudCo/"))
+        meta = ipinfo.lookup(str(cloud_alloc.address(1)))
+        assert meta.org == "CloudCo"
+        assert meta.is_cloud_hosted
+        assert ipinfo.hosted_on_cloud(str(cloud_alloc.address(1)))
+
+    def test_unknown_address_none(self, world_with_org):
+        ipinfo = IPInfoService(world_with_org)
+        assert ipinfo.lookup("8.8.8.8") is None
+        assert ipinfo.asn_of("8.8.8.8") is None
+        assert not ipinfo.hosted_on_cloud("8.8.8.8")

@@ -1,0 +1,88 @@
+"""Geographic registry: countries, cities, continents."""
+
+import pytest
+
+from repro.netsim.geography import (
+    MEASUREMENT_COUNTRIES,
+    City,
+    Continent,
+    Country,
+    GeoRegistry,
+    default_registry,
+)
+
+
+class TestDefaultRegistry:
+    def test_contains_all_measurement_countries(self, registry):
+        for code in MEASUREMENT_COUNTRIES:
+            assert registry.has_country(code)
+
+    def test_23_measurement_countries(self):
+        assert len(MEASUREMENT_COUNTRIES) == 23
+
+    def test_continent_split(self, registry):
+        by_continent = {}
+        for code in MEASUREMENT_COUNTRIES:
+            by_continent.setdefault(registry.continent_of(code), []).append(code)
+        # Paper section 3.4: 4 African, 2 European, 2 North American,
+        # 2 Oceanian, 1 South American measurement countries.
+        assert len(by_continent[Continent.AFRICA]) == 4
+        assert len(by_continent[Continent.EUROPE]) == 2
+        assert len(by_continent[Continent.NORTH_AMERICA]) == 2
+        assert len(by_continent[Continent.OCEANIA]) == 2
+        assert len(by_continent[Continent.SOUTH_AMERICA]) == 1
+
+    def test_destination_countries_present(self, registry):
+        for code in ("FR", "DE", "KE", "MY", "SG", "HK", "OM", "NL", "IL", "BG", "FI", "BR"):
+            assert registry.has_country(code)
+
+    def test_every_country_has_capital(self, registry):
+        for country in registry.countries:
+            assert isinstance(country.capital, City)
+
+    def test_coordinates_in_range(self, registry):
+        for country in registry.countries:
+            for city in country.cities:
+                assert -90 <= city.lat <= 90
+                assert -180 <= city.lon <= 180
+
+    def test_every_country_has_gov_tld(self, registry):
+        for code in MEASUREMENT_COUNTRIES:
+            assert registry.country(code).gov_tlds
+
+    def test_argentina_has_two_gov_tlds(self, registry):
+        assert set(registry.country("AR").gov_tlds) == {".gob.ar", ".gov.ar"}
+
+    def test_unknown_country_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.country("XX")
+
+    def test_city_lookup(self, registry):
+        city = registry.city("Nairobi, KE")
+        assert city.country_code == "KE"
+
+    def test_find_city_by_name(self, registry):
+        assert registry.find_city("Kigali").country_code == "RW"
+
+    def test_find_ambiguous_requires_country(self, registry):
+        # No ambiguous names in the default registry, but the constrained
+        # lookup must still work.
+        assert registry.find_city("Paris", "FR").name == "Paris"
+
+    def test_shared_instance(self):
+        assert default_registry() is default_registry()
+
+
+class TestGeoRegistry:
+    def test_duplicate_country_rejected(self):
+        c = Country("ZZ", "Test", Continent.ASIA, (City("T", "ZZ", 0, 0),))
+        registry = GeoRegistry([c])
+        with pytest.raises(ValueError):
+            registry.add(c)
+
+    def test_cities_in(self, registry):
+        cities = registry.cities_in("US")
+        assert {c.name for c in cities} == {"New York", "Ashburn", "San Jose"}
+
+    def test_city_key_format(self):
+        assert City("Lagos", "NG", 6.5, 3.4).key == "Lagos, NG"

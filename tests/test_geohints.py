@@ -1,0 +1,59 @@
+"""Hostname geo-hint codes and extraction."""
+
+from repro.netsim.geohints import (
+    CITY_HINT_CODES,
+    city_for_hint,
+    extract_hint,
+    hint_for_city,
+)
+
+
+class TestHintTables:
+    def test_roundtrip_every_code(self):
+        for city_key, code in CITY_HINT_CODES.items():
+            assert city_for_hint(code) == city_key
+            assert hint_for_city(city_key) == code
+
+    def test_codes_unique(self):
+        codes = list(CITY_HINT_CODES.values())
+        assert len(codes) == len(set(codes))
+
+    def test_unknown_city_returns_none(self):
+        assert hint_for_city("Atlantis, XX") is None
+
+    def test_unknown_code_returns_none(self):
+        assert city_for_hint("zzz") is None
+
+    def test_case_insensitive_reverse(self):
+        assert city_for_hint("FRA") == "Frankfurt, DE"
+
+
+class TestExtractHint:
+    def test_plain_code_label(self):
+        assert extract_hint("edge-1.fra.example.net") == "Frankfurt, DE"
+
+    def test_code_with_digits(self):
+        assert extract_hint("srv.nbo02.tracker.com") == "Nairobi, KE"
+
+    def test_no_hint(self):
+        assert extract_hint("server-12.example.net") is None
+
+    def test_empty(self):
+        assert extract_hint("") is None
+        assert extract_hint(None) is None
+
+    def test_stopwords_not_hints(self):
+        # "cdn" happens to be 3 letters but is a stopword; and even if it
+        # were not, it is not in the hint table.
+        assert extract_hint("cdn.www.net.com") is None
+
+    def test_first_hint_wins(self):
+        # Hostname with two codes: scanning order is left to right.
+        assert extract_hint("ams1.fra2.example.net") == "Amsterdam, NL"
+
+    def test_uppercase_hostname(self):
+        assert extract_hint("EDGE-3.LHR01.EXAMPLE.NET") == "London, GB"
+
+    def test_code_embedded_in_longer_label_ignored(self):
+        # "strasbourg" contains no standalone code label.
+        assert extract_hint("strasbourg.example.net") is None

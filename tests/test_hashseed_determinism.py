@@ -1,0 +1,37 @@
+"""Cross-process determinism under Python hash randomisation.
+
+Every stochastic decision flows through SHA-256-seeded RNGs, so results
+must be identical across processes with different ``PYTHONHASHSEED``
+values.  (A regression here once slipped in via iterating a ``set``
+whose order is hash-seed dependent.)
+"""
+
+import os
+import subprocess
+import sys
+
+SNIPPET = """
+import json
+from repro import build_scenario, run_study
+outcome = run_study(build_scenario(), countries=["RW", "GB"])
+funnel = outcome.funnel()
+print(json.dumps({
+    "funnel": [funnel.total_hosts, funnel.nonlocal_candidates, funnel.after_rdns],
+    "rw_hosts": sorted(outcome.result_for("RW").nonlocal_tracker_hosts())[:20],
+    "gb_pct": round(outcome.prevalence().combined_pct_by_country()["GB"], 4),
+}, sort_keys=True))
+"""
+
+
+def _run_with_hashseed(seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    result = subprocess.run(
+        [sys.executable, "-c", SNIPPET],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return result.stdout.strip()
+
+
+def test_identical_results_across_hash_seeds():
+    outputs = {_run_with_hashseed(seed) for seed in ("0", "12345", "random")}
+    assert len(outputs) == 1, f"hash-seed-dependent results: {outputs}"

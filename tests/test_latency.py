@@ -1,0 +1,89 @@
+"""Latency model: physics compliance, determinism, penalties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.distance import city_distance_km, min_rtt_ms
+from repro.netsim.geography import City, default_registry
+from repro.netsim.latency import ACCESS_PENALTY_MS, LatencyModel
+
+_REG = default_registry()
+_ALL_CITIES = [city for country in _REG.countries for city in country.cities]
+_city = st.sampled_from(_ALL_CITIES)
+
+
+class TestLatencyModel:
+    def test_inflation_symmetric(self, latency_model):
+        a = _REG.city("Paris, FR")
+        b = _REG.city("Tokyo, JP")
+        assert latency_model.inflation(a, b) == latency_model.inflation(b, a)
+
+    def test_inflation_within_range(self, latency_model):
+        a = _REG.city("Paris, FR")
+        b = _REG.city("Tokyo, JP")
+        assert 1.25 <= latency_model.inflation(a, b) <= 1.85
+
+    def test_bad_inflation_range_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(inflation_range=(0.9, 1.2))
+        with pytest.raises(ValueError):
+            LatencyModel(inflation_range=(1.5, 1.2))
+
+    def test_access_penalty_tiers(self, latency_model):
+        us = _REG.city("New York, US")
+        ug = _REG.city("Kampala, UG")
+        assert latency_model.access_penalty(ug) > latency_model.access_penalty(us)
+
+    def test_access_penalty_default_for_unknown(self, latency_model):
+        city = City("Nowhere", "QQ", 0, 0)
+        assert latency_model.access_penalty(city) == 6.0
+
+    def test_rtt_deterministic_per_key(self, latency_model):
+        a = _REG.city("London, GB")
+        b = _REG.city("Nairobi, KE")
+        assert latency_model.rtt_ms(a, b, "m1") == latency_model.rtt_ms(a, b, "m1")
+
+    def test_rtt_varies_by_key(self, latency_model):
+        a = _REG.city("London, GB")
+        b = _REG.city("Nairobi, KE")
+        samples = {latency_model.rtt_ms(a, b, f"m{i}") for i in range(10)}
+        assert len(samples) > 1
+
+    def test_typical_below_any_sample_plus_jitter(self, latency_model):
+        a = _REG.city("London, GB")
+        b = _REG.city("Nairobi, KE")
+        typical = latency_model.typical_rtt_ms(a, b)
+        sample = latency_model.rtt_ms(a, b, "k")
+        assert typical <= sample <= typical + 2.5 + 1e-9
+
+    def test_same_city_rtt_is_access_only(self, latency_model):
+        a = _REG.city("Paris, FR")
+        rtt = latency_model.typical_rtt_ms(a, a)
+        assert rtt == pytest.approx(2 * latency_model.access_penalty(a))
+
+    @settings(max_examples=60)
+    @given(_city, _city)
+    def test_never_violates_speed_of_light(self, a, b):
+        model = LatencyModel()
+        rtt = model.rtt_ms(a, b, "prop")
+        assert rtt >= min_rtt_ms(city_distance_km(a, b))
+        assert not model.sol_violates(a, b, rtt)
+
+    @settings(max_examples=60)
+    @given(_city, _city)
+    def test_rtt_positive_and_bounded(self, a, b):
+        model = LatencyModel()
+        rtt = model.rtt_ms(a, b, "k")
+        assert rtt > 0
+        # Max plausible: half circumference at max inflation plus penalties.
+        assert rtt < 2 * 20038 / 133 * 1.85 + 25
+
+    def test_sol_violates_detects_impossible(self, latency_model):
+        a = _REG.city("Paris, FR")
+        b = _REG.city("Tokyo, JP")
+        assert latency_model.sol_violates(a, b, 1.0)
+
+    def test_access_penalty_table_sane(self):
+        for cc, value in ACCESS_PENALTY_MS.items():
+            assert 0 < value < 15, cc

@@ -1,0 +1,80 @@
+"""Published latency statistics providers and the fallback chain."""
+
+import pytest
+
+from repro.core.geoloc.latency_stats import (
+    StatsChain,
+    SyntheticStatsProvider,
+    VERIZON_HUB_CITIES,
+    default_stats_chain,
+)
+from repro.netsim.geography import default_registry
+from repro.netsim.latency import LatencyModel
+
+REG = default_registry()
+MODEL = LatencyModel()
+
+
+class TestSyntheticProvider:
+    def test_covers_listed_cities_only(self):
+        provider = SyntheticStatsProvider("v", MODEL, covered_cities=["Paris, FR"])
+        assert provider.covers(REG.city("Paris, FR"))
+        assert not provider.covers(REG.city("Kigali, RW"))
+
+    def test_none_coverage_means_universal(self):
+        provider = SyntheticStatsProvider("w", MODEL)
+        assert provider.covers(REG.city("Kigali, RW"))
+
+    def test_uncovered_pair_returns_none(self):
+        provider = SyntheticStatsProvider("v", MODEL, covered_cities=["Paris, FR"])
+        assert provider.published_rtt_ms(REG.city("Paris, FR"), REG.city("Kigali, RW")) is None
+
+    def test_published_close_to_typical(self):
+        provider = SyntheticStatsProvider("w", MODEL, noise_range=(0.9, 1.1))
+        a, b = REG.city("Paris, FR"), REG.city("Tokyo, JP")
+        typical = MODEL.typical_rtt_ms(a, b)
+        published = provider.published_rtt_ms(a, b)
+        assert 0.9 * typical <= published <= 1.1 * typical
+
+    def test_symmetric(self):
+        provider = SyntheticStatsProvider("w", MODEL)
+        a, b = REG.city("Paris, FR"), REG.city("Tokyo, JP")
+        assert provider.published_rtt_ms(a, b) == provider.published_rtt_ms(b, a)
+
+    def test_same_city(self):
+        provider = SyntheticStatsProvider("w", MODEL)
+        a = REG.city("Paris, FR")
+        assert provider.published_rtt_ms(a, a) == pytest.approx(2 * MODEL.access_penalty(a), abs=0.1)
+
+    def test_bad_noise_range(self):
+        with pytest.raises(ValueError):
+            SyntheticStatsProvider("x", MODEL, noise_range=(0.0, 1.0))
+
+
+class TestStatsChain:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            StatsChain([])
+
+    def test_fallback_order(self):
+        verizon = SyntheticStatsProvider("verizon-like", MODEL, covered_cities=["Paris, FR", "Tokyo, JP"])
+        wonder = SyntheticStatsProvider("wondernetwork-like", MODEL)
+        chain = StatsChain([verizon, wonder])
+        hub_pair = (REG.city("Paris, FR"), REG.city("Tokyo, JP"))
+        sparse_pair = (REG.city("Paris, FR"), REG.city("Kigali, RW"))
+        assert chain.source_of(*hub_pair) == "verizon-like"
+        assert chain.source_of(*sparse_pair) == "wondernetwork-like"
+        assert chain.published_rtt_ms(*sparse_pair) is not None
+
+    def test_default_chain_full_coverage_over_registry(self):
+        chain = default_stats_chain(MODEL, REG)
+        for key in ("Kigali, RW", "Doha, QA", "Auckland, NZ"):
+            assert chain.published_rtt_ms(REG.city("Paris, FR"), REG.city(key)) is not None
+
+    def test_default_chain_prefers_verizon_between_hubs(self):
+        chain = default_stats_chain(MODEL, REG)
+        assert chain.source_of(REG.city("Paris, FR"), REG.city("Tokyo, JP")) == "verizon-like"
+
+    def test_hub_cities_exist_in_registry(self):
+        for key in VERIZON_HUB_CITIES:
+            assert REG.city(key)

@@ -1,0 +1,94 @@
+"""Multi-database disagreement and majority voting."""
+
+import pytest
+
+from repro.geodb.multidb import GeoDatabaseComparison, default_database_suite
+
+
+@pytest.fixture(scope="module")
+def suite_and_addresses(scenario):
+    suite = default_database_suite(scenario.world)
+    addresses = [str(a.address(1)) for a in list(scenario.world.ips)[:150]]
+    return suite, addresses
+
+
+# module-scoped fixtures cannot depend on session fixtures indirectly here;
+# rebind scenario at module scope.
+@pytest.fixture(scope="module")
+def scenario():
+    from repro import build_scenario
+
+    return build_scenario()
+
+
+class TestSuite:
+    def test_five_databases(self, suite_and_addresses):
+        suite, _ = suite_and_addresses
+        assert len(suite) == 5
+        assert "ipmap-like" in suite and "maxmind-like" in suite
+
+    def test_databases_err_independently(self, suite_and_addresses):
+        suite, addresses = suite_and_addresses
+        verdicts = {
+            name: [db.is_correct(a) for a in addresses]
+            for name, db in suite.items()
+        }
+        patterns = {tuple(v) for v in verdicts.values()}
+        assert len(patterns) == 5  # no two databases fail identically
+
+    def test_ipmap_most_accurate(self, suite_and_addresses):
+        suite, addresses = suite_and_addresses
+        accuracy = {
+            name: sum(1 for a in addresses if db.is_correct(a)) / len(addresses)
+            for name, db in suite.items()
+        }
+        assert accuracy["ipmap-like"] == max(accuracy.values())
+
+
+class TestComparison:
+    def test_needs_two_databases(self, suite_and_addresses):
+        suite, _ = suite_and_addresses
+        with pytest.raises(ValueError):
+            GeoDatabaseComparison({"one": suite["ipmap-like"]})
+
+    def test_agreement_below_perfect(self, suite_and_addresses):
+        suite, addresses = suite_and_addresses
+        comparison = GeoDatabaseComparison(suite)
+        mean = comparison.mean_agreement(addresses)
+        # "Studies have shown they are not fully reliable": real databases
+        # disagree, and so do ours.
+        assert 0.6 < mean < 0.99
+
+    def test_pairwise_rates_symmetrically_keyed(self, suite_and_addresses):
+        suite, addresses = suite_and_addresses
+        rates = GeoDatabaseComparison(suite).country_agreement(addresses)
+        assert len(rates) == 10  # C(5, 2)
+        assert all(0 <= r <= 1 for r in rates.values())
+
+    def test_disagreeing_addresses_nonempty(self, suite_and_addresses):
+        suite, addresses = suite_and_addresses
+        disagreeing = GeoDatabaseComparison(suite).disagreeing_addresses(addresses)
+        assert disagreeing
+        assert set(disagreeing) <= set(addresses)
+
+    def test_majority_usually_right_but_not_always(self, scenario, suite_and_addresses):
+        suite, addresses = suite_and_addresses
+        comparison = GeoDatabaseComparison(suite)
+        right = wrong = 0
+        for address in addresses:
+            majority = comparison.majority_country(address)
+            truth = scenario.world.ips.true_country(address)
+            if majority is None or truth is None:
+                continue
+            if majority == truth:
+                right += 1
+            else:
+                wrong += 1
+        assert right > wrong  # voting helps...
+        assert wrong > 0      # ...but correlated confusion still breaks it
+
+    def test_majority_nonlocal_verdict(self, scenario, suite_and_addresses):
+        suite, addresses = suite_and_addresses
+        comparison = GeoDatabaseComparison(suite)
+        verdict = comparison.majority_is_nonlocal(addresses[0], "TH")
+        assert verdict in (True, False)

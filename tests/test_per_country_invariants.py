@@ -1,0 +1,45 @@
+"""Per-country invariants over the full study, parametrised."""
+
+import pytest
+
+from repro.netsim.geography import MEASUREMENT_COUNTRIES
+
+
+@pytest.mark.parametrize("cc", sorted(MEASUREMENT_COUNTRIES))
+class TestEveryCountry:
+    def test_dataset_and_geolocation_present(self, study_full, cc):
+        assert cc in study_full.datasets
+        assert cc in study_full.geolocations
+        assert study_full.result_for(cc).country_code == cc
+
+    def test_loaded_sites_have_dns(self, study_full, cc):
+        dataset = study_full.datasets[cc]
+        for measurement in dataset.websites.values():
+            if measurement.loaded:
+                assert measurement.requested_hosts
+                assert measurement.dns
+            else:
+                assert measurement.failure_reason
+
+    def test_trackers_reference_resolved_hosts(self, study_full, cc):
+        result = study_full.result_for(cc)
+        dataset = study_full.datasets[cc]
+        for site in result.sites:
+            measurement = dataset.websites[site.url]
+            for tracker in site.trackers:
+                assert tracker.host in measurement.requested_hosts
+                assert measurement.dns[tracker.host] == tracker.address
+                assert tracker.destination_country != cc
+
+    def test_funnel_consistent(self, study_full, cc):
+        funnel = study_full.geolocations[cc].funnel
+        assert funnel.total_hosts == (
+            funnel.unlocated + funnel.local + funnel.nonlocal_candidates
+        )
+        assert funnel.after_rdns == funnel.verified_nonlocal >= 0
+
+    def test_prevalence_in_range(self, study_full, cc):
+        row = next(r for r in study_full.prevalence().per_country() if r.country_code == cc)
+        for value in (row.regional_pct, row.government_pct, row.combined_pct):
+            assert 0.0 <= value <= 100.0
+        assert row.regional_count > 0 and row.government_count > 0

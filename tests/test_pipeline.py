@@ -1,0 +1,167 @@
+"""Geolocation pipeline: verdicts, funnel accounting, constraint toggles."""
+
+import pytest
+
+from repro.atlas.measurements import AtlasMeasurementService
+from repro.core.gamma.output import VolunteerDataset, WebsiteMeasurement
+from repro.core.gamma.parsers import NormalizedHop, NormalizedTraceroute
+from repro.core.geoloc.latency_stats import default_stats_chain
+from repro.core.geoloc.pipeline import (
+    GeolocationPipeline,
+    PipelineConfig,
+    ServerStatus,
+    SourceTraces,
+)
+from repro.geodb.errors import GeoErrorModel
+from repro.geodb.ipmap import IPMapService
+from repro.netsim.geography import default_registry
+from repro.netsim.network import World
+
+from tests.test_servers_dns import make_deployment
+
+REG = default_registry()
+
+
+@pytest.fixture()
+def setup():
+    """A Thai volunteer's dataset: one local host, one French tracker."""
+    world = World(geo=REG)
+    local = make_deployment(["TH"], org_name="ThaiHost", domains=("siam.co.th",), space=world.ips)
+    foreign = make_deployment(["FR"], org_name="AdOrg", domains=("adorg.net",), space=world.ips)
+    for deployment in (local, foreign):
+        world.deployments[deployment.org.name] = deployment
+        for domain in deployment.org.domains:
+            world.dns.register(domain, deployment)
+    vantage = REG.country("TH").capital
+    local_ip = world.dns.resolve_address("www.siam.co.th", vantage)
+    foreign_ip = world.dns.resolve_address("px.adorg.net", vantage)
+
+    dataset = VolunteerDataset("TH", vantage.key, "5.99.0.10", "linux", "chrome")
+    measurement = WebsiteMeasurement(
+        url="www.siam.co.th", category="regional", loaded=True,
+        requested_hosts=["www.siam.co.th", "px.adorg.net"],
+        dns={"www.siam.co.th": local_ip, "px.adorg.net": foreign_ip},
+        rdns={local_ip: world.rdns.lookup(local_ip), foreign_ip: world.rdns.lookup(foreign_ip)},
+    )
+    dataset.add(measurement)
+
+    def realistic_trace(ip):
+        destination = world.ips.true_city(ip)
+        rtt = world.latency.rtt_ms(vantage, destination, f"t:{ip}")
+        return NormalizedTraceroute(
+            target=ip, reached=True,
+            hops=[NormalizedHop(1, "192.168.1.1", (1.2,)), NormalizedHop(2, ip, (round(rtt, 3),))],
+        )
+
+    traces = SourceTraces(
+        city=vantage,
+        traces={local_ip: realistic_trace(local_ip), foreign_ip: realistic_trace(foreign_ip)},
+    )
+    return world, dataset, traces, local_ip, foreign_ip
+
+
+def make_pipeline(world, errors=None, config=None):
+    return GeolocationPipeline(
+        ipmap=IPMapService(world, errors or GeoErrorModel(0, 0, 0)),
+        atlas=AtlasMeasurementService(world),
+        stats=default_stats_chain(world.latency, REG),
+        latency=world.latency,
+        config=config,
+    )
+
+
+class TestVerdicts:
+    def test_local_and_nonlocal(self, setup):
+        world, dataset, traces, local_ip, foreign_ip = setup
+        result = make_pipeline(world).classify_dataset(dataset, traces)
+        assert result.verdicts[local_ip].status == ServerStatus.LOCAL
+        assert result.verdicts[foreign_ip].status == ServerStatus.NONLOCAL_VERIFIED
+        assert result.verdicts[foreign_ip].claimed_country == "FR"
+
+    def test_verdict_for_host(self, setup):
+        world, dataset, traces, _, foreign_ip = setup
+        result = make_pipeline(world).classify_dataset(dataset, traces)
+        verdict = result.verdict_for_host("px.adorg.net")
+        assert verdict is not None and verdict.is_verified_nonlocal
+        assert result.verdict_for_host("unknown.example") is None
+        assert result.nonlocal_hosts() == ["px.adorg.net"]
+
+    def test_unlocated_when_db_has_no_data(self, setup):
+        world, dataset, traces, local_ip, foreign_ip = setup
+        pipeline = make_pipeline(world, GeoErrorModel(missing_rate=1.0, wrong_city_rate=0,
+                                                      wrong_country_rate=0))
+        result = pipeline.classify_dataset(dataset, traces)
+        assert result.verdicts[foreign_ip].status == ServerStatus.UNLOCATED
+
+    def test_local_claimed_foreign_is_discarded_not_verified(self, setup):
+        """The paper's precision claim: a local server wrongly geolocated
+        abroad must not survive as 'non-local'."""
+        world, dataset, traces, local_ip, _ = setup
+        pipeline = make_pipeline(world, GeoErrorModel(missing_rate=0, wrong_city_rate=0,
+                                                      wrong_country_rate=1.0))
+        result = pipeline.classify_dataset(dataset, traces)
+        verdict = result.verdicts[local_ip]
+        assert verdict.status == ServerStatus.DISCARDED
+
+    def test_no_source_trace_discards(self, setup):
+        world, dataset, _, local_ip, foreign_ip = setup
+        empty = SourceTraces(city=REG.country("TH").capital, traces={})
+        result = make_pipeline(world).classify_dataset(dataset, empty)
+        assert result.verdicts[foreign_ip].status == ServerStatus.DISCARDED
+        assert result.verdicts[foreign_ip].discarded_by == "source"
+        # Local classification does not need traces at all.
+        assert result.verdicts[local_ip].status == ServerStatus.LOCAL
+
+
+class TestFunnel:
+    def test_accounting_consistent(self, setup):
+        world, dataset, traces, _, _ = setup
+        funnel = make_pipeline(world).classify_dataset(dataset, traces).funnel
+        assert funnel.total_hosts == 2
+        assert funnel.local + funnel.nonlocal_candidates + funnel.unlocated == funnel.total_hosts
+        assert funnel.after_latency_constraints >= funnel.after_rdns >= funnel.verified_nonlocal
+
+    def test_observation_weighting(self, setup):
+        world, dataset, traces, _, foreign_ip = setup
+        # The same tracker host on a second site counts as a second
+        # observation (section 5 counts per-site domains).
+        second = WebsiteMeasurement(
+            url="other.co.th", category="regional", loaded=True,
+            requested_hosts=["px.adorg.net"], dns={"px.adorg.net": foreign_ip},
+        )
+        dataset.add(second)
+        funnel = make_pipeline(world).classify_dataset(dataset, traces).funnel
+        assert funnel.total_hosts == 3
+        assert funnel.nonlocal_candidates == 2
+
+    def test_destination_traceroutes_counted(self, setup):
+        world, dataset, traces, _, _ = setup
+        funnel = make_pipeline(world).classify_dataset(dataset, traces).funnel
+        assert funnel.destination_traceroutes == 1
+
+    def test_merged_with(self, setup):
+        world, dataset, traces, _, _ = setup
+        funnel = make_pipeline(world).classify_dataset(dataset, traces).funnel
+        merged = funnel.merged_with(funnel)
+        assert merged.total_hosts == 2 * funnel.total_hosts
+
+
+class TestConstraintToggles:
+    def test_disable_all_verifies_raw_claims(self, setup):
+        world, dataset, traces, local_ip, _ = setup
+        config = PipelineConfig(enable_source=False, enable_destination=False, enable_rdns=False)
+        pipeline = make_pipeline(
+            world,
+            GeoErrorModel(missing_rate=0, wrong_city_rate=0, wrong_country_rate=1.0),
+            config,
+        )
+        result = pipeline.classify_dataset(dataset, traces)
+        # With no constraints, the wrongly-geolocated local server slips
+        # through as "non-local" — the error the pipeline exists to stop.
+        assert result.verdicts[local_ip].status == ServerStatus.NONLOCAL_VERIFIED
+
+    def test_disable_destination_skips_probe_traffic(self, setup):
+        world, dataset, traces, _, _ = setup
+        config = PipelineConfig(enable_destination=False)
+        result = make_pipeline(world, config=config).classify_dataset(dataset, traces)
+        assert result.funnel.destination_traceroutes == 0

@@ -1,0 +1,71 @@
+"""Data-localization policy registry (Table 1 inputs)."""
+
+import pytest
+
+from repro.netsim.geography import MEASUREMENT_COUNTRIES
+from repro.policy.registry import (
+    PolicyRecord,
+    PolicyRegistry,
+    PolicyType,
+    default_policy_registry,
+)
+
+
+class TestPolicyType:
+    def test_strictness_order(self):
+        assert PolicyType.strictness_rank("CS") == 0
+        assert PolicyType.strictness_rank("NR") == 4
+        assert PolicyType.strictness_rank("PA") < PolicyType.strictness_rank("AC")
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            PolicyType.strictness_rank("XX")
+
+
+class TestPolicyRecord:
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyRecord("XX", "ZZ", True)
+
+    def test_strictness_property(self):
+        assert PolicyRecord("AZ", "CS", True).strictness_rank == 0
+
+
+class TestDefaultRegistry:
+    def test_covers_all_measurement_countries(self):
+        registry = default_policy_registry()
+        for cc in MEASUREMENT_COUNTRIES:
+            assert registry.has(cc)
+        assert len(registry) == 23
+
+    def test_paper_assignments(self):
+        registry = default_policy_registry()
+        assert registry.get("AZ").policy_type == PolicyType.CONSENT_OF_SUBJECT
+        assert registry.get("DZ").policy_type == PolicyType.PRIOR_APPROVAL
+        assert registry.get("RU").policy_type == PolicyType.APPROVED_COUNTRIES
+        assert registry.get("US").policy_type == PolicyType.TRANSFERS_ALLOWED
+        assert registry.get("LB").policy_type == PolicyType.NO_RESTRICTIONS
+
+    def test_not_yet_enacted(self):
+        registry = default_policy_registry()
+        for cc in ("IN", "PK", "TH"):
+            assert not registry.get(cc).enacted
+        assert registry.get("JO").enacted
+
+    def test_by_strictness_order(self):
+        rows = default_policy_registry().by_strictness()
+        assert rows[0].country_code == "AZ"  # only CS country
+        assert rows[-1].country_code == "LB"  # only NR country
+        ranks = [r.strictness_rank for r in rows]
+        assert ranks == sorted(ranks)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyRegistry([
+                PolicyRecord("AZ", "CS", True),
+                PolicyRecord("AZ", "PA", True),
+            ])
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(KeyError):
+            default_policy_registry().get("FR")

@@ -1,0 +1,86 @@
+"""Reverse DNS generation: styles, coverage, hints, overrides."""
+
+import pytest
+
+from repro.netsim.geography import default_registry
+from repro.netsim.geohints import extract_hint
+from repro.netsim.ip import IPSpace
+from repro.netsim.rdns import RDNSStyle, ReverseDNSService
+
+REG = default_registry()
+
+
+def make_service(coverage=1.0, hinted=True):
+    space = IPSpace()
+    allocation = space.allocate(77, REG.city("Frankfurt, DE"), label="OrgX/fra1")
+    service = ReverseDNSService(space)
+    service.set_style("OrgX", RDNSStyle(apex="orgx-dc.net", coverage=coverage, hinted=hinted))
+    return service, allocation
+
+
+class TestRDNSStyle:
+    def test_invalid_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            RDNSStyle(apex="x.net", coverage=1.5)
+
+
+class TestReverseDNSService:
+    def test_full_coverage_always_answers(self):
+        service, allocation = make_service(coverage=1.0)
+        for host in range(1, 30):
+            assert service.lookup(allocation.address(host)) is not None
+
+    def test_zero_coverage_never_answers(self):
+        service, allocation = make_service(coverage=0.0)
+        for host in range(1, 30):
+            assert service.lookup(allocation.address(host)) is None
+
+    def test_hinted_hostname_decodes_to_true_city(self):
+        service, allocation = make_service(coverage=1.0, hinted=True)
+        ptr = service.lookup(allocation.address(5))
+        assert ptr.endswith(".orgx-dc.net")
+        assert extract_hint(ptr) == "Frankfurt, DE"
+
+    def test_unhinted_hostname_has_no_geo(self):
+        service, allocation = make_service(coverage=1.0, hinted=False)
+        ptr = service.lookup(allocation.address(5))
+        assert extract_hint(ptr) is None
+
+    def test_deterministic(self):
+        service, allocation = make_service(coverage=0.5)
+        address = allocation.address(9)
+        assert service.lookup(address) == service.lookup(address)
+
+    def test_unallocated_address_none(self):
+        service, _ = make_service()
+        assert service.lookup("9.9.9.9") is None
+
+    def test_override_plants_specific_record(self):
+        # The section-4.1.3 scenario: a record claiming another city.
+        service, allocation = make_service()
+        address = str(allocation.address(3))
+        service.override(address, "edge-1.ams02.orgx-dc.net")
+        assert extract_hint(service.lookup(address)) == "Amsterdam, NL"
+
+    def test_override_with_none_removes_record(self):
+        service, allocation = make_service(coverage=1.0)
+        address = str(allocation.address(3))
+        service.override(address, None)
+        assert service.lookup(address) is None
+
+    def test_default_style_for_unknown_org(self):
+        space = IPSpace()
+        allocation = space.allocate(1, REG.city("Paris, FR"), label="Mystery/par1")
+        service = ReverseDNSService(space)
+        # Default style is unhinted; any PTR produced has no geo hint.
+        for host in range(1, 20):
+            ptr = service.lookup(allocation.address(host))
+            if ptr is not None:
+                assert extract_hint(ptr) is None
+
+    def test_coverage_is_statistical(self):
+        service, allocation = make_service(coverage=0.5)
+        answered = sum(
+            1 for host in range(1, 101) if service.lookup(allocation.address(host))
+        )
+        assert 25 < answered < 75

@@ -1,0 +1,122 @@
+"""Report renderers, the C2 gatherer, and source-trace selection."""
+
+import pytest
+
+from repro import build_source_traces
+from repro.core.analysis.report import (
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_table1,
+)
+from repro.core.gamma.netinfo import NetworkInfoGatherer
+from repro.netsim.geography import default_registry
+from repro.netsim.network import World
+
+from tests.test_servers_dns import make_deployment
+
+REG = default_registry()
+
+
+class TestRenderers:
+    def test_fig3_contains_all_countries_and_summary(self, study_small):
+        text = render_fig3(study_small.prevalence())
+        for cc in study_small.datasets:
+            assert f"\n{cc} " in text or text.startswith(f"{cc} ")
+        assert "Pearson r=" in text
+
+    def test_fig4_marks_empty_distributions(self, study_small):
+        text = render_fig4(study_small.per_website())
+        assert "CA" in text  # zero-tracker country renders with dashes
+        assert "-" in text
+
+    def test_fig5_lists_destinations(self, study_small):
+        text = render_fig5(study_small.flows())
+        assert "destination" in text
+        assert "AU" in text  # NZ flows
+
+    def test_fig6_names_hub(self, study_small):
+        text = render_fig6(study_small.continents())
+        assert "central hub:" in text
+
+    def test_fig7_and_fig8(self, study_small):
+        assert "hosting country" in render_fig7(study_small.hosting())
+        fig8 = render_fig8(study_small.organizations())
+        assert "Google" in fig8
+        assert "organisations observed:" in fig8
+
+    def test_table1_sorted_and_correlated(self, study_full):
+        text = render_table1(study_full.policy())
+        lines = text.splitlines()
+        assert lines[3].startswith("AZ")  # strictest regime first
+        assert "Spearman" in text
+
+
+class TestNetworkInfoGatherer:
+    @pytest.fixture()
+    def world(self):
+        from repro.netsim.asn import AutonomousSystem
+
+        world = World(geo=REG)
+        # make_deployment allocates under ASN 1000; register it so the
+        # IPinfo-like service can annotate.
+        world.asns.add(AutonomousSystem(1000, "ADORG-NET", "AdOrg", "US"))
+        deployment = make_deployment(["FR"], org_name="AdOrg", domains=("adorg.net",),
+                                     space=world.ips)
+        world.deployments["AdOrg"] = deployment
+        world.dns.register("adorg.net", deployment)
+        return world
+
+    def test_gather_resolves_and_annotates(self, world):
+        from repro.geodb.ipinfo import IPInfoService
+
+        gatherer = NetworkInfoGatherer(world, IPInfoService(world))
+        result = gatherer.gather(["px.adorg.net", "missing.example"], REG.country("TH").capital)
+        assert "px.adorg.net" in result.dns
+        assert result.failures == {"missing.example": "nxdomain"}
+        address = result.dns["px.adorg.net"]
+        assert address in result.rdns
+        assert result.metadata[address].org == "AdOrg"
+
+    def test_gather_without_ipinfo_skips_metadata(self, world):
+        gatherer = NetworkInfoGatherer(world)
+        result = gatherer.gather(["px.adorg.net"], REG.country("TH").capital)
+        assert result.metadata == {}
+
+    def test_refused_recorded(self, world):
+        from repro.netsim.servers import ServingPolicy
+
+        deployment = world.deployments["AdOrg"]
+        deployment.policy.restricted["FR"] = {"FR"}  # serve France only
+        gatherer = NetworkInfoGatherer(world)
+        result = gatherer.gather(["px.adorg.net"], REG.country("TH").capital)
+        assert result.failures == {"px.adorg.net": "refused"}
+
+
+class TestSourceTraceSelection:
+    def test_volunteer_traces_preferred(self, scenario, study_small):
+        volunteer = scenario.volunteers["NZ"]
+        dataset = study_small.datasets["NZ"]
+        traces = build_source_traces(scenario, volunteer, dataset)
+        assert traces.origin == "volunteer"
+        assert traces.city.key == volunteer.city.key
+        assert traces.traces
+
+    def test_optout_falls_back_to_atlas(self, scenario, study_small):
+        volunteer = scenario.volunteers["EG"]
+        dataset = study_small.datasets["EG"]
+        traces = build_source_traces(scenario, volunteer, dataset)
+        assert traces.origin.startswith("atlas:")
+        # Every resolved address got a fallback trace.
+        resolved = {a for m in dataset.websites.values() for a in m.dns.values()}
+        assert set(traces.traces) == resolved
+
+    def test_blocked_country_fallback_city(self, scenario, study_small):
+        volunteer = scenario.volunteers["QA"]
+        dataset = study_small.datasets["QA"]
+        traces = build_source_traces(scenario, volunteer, dataset)
+        assert traces.origin.startswith("atlas:")
+        assert traces.city.country_code != "QA"  # the mesh gap forces a neighbour

@@ -1,0 +1,119 @@
+"""Sankey rendering and the recruitment/consent ledger."""
+
+import pytest
+
+from repro.core.analysis.sankey import Flow, flows_from_edges, render_sankey
+from repro.recruitment import (
+    ConsentRecord,
+    Participant,
+    RecruitmentChannel,
+    build_recruitment_log,
+)
+
+
+class TestSankey:
+    def _flows(self):
+        return flows_from_edges([
+            ("NZ", "AU", 120),
+            ("PK", "FR", 60),
+            ("PK", "DE", 40),
+            ("RW", "KE", 55),
+        ])
+
+    def test_renders_nodes_and_ribbons(self):
+        text = render_sankey(self._flows(), title="Flows")
+        assert text.startswith("Flows")
+        assert "SOURCES" in text and "DESTINATIONS" in text
+        assert "NZ" in text and "AU" in text
+        assert "==[ 120]==>" in text
+
+    def test_sorted_by_volume(self):
+        text = render_sankey(self._flows())
+        lines = text.splitlines()
+        pk_line = next(i for i, l in enumerate(lines) if l.lstrip().startswith("PK"))
+        rw_line = next(i for i, l in enumerate(lines) if l.lstrip().startswith("RW"))
+        assert pk_line < rw_line  # PK total 100 > RW 55
+
+    def test_bars_proportional(self):
+        text = render_sankey(self._flows(), width=20)
+        for line in text.splitlines():
+            if line.lstrip().startswith("NZ") and "#" in line:
+                nz_bar = line.count("#")
+            if line.lstrip().startswith("RW") and "#" in line:
+                rw_bar = line.count("#")
+        assert nz_bar > rw_bar
+
+    def test_zero_weight_dropped(self):
+        text = render_sankey([Flow("A", "B", 0)])
+        assert "(no flows)" in text
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Flow("A", "B", -1)
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_sankey(self._flows(), width=2)
+
+    def test_max_ribbons_cap(self):
+        flows = [Flow(f"S{i}", "T", 10 + i) for i in range(30)]
+        text = render_sankey(flows, max_ribbons=5)
+        assert text.count("==>") == 5
+
+
+class TestRecruitmentModels:
+    def test_participant_validation(self):
+        with pytest.raises(ValueError):
+            Participant("P01", "carrier pigeon", ("TH",))
+        with pytest.raises(ValueError):
+            Participant("P01", RecruitmentChannel.SNOWBALL, ())
+
+    def test_consent_active(self):
+        assert ConsentRecord("P01").active
+        assert not ConsentRecord("P01", withdrawn=True).active
+        assert not ConsentRecord("P01", consented=False).active
+
+
+class TestRecruitmentLog:
+    def test_22_participants_cover_23_countries(self, scenario):
+        log = build_recruitment_log(scenario.volunteers)
+        assert len(log.active_participants) == 22  # the paper's count
+        assert len(log.covered_countries) == 23
+        multi = [p for p in log.active_participants if len(p.country_codes) > 1]
+        assert len(multi) == 1 and set(multi[0].country_codes) == {"JO", "LB"}
+
+    def test_consent_matches_volunteer_configuration(self, scenario):
+        log = build_recruitment_log(scenario.volunteers)
+        assert log.validate_against_volunteers(scenario.volunteers) == []
+
+    def test_egypt_consent_excludes_probes(self, scenario):
+        log = build_recruitment_log(scenario.volunteers)
+        consent = log.consent_for_country("EG")
+        assert "C3" in consent.opted_out_components
+        assert consent.accommodations
+
+    def test_validation_catches_missing_optout(self, scenario):
+        log = build_recruitment_log(scenario.volunteers)
+        pid = log.participant_for("EG").participant_id
+        log.consents[pid] = ConsentRecord(pid)  # wipe the recorded opt-out
+        problems = log.validate_against_volunteers(scenario.volunteers)
+        assert any("EG" in p for p in problems)
+
+    def test_withdrawal_removes_coverage(self, scenario):
+        log = build_recruitment_log(scenario.volunteers)
+        pid = log.participant_for("TH").participant_id
+        log.consents[pid] = ConsentRecord(pid, withdrawn=True)
+        assert "TH" not in log.covered_countries
+        assert log.participant_for("TH") is None
+
+    def test_channel_breakdown_covers_all_channels(self, scenario):
+        log = build_recruitment_log(scenario.volunteers)
+        breakdown = log.channel_breakdown()
+        assert sum(breakdown.values()) == 22
+        assert set(breakdown) <= set(RecruitmentChannel.ALL)
+        assert breakdown.get(RecruitmentChannel.PERSONAL_NETWORK, 0) >= 5
+
+    def test_deterministic(self, scenario):
+        a = build_recruitment_log(scenario.volunteers)
+        b = build_recruitment_log(scenario.volunteers)
+        assert [p.channel for p in a.participants] == [p.channel for p in b.participants]

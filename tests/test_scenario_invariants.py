@@ -1,0 +1,142 @@
+"""Whole-scenario invariants: the built world must be self-consistent."""
+
+import pytest
+
+from repro.domains import registrable_domain
+from repro.netsim.dns import NXDomain
+from repro.netsim.geography import MEASUREMENT_COUNTRIES
+
+
+class TestDNSConsistency:
+    def test_every_target_site_resolves_from_its_country(self, scenario):
+        for cc, targets in scenario.targets.items():
+            city = scenario.volunteers[cc].city
+            for url in targets.all_sites:
+                address = scenario.world.dns.resolve_address(url, city)
+                assert scenario.world.ips.lookup(address) is not None
+
+    def test_every_embedded_host_resolves_or_is_geo_gated(self, scenario):
+        failures = []
+        for cc in ("NZ", "RW", "JO"):
+            city = scenario.volunteers[cc].city
+            for url in scenario.targets[cc].all_sites:
+                site = scenario.catalog.get(url)
+                for resource in site.embedded:
+                    try:
+                        scenario.world.dns.resolve(resource.host, city)
+                    except NXDomain:
+                        failures.append((cc, url, resource.host))
+                    except LookupError:
+                        pass  # org refuses this region: legitimate
+        assert not failures, failures[:5]
+
+    def test_static_hosts_resolve(self, scenario):
+        city = scenario.volunteers["TH"].city
+        for url in scenario.targets["TH"].regional[:20]:
+            assert scenario.world.dns.resolve_address(f"static.{url}", city)
+
+
+class TestAddressSpaceConsistency:
+    def test_every_allocation_has_known_asn(self, scenario):
+        for allocation in scenario.world.ips:
+            assert scenario.world.asns.has(allocation.asn), allocation.label
+
+    def test_labels_name_real_orgs_or_infrastructure(self, scenario):
+        org_like = set(scenario.world.organizations)
+        for allocation in scenario.world.ips:
+            owner = allocation.label.split("/", 1)[0]
+            assert (
+                owner in org_like
+                or owner.startswith("Hosting-")
+                or owner.endswith("-Telecom")
+            ), allocation.label
+
+    def test_cloud_labels_use_cloud_asns(self, scenario):
+        for allocation in scenario.world.ips:
+            owner = allocation.label.split("/", 1)[0]
+            org = scenario.world.organizations.get(owner)
+            if org is not None and org.is_cloud:
+                assert scenario.world.asns.get(allocation.asn).is_cloud
+
+
+class TestDeploymentConsistency:
+    def test_every_tracker_org_serves_some_measurement_country(self, scenario):
+        unreachable = []
+        for name, deployment in scenario.world.deployments.items():
+            if not deployment.org.is_tracker:
+                continue
+            served = 0
+            for cc in MEASUREMENT_COUNTRIES:
+                try:
+                    deployment.serve(scenario.volunteers[cc].city)
+                    served += 1
+                except LookupError:
+                    continue
+            if served == 0:
+                unreachable.append(name)
+        assert not unreachable
+
+    def test_geodns_answers_belong_to_the_serving_org(self, scenario):
+        city = scenario.volunteers["GB"].city
+        for host in ("stats.g.doubleclick.net", "connect.facebook.net", "cdn.taboola.com"):
+            answer = scenario.world.dns.resolve(host, city)
+            allocation = scenario.world.ips.lookup(answer.address)
+            assert answer.org_name in allocation.label
+
+    def test_pop_cities_match_allocations(self, scenario):
+        for deployment in scenario.world.deployments.values():
+            for pop in deployment.pops:
+                assert pop.allocation.city.key == pop.city.key
+
+
+class TestTargetListConsistency:
+    def test_quota_and_composition(self, scenario):
+        for cc, targets in scenario.targets.items():
+            assert len(targets.regional) == 50
+            assert 5 <= len(targets.government) <= 50
+            for url in targets.regional:
+                assert not scenario.catalog.get(url).adult
+                assert not scenario.catalog.get(url).banned
+            for url in targets.government:
+                assert scenario.catalog.get(url).is_government
+
+    def test_no_duplicates_within_list(self, scenario):
+        for targets in scenario.targets.values():
+            sites = targets.all_sites
+            assert len(sites) == len(set(sites))
+
+    def test_gov_sites_match_country_tld(self, scenario):
+        for cc, targets in scenario.targets.items():
+            country = scenario.world.geo.country(cc)
+            suffixes = tuple(t.lstrip(".") for t in country.gov_tlds)
+            for url in targets.government:
+                assert url.endswith(suffixes), (cc, url)
+
+
+class TestDirectoryConsistency:
+    def test_tracker_hosts_attributed(self, scenario):
+        for spec in scenario.org_specs.values():
+            if not spec.is_tracker:
+                continue
+            for host in spec.effective_hosts:
+                entry = scenario.directory.org_for_host(host)
+                assert entry is not None, host
+                assert entry.name == spec.name or entry.name == "YouTube"
+
+    def test_identifier_flags_known_trackers(self, scenario):
+        for host in ("stats.g.doubleclick.net", "connect.facebook.net",
+                     "sb.scorecardresearch.com", "cdn.jubnaadserve.com"):
+            assert scenario.identifier.classify(host, "JO").is_tracker, host
+
+    def test_identifier_spares_content(self, scenario):
+        for host in ("cdnjs.cloudmesh-cdn.com", "upload.wikimedia.org",
+                     "abs.twimg.com", "s.yimg.com"):
+            assert not scenario.identifier.classify(host, "JO").is_tracker, host
+
+    def test_site_domains_not_trackers(self, scenario):
+        for cc in ("GB", "RW"):
+            for url in scenario.targets[cc].all_sites[:30]:
+                if registrable_domain(url) in ("google.com",):
+                    continue
+                verdict = scenario.identifier.classify(url, cc)
+                assert not verdict.is_tracker or url.startswith("google."), url

@@ -1,0 +1,84 @@
+"""SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.analysis.sankey import Flow
+from repro.core.analysis.svgfig import svg_flow_diagram, svg_grouped_bars
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestGroupedBars:
+    def test_valid_svg_with_bars(self):
+        rows = [("NZ", 77.1, 93.6), ("CA", 0.0, 0.0), ("RW", 86.0, 36.0)]
+        root = parse(svg_grouped_bars(rows, "Figure 3"))
+        assert root.tag == f"{SVG_NS}svg"
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 2 legend swatches + 2 bars per row
+        assert len(rects) == 1 + 2 + 2 * len(rows)
+
+    def test_bar_widths_proportional(self):
+        rows = [("A", 100.0, 50.0)]
+        root = parse(svg_grouped_bars(rows, "t"))
+        bars = [r for r in root.findall(f"{SVG_NS}rect")][3:]
+        widths = [float(r.get("width")) for r in bars]
+        assert widths[0] == pytest.approx(2 * widths[1], rel=0.01)
+
+    def test_labels_escaped(self):
+        root = parse(svg_grouped_bars([("A&B", 1, 2)], "T<itle>"))
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "A&B" in texts
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_grouped_bars([], "t")
+
+
+class TestFlowDiagram:
+    def _flows(self):
+        return [Flow("NZ", "AU", 100), Flow("PK", "FR", 60), Flow("PK", "DE", 40)]
+
+    def test_valid_svg_with_nodes_and_ribbons(self):
+        root = parse(svg_flow_diagram(self._flows(), "Figure 5"))
+        rects = root.findall(f"{SVG_NS}rect")
+        paths = root.findall(f"{SVG_NS}path")
+        assert len(paths) == 3  # one ribbon per flow
+        assert len(rects) == 1 + 2 + 3  # background + 2 sources + 3 targets
+
+    def test_ribbon_thickness_proportional(self):
+        root = parse(svg_flow_diagram(self._flows(), "t"))
+        thicknesses = sorted(
+            float(p.get("stroke-width")) for p in root.findall(f"{SVG_NS}path")
+        )
+        assert thicknesses[-1] == pytest.approx(2.5 * thicknesses[0], rel=0.05)
+
+    def test_node_labels_present(self):
+        svg = svg_flow_diagram(self._flows(), "t")
+        assert "NZ (100)" in svg and "FR (60)" in svg
+
+    def test_max_nodes_truncates(self):
+        flows = [Flow(f"S{i:02d}", "T", 10) for i in range(30)]
+        root = parse(svg_flow_diagram(flows, "t", max_nodes=5))
+        paths = root.findall(f"{SVG_NS}path")
+        assert len(paths) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_flow_diagram([Flow("A", "B", 0)], "t")
+
+
+class TestBundleIntegration:
+    def test_svgs_in_export(self, study_small, tmp_path):
+        from repro import export_study
+
+        export_study(study_small, tmp_path / "bundle")
+        svg_dir = tmp_path / "bundle" / "figures" / "svg"
+        for name in ("fig3_prevalence.svg", "fig5_flows.svg", "fig6_continents.svg"):
+            text = (svg_dir / name).read_text()
+            parse(text)  # well-formed XML

@@ -1,0 +1,192 @@
+"""Ranking providers, overlap, government discovery, target-list builder."""
+
+import pytest
+
+from repro.core.targets.builder import TargetList, TargetListBuilder
+from repro.core.targets.government import TrancoLikeList, government_sites_for, matches_gov_tld
+from repro.core.targets.rankings import (
+    CatalogRankingProvider,
+    CoverageError,
+    RankedSite,
+    mean_overlap,
+    overlap_percentage,
+)
+from repro.netsim.geography import default_registry
+from repro.web.catalog import SiteCatalog
+from repro.web.website import CATEGORY_GOVERNMENT, CATEGORY_REGIONAL, Website
+
+REG = default_registry()
+
+
+def _site(domain, cc, category=CATEGORY_REGIONAL, popularity=0.0, **kwargs):
+    return Website(domain=domain, country_code=cc, category=category,
+                   owner_org="Pub", popularity=popularity, **kwargs)
+
+
+@pytest.fixture()
+def th_catalog():
+    sites = [_site(f"site{i}.co.th", "TH", popularity=100.0 - i) for i in range(12)]
+    sites += [
+        _site("adult.co.th", "TH", popularity=99.5, adult=True),
+        _site("banned.co.th", "TH", popularity=99.4, banned=True),
+    ]
+    sites += [_site(f"ministry{i}.go.th", "TH", CATEGORY_GOVERNMENT, popularity=10.0 - i)
+              for i in range(6)]
+    return SiteCatalog(sites)
+
+
+class TestRankingProviders:
+    def test_top_sites_ordered_by_popularity(self, th_catalog):
+        provider = CatalogRankingProvider("sw", th_catalog, noise=0.0)
+        top = provider.top_sites("TH", 3)
+        assert [s.domain for s in top] == ["site0.co.th", "adult.co.th", "banned.co.th"]
+        assert [s.rank for s in top] == [1, 2, 3]
+
+    def test_missing_country_raises(self, th_catalog):
+        provider = CatalogRankingProvider("sw", th_catalog, missing_countries={"TH"})
+        assert not provider.covers("TH")
+        with pytest.raises(CoverageError):
+            provider.top_sites("TH")
+
+    def test_unknown_country_raises(self, th_catalog):
+        provider = CatalogRankingProvider("sw", th_catalog)
+        with pytest.raises(CoverageError):
+            provider.top_sites("ZZ")
+
+    def test_noise_changes_order(self, th_catalog):
+        clean = CatalogRankingProvider("a", th_catalog, noise=0.0)
+        noisy = CatalogRankingProvider("b", th_catalog, noise=50.0)
+        assert [s.domain for s in clean.top_sites("TH", 10)] != [
+            s.domain for s in noisy.top_sites("TH", 10)
+        ]
+
+    def test_score_cap_flattens_giants(self, th_catalog):
+        th_catalog.add(_site("giant.example", "TH", popularity=10000))
+        # Uncapped, the giant's popularity puts it unconditionally first.
+        uncapped = CatalogRankingProvider("d", th_catalog, noise=0.0)
+        assert uncapped.top_sites("TH", 1)[0].domain == "giant.example"
+        # Capped, the giant saturates to the same score as strong locals
+        # and loses its guaranteed top spot (ties break by name).
+        capped = CatalogRankingProvider("c", th_catalog, noise=0.0, score_cap=95.0)
+        assert capped.top_sites("TH", 1)[0].domain != "giant.example"
+
+    def test_score_cap_validation(self, th_catalog):
+        with pytest.raises(ValueError):
+            CatalogRankingProvider("x", th_catalog, score_cap=0.0)
+
+    def test_negative_noise_rejected(self, th_catalog):
+        with pytest.raises(ValueError):
+            CatalogRankingProvider("x", th_catalog, noise=-1)
+
+
+class TestOverlap:
+    def test_full_overlap(self):
+        a = [RankedSite("x.com", 1), RankedSite("y.com", 2)]
+        assert overlap_percentage(a, list(reversed(a))) == 100.0
+
+    def test_zero_overlap(self):
+        a = [RankedSite("x.com", 1)]
+        b = [RankedSite("y.com", 1)]
+        assert overlap_percentage(a, b) == 0.0
+
+    def test_empty_reference(self):
+        assert overlap_percentage([], [RankedSite("x.com", 1)]) == 0.0
+
+    def test_mean_overlap_restricted_to_shared_coverage(self, th_catalog):
+        a = CatalogRankingProvider("a", th_catalog)
+        b = CatalogRankingProvider("b", th_catalog, missing_countries={"TH"})
+        assert mean_overlap(a, b, ["TH"]) is None
+        assert mean_overlap(a, a, ["TH"]) == 100.0
+
+
+class TestGovernmentDiscovery:
+    def test_matches_gov_tld(self):
+        th = REG.country("TH")
+        assert matches_gov_tld("health.go.th", th)
+        assert not matches_gov_tld("news.co.th", th)
+
+    def test_argentina_multiple_tlds(self):
+        ar = REG.country("AR")
+        assert matches_gov_tld("x.gob.ar", ar)
+        assert matches_gov_tld("y.gov.ar", ar)
+
+    def test_tranco_filter(self, th_catalog):
+        tranco = TrancoLikeList.from_catalog(th_catalog, coverage=1.0)
+        gov = tranco.filtered_by_tlds([".go.th"])
+        assert len(gov) == 6
+        assert all(d.endswith(".go.th") for d in gov)
+
+    def test_tranco_coverage_truncates(self, th_catalog):
+        full = TrancoLikeList.from_catalog(th_catalog, coverage=1.0)
+        partial = TrancoLikeList.from_catalog(th_catalog, coverage=0.5)
+        assert len(partial) < len(full)
+
+    def test_tranco_bad_coverage(self, th_catalog):
+        with pytest.raises(ValueError):
+            TrancoLikeList.from_catalog(th_catalog, coverage=0.0)
+
+    def test_topup_path(self, th_catalog):
+        # Low Tranco coverage drops government tail sites; the builder
+        # tops up from the "search scrape" (catalogue query).
+        tranco = TrancoLikeList.from_catalog(th_catalog, coverage=0.3)
+        gov = government_sites_for(REG.country("TH"), tranco, th_catalog, quota=6)
+        assert len(gov) == 6
+
+    def test_quota_respected(self, th_catalog):
+        tranco = TrancoLikeList.from_catalog(th_catalog)
+        gov = government_sites_for(REG.country("TH"), tranco, th_catalog, quota=3)
+        assert len(gov) == 3
+
+    def test_bad_quota(self, th_catalog):
+        tranco = TrancoLikeList.from_catalog(th_catalog)
+        with pytest.raises(ValueError):
+            government_sites_for(REG.country("TH"), tranco, th_catalog, quota=0)
+
+
+class TestTargetListBuilder:
+    def _builder(self, catalog, primary_missing=()):
+        primary = CatalogRankingProvider("similarweb", catalog, missing_countries=primary_missing)
+        secondary = CatalogRankingProvider("semrush", catalog, noise=5.0)
+        tranco = TrancoLikeList.from_catalog(catalog)
+        return TargetListBuilder(REG, catalog, primary, secondary, tranco,
+                                 regional_quota=8, government_quota=4)
+
+    def test_adult_and_banned_excluded(self, th_catalog):
+        targets = self._builder(th_catalog).build("TH")
+        assert "adult.co.th" not in targets.regional
+        assert "banned.co.th" not in targets.regional
+        assert len(targets.regional) == 8  # back-filled
+
+    def test_provider_fallback(self, th_catalog):
+        targets = self._builder(th_catalog, primary_missing={"TH"}).build("TH")
+        assert targets.ranking_source == "semrush"
+
+    def test_primary_used_when_covered(self, th_catalog):
+        assert self._builder(th_catalog).build("TH").ranking_source == "similarweb"
+
+    def test_no_provider_raises(self, th_catalog):
+        primary = CatalogRankingProvider("a", th_catalog, missing_countries={"TH"})
+        secondary = CatalogRankingProvider("b", th_catalog, missing_countries={"TH"})
+        tranco = TrancoLikeList.from_catalog(th_catalog)
+        builder = TargetListBuilder(REG, th_catalog, primary, secondary, tranco)
+        with pytest.raises(CoverageError):
+            builder.build("TH")
+
+    def test_without_removes_opt_outs(self, th_catalog):
+        targets = self._builder(th_catalog).build("TH")
+        trimmed = targets.without(targets.regional[:2])
+        assert len(trimmed) == len(targets) - 2
+        assert trimmed.country_code == "TH"
+
+    def test_common_sites_thresholds(self):
+        targets = {
+            "A": TargetList("A", regional=["shared.com", "a.com"]),
+            "B": TargetList("B", regional=["shared.com", "b.com"]),
+            "C": TargetList("C", regional=["shared.com", "b.com"]),
+        }
+        assert TargetListBuilder.common_sites(targets, 1.0) == ["shared.com"]
+        assert TargetListBuilder.common_sites(targets, 2 / 3) == ["b.com", "shared.com"]
+
+    def test_common_sites_bad_threshold(self):
+        with pytest.raises(ValueError):
+            TargetListBuilder.common_sites({"A": TargetList("A")}, 0.0)

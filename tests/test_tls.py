@@ -1,0 +1,96 @@
+"""TLS endpoint simulation and the Gamma TLS probe."""
+
+import pytest
+
+from repro.core.gamma.probes import ProbeRunner
+from repro.netsim.geography import default_registry
+from repro.netsim.network import World
+from repro.netsim.tls import TLSInspector
+
+from tests.test_servers_dns import make_deployment
+
+REG = default_registry()
+
+
+@pytest.fixture()
+def tls_world():
+    world = World(geo=REG)
+    big = make_deployment(["US", "FR", "SG"], org_name="BigCo",
+                          domains=("bigco.com", "bigco-cdn.net", "bigco-ads.net"),
+                          space=world.ips)
+    small = make_deployment(["JO"], org_name="SmallAds", domains=("smallads.jo",),
+                            space=world.ips)
+    for deployment in (big, small):
+        world.deployments[deployment.org.name] = deployment
+        world.organizations.setdefault(deployment.org.name, deployment.org)
+        for domain in deployment.org.domains:
+            world.dns.register(domain, deployment)
+    return world, big, small
+
+
+class TestTLSInspector:
+    def test_certificate_identifies_operator(self, tls_world):
+        world, big, _ = tls_world
+        inspector = TLSInspector(world)
+        info = inspector.probe(str(big.pops[0].allocation.address(5)))
+        assert info.subject_org == "BigCo"
+        assert info.subject_cn == "*.bigco.com"
+        assert "*.bigco-cdn.net" in info.san
+
+    def test_sni_selects_certificate(self, tls_world):
+        world, big, _ = tls_world
+        inspector = TLSInspector(world)
+        info = inspector.probe(str(big.pops[0].allocation.address(5)), sni="x.bigco-ads.net")
+        assert info.subject_cn == "*.bigco-ads.net"
+
+    def test_unknown_sni_falls_back(self, tls_world):
+        world, big, _ = tls_world
+        inspector = TLSInspector(world)
+        info = inspector.probe(str(big.pops[0].allocation.address(5)), sni="other.example")
+        assert info.subject_cn == "*.bigco.com"
+
+    def test_big_operator_runs_modern_stack(self, tls_world):
+        world, big, _ = tls_world
+        inspector = TLSInspector(world)
+        versions = {
+            inspector.probe(str(big.pops[0].allocation.address(h))).version
+            for h in range(1, 30)
+        }
+        assert versions <= {"TLS 1.3", "TLS 1.2"}
+
+    def test_small_operator_may_run_legacy(self, tls_world):
+        world, _, small = tls_world
+        inspector = TLSInspector(world)
+        versions = {
+            inspector.probe(str(small.pops[0].allocation.address(h))).version
+            for h in range(1, 40)
+        }
+        assert versions & {"TLS 1.1", "TLS 1.0"}
+
+    def test_unserved_address_none(self, tls_world):
+        world, _, _ = tls_world
+        assert TLSInspector(world).probe("8.8.8.8") is None
+
+    def test_deterministic(self, tls_world):
+        world, big, _ = tls_world
+        inspector = TLSInspector(world)
+        address = str(big.pops[0].allocation.address(9))
+        assert inspector.probe(address) == inspector.probe(address)
+
+    def test_gamma_probe_runner_integration(self, tls_world):
+        world, big, _ = tls_world
+        runner = ProbeRunner(world, "linux")
+        info = runner.tls(str(big.pops[0].allocation.address(1)))
+        assert info is not None and info.subject_org == "BigCo"
+        assert runner.tls("8.8.8.8") is None
+
+    def test_cloud_hosted_pop_presents_tenant_cert(self, scenario):
+        # An Amazon-adsystem PoP rides AWS address space but terminates
+        # TLS with the tenant's certificate.
+        inspector = TLSInspector(scenario.world)
+        allocation = next(
+            a for a in scenario.world.ips
+            if a.label.startswith("Amazon Web Services/Amazon-")
+        )
+        info = inspector.probe(str(allocation.address(3)))
+        assert info.subject_org == "Amazon"

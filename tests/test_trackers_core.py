@@ -1,0 +1,130 @@
+"""Organisation directory, tracker identification, party classification."""
+
+import pytest
+
+from repro.core.trackers.filterlist import FilterList, FilterSet
+from repro.core.trackers.identify import IdentificationMethod, TrackerIdentifier
+from repro.core.trackers.orgs import OrganizationDirectory, OrgEntry
+from repro.core.trackers.party import PartyClassifier, PartyKind
+
+
+@pytest.fixture()
+def directory():
+    return OrganizationDirectory([
+        OrgEntry("Google", "US", ("google.com", "googleapis.com", "doubleclick.net"),
+                 is_tracker=True, category="advertising",
+                 tracking_domains=("googleapis.com", "doubleclick.net")),
+        OrgEntry("Yahoo", "US", ("yahoo.com", "yimg.com"), is_tracker=True,
+                 tracking_domains=("analytics.yahoo.com",)),
+        OrgEntry("ManualAds", "JO", ("manualads.example",), is_tracker=True),
+        OrgEntry("Publisher", "TH", ("siamnews.co.th",)),
+    ])
+
+
+@pytest.fixture()
+def identifier(directory):
+    global_lists = FilterSet([
+        FilterList.parse("easylist", "||doubleclick.net^\n"),
+        FilterList.parse("easyprivacy", "||analytics.yahoo.com^\n"),
+    ])
+    regional = {"IN": FilterSet([FilterList.parse("regional-IN", "||admobi.in^\n")])}
+    return TrackerIdentifier(global_lists, regional, directory)
+
+
+class TestOrganizationDirectory:
+    def test_org_for_host_by_registrable(self, directory):
+        assert directory.org_for_host("stats.g.doubleclick.net").name == "Google"
+
+    def test_org_for_host_unknown(self, directory):
+        assert directory.org_for_host("mystery.example.org") is None
+
+    def test_duplicate_org_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.add(OrgEntry("Google", "US", ("other.com",)))
+
+    def test_duplicate_domain_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.add(OrgEntry("Rival", "US", ("google.com",)))
+
+    def test_tracking_host_granularity(self, directory):
+        # yimg.com belongs to Yahoo but is not a tracking domain.
+        assert directory.is_tracking_host("analytics.yahoo.com")
+        assert not directory.is_tracking_host("s.yimg.com")
+        assert not directory.is_tracking_host("www.yahoo.com")
+
+    def test_tracker_defaults_to_all_domains(self, directory):
+        assert directory.is_tracking_host("cdn.manualads.example")
+
+    def test_non_tracker_never_tracking(self, directory):
+        assert not directory.is_tracking_host("www.siamnews.co.th")
+
+    def test_trackers_listing(self, directory):
+        assert {e.name for e in directory.trackers()} == {"Google", "Yahoo", "ManualAds"}
+
+
+class TestTrackerIdentifier:
+    def test_global_list_hit(self, identifier):
+        verdict = identifier.classify("ad.doubleclick.net", "TH")
+        assert verdict.is_tracker
+        assert verdict.method == IdentificationMethod.GLOBAL_LIST
+        assert verdict.list_name == "easylist"
+        assert verdict.org_name == "Google"
+
+    def test_regional_list_hit_only_in_country(self, identifier):
+        assert identifier.classify("ads.admobi.in", "IN").method == IdentificationMethod.REGIONAL_LIST
+        # Outside India the regional list is not consulted and the host is
+        # unknown to the directory -> not a tracker.
+        assert not identifier.classify("ads.admobi.in", "TH").is_tracker
+
+    def test_manual_fallback(self, identifier):
+        verdict = identifier.classify("px.manualads.example", "JO")
+        assert verdict.is_tracker
+        assert verdict.method == IdentificationMethod.MANUAL
+        assert verdict.org_name == "ManualAds"
+
+    def test_non_tracker(self, identifier):
+        verdict = identifier.classify("www.siamnews.co.th", "TH")
+        assert not verdict.is_tracker
+        assert verdict.method is None
+
+    def test_content_host_of_tracker_org_not_flagged(self, identifier):
+        # s.yimg.com: Yahoo-owned, but not a tracking domain and not listed.
+        assert not identifier.classify("s.yimg.com", "TH").is_tracker
+
+    def test_verdict_domain_property(self, identifier):
+        verdict = identifier.classify("ad.doubleclick.net", None)
+        assert verdict.domain == "doubleclick.net"
+
+    def test_classify_many(self, identifier):
+        verdicts = identifier.classify_many(["ad.doubleclick.net", "s.yimg.com"], "TH")
+        assert verdicts["ad.doubleclick.net"].is_tracker
+        assert not verdicts["s.yimg.com"].is_tracker
+
+    def test_regional_countries(self, identifier):
+        assert identifier.regional_countries() == ["IN"]
+
+
+class TestPartyClassifier:
+    def test_first_party(self, directory):
+        classifier = PartyClassifier(directory)
+        verdict = classifier.classify("www.google.com", "fonts.googleapis.com")
+        assert verdict.kind == PartyKind.FIRST
+        assert classifier.is_first_party("www.google.com", "fonts.googleapis.com")
+
+    def test_third_party(self, directory):
+        classifier = PartyClassifier(directory)
+        verdict = classifier.classify("www.siamnews.co.th", "ad.doubleclick.net")
+        assert verdict.kind == PartyKind.THIRD
+        assert verdict.site_org == "Publisher"
+        assert verdict.tracker_org == "Google"
+
+    def test_unknown_site_with_known_tracker_is_third(self, directory):
+        classifier = PartyClassifier(directory)
+        verdict = classifier.classify("randomblog.example", "ad.doubleclick.net")
+        assert verdict.kind == PartyKind.THIRD
+        assert verdict.site_org is None
+
+    def test_unknown_tracker_is_unknown(self, directory):
+        classifier = PartyClassifier(directory)
+        verdict = classifier.classify("www.google.com", "mystery.example")
+        assert verdict.kind == PartyKind.UNKNOWN

@@ -1,0 +1,135 @@
+"""Validation utilities, scenario self-check, stub resolver, summary."""
+
+import json
+
+import pytest
+
+from repro.core.analysis.summary import summarize_study
+from repro.core.geoloc.validation import (
+    ValidationCounts,
+    misclassified_servers,
+    validate_against_truth,
+)
+from repro.netsim.dns import NXDomain
+from repro.netsim.geography import default_registry
+from repro.netsim.resolver import StubResolver
+from repro.worldgen.selfcheck import check_scenario
+
+from tests.test_servers_dns import make_deployment
+
+REG = default_registry()
+
+
+class TestValidationCounts:
+    def test_precision_recall_f1(self):
+        counts = ValidationCounts(true_positive=8, false_positive=2, false_negative=2)
+        assert counts.precision == pytest.approx(0.8)
+        assert counts.recall == pytest.approx(0.8)
+        assert counts.f1 == pytest.approx(0.8)
+
+    def test_undefined_when_empty(self):
+        counts = ValidationCounts()
+        assert counts.precision is None
+        assert counts.recall is None
+        assert counts.f1 is None
+
+    def test_merge(self):
+        a = ValidationCounts(true_positive=1, true_negative=2)
+        b = ValidationCounts(false_positive=3, false_negative=4)
+        merged = a.merged_with(b)
+        assert merged.total == 10
+
+    def test_full_study_validation(self, scenario, study_small):
+        counts = validate_against_truth(scenario.world, study_small.geolocations)
+        assert counts.precision == 1.0
+        assert counts.total > 200
+        assert misclassified_servers(scenario.world, study_small.geolocations) == []
+
+
+class TestSelfCheck:
+    def test_default_scenario_healthy(self, scenario):
+        assert check_scenario(scenario) == []
+
+    def test_detects_corrupted_target(self, scenario):
+        targets = scenario.targets["TH"]
+        original = list(targets.regional)
+        targets.regional[0] = "not-in-catalogue.example"
+        try:
+            problems = check_scenario(scenario)
+            assert any("missing from catalogue" in p for p in problems)
+        finally:
+            targets.regional[:] = original
+
+    def test_detects_bad_volunteer_ip(self, scenario):
+        volunteer = scenario.volunteers["TH"]
+        original = volunteer.ip
+        volunteer.ip = "8.8.8.8"
+        try:
+            problems = check_scenario(scenario)
+            assert any("not in served space" in p for p in problems)
+        finally:
+            volunteer.ip = original
+
+
+class TestStubResolver:
+    @pytest.fixture()
+    def resolver(self):
+        from repro.netsim.dns import GeoDNSResolver
+
+        upstream = GeoDNSResolver()
+        deployment = make_deployment(["FR", "SG"], org_name="AdOrg", domains=("adorg.net",))
+        upstream.register("adorg.net", deployment)
+        return StubResolver(upstream=upstream, client_city=REG.country("TH").capital)
+
+    def test_caches_positive_answers(self, resolver):
+        first = resolver.resolve("px.adorg.net")
+        second = resolver.resolve("px.adorg.net")
+        assert first.address == second.address
+        assert resolver.stats == (1, 1)
+
+    def test_ttl_expiry_refetches(self, resolver):
+        resolver.resolve("px.adorg.net")
+        resolver.advance(301)  # past the 300 s default TTL
+        resolver.resolve("px.adorg.net")
+        assert resolver.stats == (0, 2)
+
+    def test_negative_caching(self, resolver):
+        with pytest.raises(NXDomain):
+            resolver.resolve("nope.example")
+        with pytest.raises(NXDomain):
+            resolver.resolve("nope.example")
+        assert resolver.stats == (1, 1)
+
+    def test_negative_ttl_expiry(self, resolver):
+        with pytest.raises(NXDomain):
+            resolver.resolve("nope.example")
+        resolver.advance(61)
+        with pytest.raises(NXDomain):
+            resolver.resolve("nope.example")
+        assert resolver.stats == (0, 2)
+
+    def test_flush(self, resolver):
+        resolver.resolve("px.adorg.net")
+        assert resolver.cached_hosts() == 1
+        resolver.flush()
+        assert resolver.cached_hosts() == 0
+
+    def test_time_flows_forward(self, resolver):
+        with pytest.raises(ValueError):
+            resolver.advance(-1)
+
+
+class TestStudySummary:
+    def test_summary_headline_and_json(self, study_full):
+        summary = summarize_study(study_full)
+        assert summary.countries_with_foreign_trackers == 21
+        assert len(summary.countries) == 23
+        assert summary.central_hub_continent == "Europe"
+        assert next(iter(summary.top_destinations)) == "FR"
+        headline = summary.headline()
+        assert "91%" in headline or "21/23" in headline
+        payload = json.loads(json.dumps(summary.to_dict()))
+        assert payload["funnel"]["total_hosts"] > 0
+
+    def test_outcome_accessor(self, study_full):
+        assert study_full.summary().countries == sorted(study_full.datasets)

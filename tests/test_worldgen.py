@@ -1,0 +1,215 @@
+"""World generation: org specs, deployments, profiles, site generation."""
+
+import pytest
+
+from repro.domains import registrable_domain
+from repro.netsim.geography import MEASUREMENT_COUNTRIES, default_registry
+from repro.worldgen.datacenters import datacenter_city, volunteer_city
+from repro.worldgen.lists_gen import build_directory, build_filter_lists, tracking_entries_for
+from repro.worldgen.orgs_data import CLOUD_SPECS, LONGTAIL_SPECS, MAJOR_SPECS, all_org_specs
+from repro.worldgen.orgspec import ListMembership, OrgKind, OrgSpec
+from repro.worldgen.profiles import PROFILES
+from repro.worldgen.sites import generate_country_sites, generate_global_sites
+
+REG = default_registry()
+
+
+class TestOrgSpec:
+    def test_hosts_must_be_under_domains(self):
+        with pytest.raises(ValueError):
+            OrgSpec(name="X", home="US", kind=OrgKind.LONGTAIL,
+                    domains=("a.com",), hosts=("h.b.com",), pops=("US",))
+
+    def test_restriction_on_unknown_pop_rejected(self):
+        with pytest.raises(ValueError):
+            OrgSpec(name="X", home="US", kind=OrgKind.LONGTAIL,
+                    domains=("a.com",), pops=("US",), restricted={"FR": ("FR",)})
+
+    def test_needs_pops_unless_cloud(self):
+        with pytest.raises(ValueError):
+            OrgSpec(name="X", home="US", kind=OrgKind.LONGTAIL, domains=("a.com",))
+
+    def test_effective_hosts_falls_back_to_domains(self):
+        spec = OrgSpec(name="X", home="US", kind=OrgKind.LONGTAIL,
+                       domains=("a.com",), pops=("US",))
+        assert spec.effective_hosts == ("a.com",)
+
+
+class TestCatalogueData:
+    def test_all_specs_valid_and_unique(self):
+        specs = all_org_specs()
+        names = [s.name for s in specs]
+        assert len(names) == len(set(names))
+        domains = [d for s in specs for d in s.domains]
+        assert len(domains) == len(set(domains))
+
+    def test_pop_countries_exist(self):
+        for spec in all_org_specs():
+            for cc in spec.pops:
+                assert REG.has_country(cc), f"{spec.name}: {cc}"
+
+    def test_cloud_pops_reference_cloud_orgs(self):
+        clouds = {s.name for s in CLOUD_SPECS}
+        for spec in all_org_specs():
+            for cloud in spec.cloud_pops.values():
+                assert cloud in clouds
+
+    def test_tracker_org_count_and_ownership(self):
+        trackers = [s for s in all_org_specs() if s.is_tracker]
+        assert 60 <= len(trackers) <= 100  # paper: ~70 observed
+        us_share = sum(1 for s in trackers if s.home == "US") / len(trackers)
+        assert 0.4 <= us_share <= 0.6  # paper: 50 %
+
+    def test_majors_have_no_pops_in_foreign_heavy_countries(self):
+        # The calibration core: no major tracking network hosts in the
+        # countries the paper found to be foreign-heavy.
+        foreign_heavy = {"AZ", "EG", "RW", "UG", "QA", "PK", "NZ", "JO", "SA", "TH"}
+        for spec in MAJOR_SPECS:
+            assert not (set(spec.pops) & foreign_heavy), spec.name
+
+    def test_majors_cover_local_heavy_countries(self):
+        google = next(s for s in MAJOR_SPECS if s.name == "Google")
+        for cc in ("US", "CA", "GB", "IN", "JP", "AU", "RU", "TW", "LK"):
+            assert cc in google.pops
+
+    def test_india_caches_restricted(self):
+        for spec in MAJOR_SPECS:
+            if "IN" in spec.pops:
+                assert spec.restricted.get("IN") == ("IN",), spec.name
+
+    def test_nairobi_edge_serves_africa_only(self):
+        ke_orgs = [s for s in LONGTAIL_SPECS if "KE" in s.pops]
+        assert len(ke_orgs) >= 20  # the paper's AWS-Nairobi cluster
+        for spec in ke_orgs:
+            assert "PK" not in spec.restricted.get("KE", ()), spec.name
+            assert set(spec.restricted["KE"]) <= {"RW", "UG", "KE", "EG", "DZ", "GH", "ZA"}
+
+    def test_google_pinned_to_germany_for_egypt(self):
+        google = next(s for s in MAJOR_SPECS if s.name == "Google")
+        assert google.pinned.get("EG") == "DE"
+
+
+class TestFilterListGeneration:
+    def test_lists_parse_and_cover_trackers(self):
+        global_set, regional, texts = build_filter_lists(all_org_specs())
+        assert set(texts) >= {"easylist", "easyprivacy", "regional-IN", "regional-LK"}
+        assert global_set.match("stats.g.doubleclick.net") is not None
+        assert global_set.match("dpm.demdex.net").list_name == "easyprivacy"
+
+    def test_manual_only_orgs_not_in_lists(self):
+        global_set, regional, _ = build_filter_lists(all_org_specs())
+        # theozone-project.com is the paper's manually-labelled example.
+        assert global_set.match("elements.theozone-project.com") is None
+        for fset in regional.values():
+            assert fset.match("elements.theozone-project.com") is None
+
+    def test_directory_covers_manual_orgs(self):
+        directory = build_directory(all_org_specs())
+        assert directory.is_tracking_host("elements.theozone-project.com")
+
+    def test_youtube_split_from_google(self):
+        directory = build_directory(all_org_specs())
+        assert directory.org_for_host("youtube.com").name == "YouTube"
+        assert directory.org_for_host("www.google.com").name == "Google"
+        assert not directory.is_tracking_host("youtube.com")
+
+    def test_content_hosts_not_tracking(self):
+        directory = build_directory(all_org_specs())
+        assert not directory.is_tracking_host("s.yimg.com")
+        assert not directory.is_tracking_host("abs.twimg.com")
+        assert directory.is_tracking_host("analytics.yahoo.com")
+
+    def test_tracking_entries_for_non_tracker_empty(self):
+        spec = next(s for s in all_org_specs() if s.name == "CloudMesh")
+        assert tracking_entries_for(spec) == ()
+
+
+class TestProfiles:
+    def test_every_measurement_country_profiled(self):
+        assert set(PROFILES) == set(MEASUREMENT_COUNTRIES)
+
+    def test_adoption_probabilities_valid(self):
+        for profile in PROFILES.values():
+            for org, p in profile.major_adoption.items():
+                assert 0 < p <= 1, (profile.country, org)
+            assert 0 < profile.monetized_rate <= 1
+            assert 0 < profile.gov_monetized_rate <= 1
+
+    def test_adopted_orgs_exist(self):
+        names = {s.name for s in all_org_specs()}
+        for profile in PROFILES.values():
+            for org in profile.major_adoption:
+                assert org in names, (profile.country, org)
+            for org, _w in profile.longtail_pool:
+                assert org in names, (profile.country, org)
+
+    def test_egypt_volunteer_opts_out_of_traceroutes(self):
+        assert PROFILES["EG"].traceroute_opt_out
+
+    def test_load_failure_rates_match_figure_2b(self):
+        assert PROFILES["JP"].load_failure_rate == pytest.approx(0.36)
+        assert PROFILES["SA"].load_failure_rate == pytest.approx(0.44)
+        for cc, profile in PROFILES.items():
+            if cc not in ("JP", "SA"):
+                assert profile.load_failure_rate <= 0.14
+
+    def test_canada_pool_is_canadian_capable(self):
+        ca = PROFILES["CA"]
+        assert {name for name, _ in ca.longtail_pool} <= {"IndexExchange", "Sharethrough"}
+
+
+class TestSiteGeneration:
+    def test_country_sites_structure(self):
+        generated = generate_country_sites(PROFILES["TH"], REG, {s.name: s for s in all_org_specs()})
+        regional = [g for g in generated if g.website.category == "regional"]
+        government = [g for g in generated if g.website.category == "government"]
+        assert len(regional) == 92
+        assert len(government) == PROFILES["TH"].gov_site_count
+        assert sum(1 for g in regional if g.website.adult) == 4
+        assert sum(1 for g in regional if g.website.banned) == 3
+
+    def test_gov_sites_use_gov_tld(self):
+        generated = generate_country_sites(PROFILES["AR"], REG, {s.name: s for s in all_org_specs()})
+        for item in generated:
+            if item.website.category == "government":
+                assert item.website.domain.endswith(".gob.ar")
+
+    def test_site_domains_registrable(self):
+        generated = generate_country_sites(PROFILES["EG"], REG, {s.name: s for s in all_org_specs()})
+        for item in generated:
+            assert registrable_domain(item.website.domain) is not None
+
+    def test_deterministic(self):
+        specs = {s.name: s for s in all_org_specs()}
+        a = generate_country_sites(PROFILES["TH"], REG, specs)
+        b = generate_country_sites(PROFILES["TH"], REG, specs)
+        assert [g.website.domain for g in a] == [g.website.domain for g in b]
+        assert [len(g.website.embedded) for g in a] == [len(g.website.embedded) for g in b]
+
+    def test_global_sites_placement(self):
+        specs = {s.name: s for s in all_org_specs()}
+        generated = generate_global_sites(PROFILES, specs)
+        domains = {g.website.domain for g in generated}
+        assert "google.com" in domains and "wikipedia.org" in domains
+        google_com = next(g for g in generated if g.website.domain == "google.com")
+        assert set(google_com.website.listed_in) == set(MEASUREMENT_COUNTRIES)
+        assert google_com.hosting_org == "Google"
+
+    def test_youtube_embeds_many_google_trackers(self):
+        # Section 6.2: YouTube in Azerbaijan embedded dozens of Google
+        # tracking domains.
+        specs = {s.name: s for s in all_org_specs()}
+        generated = generate_global_sites(PROFILES, specs)
+        youtube = next(g for g in generated if g.website.domain == "youtube.com")
+        assert len(youtube.website.embedded) >= 10
+
+
+class TestDatacenters:
+    def test_us_datacenter_is_ashburn(self):
+        assert datacenter_city(REG, "US").name == "Ashburn"
+
+    def test_volunteer_in_capital(self):
+        assert volunteer_city(REG, "US").name == "New York"
+
+    def test_fallback_to_capital(self):
+        assert datacenter_city(REG, "QA").name == "Doha"
