@@ -18,6 +18,7 @@ from repro.core.gamma import GammaConfig, GammaSuite, Volunteer, VolunteerDatase
 from repro.core.geoloc import GeolocationPipeline, PipelineConfig, SourceTraces
 from repro.core.trackers import TrackerIdentifier
 from repro.artifacts import export_study, load_datasets
+from repro.exec import CountryExecutionError, ExecMetrics, StudyExecutor, create_executor
 from repro.longitudinal import ComplianceReport, LongitudinalStudy
 from repro.recruitment import RecruitmentLog, build_recruitment_log
 from repro.stability import SiteStability, VisitVariabilityStudy
@@ -27,6 +28,8 @@ from repro.worldgen import Scenario, build_scenario
 __version__ = "1.0.0"
 
 __all__ = [
+    "CountryExecutionError",
+    "ExecMetrics",
     "GammaConfig",
     "GammaSuite",
     "GeolocationPipeline",
@@ -38,6 +41,7 @@ __all__ = [
     "SiteStability",
     "SourceTraces",
     "StudyConfig",
+    "StudyExecutor",
     "StudyOutcome",
     "TrackerIdentifier",
     "Volunteer",
@@ -45,6 +49,7 @@ __all__ = [
     "VisitVariabilityStudy",
     "build_scenario",
     "build_recruitment_log",
+    "create_executor",
     "build_source_traces",
     "export_study",
     "load_datasets",

@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from repro import GammaConfig, GammaSuite, build_scenario, run_study
 from repro.artifacts import export_study
+from repro.exec.executor import BACKENDS
 from repro.core.analysis.report import (
     render_fig3,
     render_fig4,
@@ -55,14 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     study = sub.add_parser("study", help="run the full methodology")
     study.add_argument("--countries", default=None,
                        help="comma-separated country codes (default: all 23)")
+    _add_exec_arguments(study)
 
-    sub.add_parser("figures", help="regenerate every figure and table")
+    figures = sub.add_parser("figures", help="regenerate every figure and table")
+    _add_exec_arguments(figures)
 
     audit = sub.add_parser("audit", help="data-localization audit for one country")
     audit.add_argument("country", choices=sorted(MEASUREMENT_COUNTRIES))
 
     export = sub.add_parser("export", help="run the study and export the artifact bundle")
     export.add_argument("directory", type=Path)
+    _add_exec_arguments(export)
 
     whatif = sub.add_parser("whatif", help="longitudinal localization what-if")
     whatif.add_argument("country", choices=sorted(MEASUREMENT_COUNTRIES))
@@ -83,6 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("selfcheck", help="validate the built scenario's consistency")
     return parser
+
+
+def _job_count(raw: str) -> int:
+    jobs = int(raw)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = one per CPU)")
+    return jobs
+
+
+def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--jobs``/``--backend``: the parallel execution layer (repro.exec)."""
+    parser.add_argument("--jobs", type=_job_count, default=1, metavar="N",
+                        help="per-country workers: 1 = serial (default), "
+                             "N > 1 = parallel, 0 = one per CPU")
+    parser.add_argument("--backend", choices=["auto"] + list(BACKENDS), default="auto",
+                        help="execution backend (default: auto — serial for "
+                             "--jobs 1, process pool otherwise)")
 
 
 def _parse_countries(raw: Optional[str]) -> Optional[List[str]]:
@@ -120,7 +141,8 @@ def _cmd_volunteer(args: argparse.Namespace) -> int:
 def _cmd_study(args: argparse.Namespace) -> int:
     countries = _parse_countries(args.countries)
     scenario = build_scenario()
-    outcome = run_study(scenario, countries=countries)
+    outcome = run_study(scenario, countries=countries,
+                        jobs=args.jobs, backend=args.backend)
     rows = [
         (r.country_code, f"{r.regional_pct:.1f}", f"{r.government_pct:.1f}",
          f"{r.combined_pct:.1f}", outcome.source_trace_origins[r.country_code])
@@ -135,12 +157,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
           f"{funnel.nonlocal_candidates} non-local -> "
           f"{funnel.after_latency_constraints} after latency -> "
           f"{funnel.after_rdns} verified")
+    print(f"\n{outcome.metrics.render()}")
     return 0
 
 
-def _cmd_figures(_args: argparse.Namespace) -> int:
+def _cmd_figures(args: argparse.Namespace) -> int:
     scenario = build_scenario()
-    outcome = run_study(scenario)
+    outcome = run_study(scenario, jobs=args.jobs, backend=args.backend)
     sections = [
         render_fig3(outcome.prevalence()),
         render_fig4(outcome.per_website()),
@@ -180,7 +203,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     scenario = build_scenario()
-    outcome = run_study(scenario)
+    outcome = run_study(scenario, jobs=args.jobs, backend=args.backend)
     files = export_study(outcome, args.directory)
     print(f"Wrote {len(files)} files under {args.directory}")
     return 0

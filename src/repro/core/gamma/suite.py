@@ -8,6 +8,7 @@ resume where they stopped.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, Optional
 
 from repro.browser.engine import BrowserConfig, BrowserEngine
@@ -50,7 +51,11 @@ class GammaSuite:
                 f"engine for {browser_config.browser}"
             )
         if browser_config.hard_timeout_s != self._config.hard_timeout_s:
-            browser_config.hard_timeout_s = self._config.hard_timeout_s
+            # Align on a private copy: the caller's config may be shared by
+            # concurrently-running suites (one per country under repro.exec).
+            browser_config = dataclasses.replace(
+                browser_config, hard_timeout_s=self._config.hard_timeout_s
+            )
         self._browser = BrowserEngine(world, catalog, browser_config)
         self._netinfo = NetworkInfoGatherer(world, ipinfo)
 

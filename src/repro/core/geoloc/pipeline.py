@@ -185,6 +185,23 @@ class GeolocationPipeline:
         )
         self._rdns = ReverseDNSConstraint()
 
+    @classmethod
+    def for_scenario(cls, scenario, config: Optional[PipelineConfig] = None) -> "GeolocationPipeline":
+        """Pipeline over a scenario's services.
+
+        Construction is pure (constraints only hold configuration and
+        service references), so per-country workers can each build their
+        own pipeline and classify identically to a shared one — the
+        property the parallel executor relies on.
+        """
+        return cls(
+            ipmap=scenario.ipmap,
+            atlas=scenario.atlas,
+            stats=scenario.stats,
+            latency=scenario.world.latency,
+            config=config,
+        )
+
     @property
     def config(self) -> PipelineConfig:
         return self._config

@@ -1,0 +1,53 @@
+"""Parallel study execution.
+
+``repro.exec`` fans :func:`repro.run_study` out per country across a
+serial, thread-pool, or process-pool backend (``StudyConfig.jobs`` /
+``gamma study --jobs N``), merges results in stable country order so the
+outcome is byte-identical regardless of worker count, memoises the hot
+cross-country lookups for concurrent readers, and accounts per-phase
+wall time so the speedup is observable.  See ``docs/parallel-execution.md``.
+"""
+
+from repro.exec.cache import CacheInfo, ReadThroughCache, cache_registry, register_cache
+from repro.exec.executor import (
+    BACKENDS,
+    CountryExecutionError,
+    ProcessPoolStudyExecutor,
+    SerialStudyExecutor,
+    StudyExecutor,
+    ThreadPoolStudyExecutor,
+    create_executor,
+)
+from repro.exec.metrics import CountryTimings, ExecMetrics, PhaseTimer
+
+_LAZY = {"CountryRun", "StudyWorker"}
+
+
+def __getattr__(name: str):
+    # The worker pulls in the whole measurement stack, whose low-level
+    # modules (netsim.distance, ...) themselves import repro.exec.cache —
+    # importing it lazily keeps this package cycle-free.
+    if name in _LAZY:
+        from repro.exec import worker
+
+        return getattr(worker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BACKENDS",
+    "CacheInfo",
+    "CountryExecutionError",
+    "CountryRun",
+    "CountryTimings",
+    "ExecMetrics",
+    "PhaseTimer",
+    "ProcessPoolStudyExecutor",
+    "ReadThroughCache",
+    "SerialStudyExecutor",
+    "StudyExecutor",
+    "StudyWorker",
+    "ThreadPoolStudyExecutor",
+    "cache_registry",
+    "create_executor",
+    "register_cache",
+]

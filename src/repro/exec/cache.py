@@ -1,0 +1,159 @@
+"""Concurrent read-through memoisation for hot, pure lookups.
+
+The study executor fans per-country work out across threads or
+processes, and the hottest cross-country lookups — great-circle
+distance, city-pair latency statistics, reverse DNS, GeoDNS resolution —
+are pure functions of their keys.  :class:`ReadThroughCache` memoises
+such lookups behind a lock so concurrent readers never observe a
+half-written entry, while hit/miss counters stay exact.
+
+Because every cached value is deterministic in its key, memoisation can
+never change a result — only how often it is recomputed.  The
+cache-correctness tests in ``tests/test_exec_cache.py`` verify exactly
+that property against the uncached code paths.
+
+Caches are picklable (the lock is dropped and re-created), so services
+holding one can travel to process-pool workers with the scenario.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Iterator, Optional, Tuple
+
+__all__ = ["CacheInfo", "ReadThroughCache", "cache_registry", "register_cache"]
+
+
+class CacheInfo:
+    """Immutable snapshot of one cache's counters."""
+
+    __slots__ = ("name", "hits", "misses", "size")
+
+    def __init__(self, name: str, hits: int, misses: int, size: int):
+        self.name = name
+        self.hits = hits
+        self.misses = misses
+        self.size = size
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CacheInfo(name={self.name!r}, hits={self.hits}, "
+            f"misses={self.misses}, size={self.size})"
+        )
+
+
+class ReadThroughCache:
+    """A keyed memo safe for concurrent readers.
+
+    ``get(key, compute)`` returns the cached value for *key* or calls
+    ``compute()`` under the lock and stores the result.  Holding the
+    lock during compute keeps the hit/miss counters exact (each key is
+    computed exactly once) at the cost of serialising first-time
+    computes — acceptable because every cached lookup here is cheap and
+    pure.  An optional ``maxsize`` evicts the oldest entry FIFO-style so
+    unbounded key spaces cannot grow without limit.
+    """
+
+    def __init__(self, name: str, maxsize: Optional[int] = None):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive when given")
+        self.name = name
+        self._maxsize = maxsize
+        self._data: Dict[Hashable, object] = {}
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable, compute: Callable[[], object]) -> object:
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                return self._data[key]
+            self._misses += 1
+            value = compute()
+            if self._maxsize is not None and len(self._data) >= self._maxsize:
+                self._data.pop(next(iter(self._data)))
+            self._data[key] = value
+            return value
+
+    def peek(self, key: Hashable) -> Tuple[bool, object]:
+        """``(present, value)`` without touching the counters."""
+        with self._lock:
+            if key in self._data:
+                return True, self._data[key]
+            return False, None
+
+    def invalidate(self, key: Hashable) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(self.name, self._hits, self._misses, len(self._data))
+
+    # -- pickling: drop the lock, keep the memo ------------------------------
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "_maxsize": self._maxsize,
+                "_data": dict(self._data),
+                "_hits": self._hits,
+                "_misses": self._misses,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self._maxsize = state["_maxsize"]
+        self._data = state["_data"]
+        self._hits = state["_hits"]
+        self._misses = state["_misses"]
+        self._lock = threading.Lock()
+
+
+#: Process-wide caches (module-level memos register here so the CLI and
+#: benchmarks can report hit rates without holding references).
+_REGISTRY: Dict[str, ReadThroughCache] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_cache(cache: ReadThroughCache) -> ReadThroughCache:
+    """Track *cache* in the process-wide registry (last one wins per name)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY[cache.name] = cache
+    return cache
+
+
+def cache_registry() -> Iterator[CacheInfo]:
+    """Snapshots of every registered cache, in registration order."""
+    with _REGISTRY_LOCK:
+        caches = list(_REGISTRY.values())
+    return iter([cache.info() for cache in caches])

@@ -1,0 +1,203 @@
+"""Study execution backends: serial, thread pool, process pool.
+
+All backends satisfy one contract: ``map_countries(worker, countries)``
+returns the worker's results **in input country order**, regardless of
+completion order — merging is therefore byte-identical across backends
+and worker counts.  A worker failure raises
+:class:`CountryExecutionError` naming the earliest (in input order)
+failing country; remaining work is cancelled and the pool is always
+shut down, so a faulting study can neither deadlock nor leak workers.
+
+The process backend installs the (picklable) worker once per worker
+process through the pool initializer, so the scenario is shipped once
+per process rather than once per country.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "BACKENDS",
+    "CountryExecutionError",
+    "StudyExecutor",
+    "SerialStudyExecutor",
+    "ThreadPoolStudyExecutor",
+    "ProcessPoolStudyExecutor",
+    "create_executor",
+]
+
+T = TypeVar("T")
+
+BACKENDS = ("serial", "thread", "process")
+
+
+class CountryExecutionError(RuntimeError):
+    """A study worker failed while measuring one country."""
+
+    def __init__(self, country_code: str, cause: BaseException):
+        self.country_code = country_code
+        self.cause = cause
+        super().__init__(
+            f"study worker for country {country_code!r} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+class StudyExecutor:
+    """Interface: fan a per-country worker out over a country list."""
+
+    name = "abstract"
+    jobs = 1
+
+    def map_countries(
+        self, worker: Callable[[str], T], countries: Sequence[str]
+    ) -> List[T]:
+        raise NotImplementedError
+
+
+class SerialStudyExecutor(StudyExecutor):
+    """The reference backend: one country after another, in order."""
+
+    name = "serial"
+    jobs = 1
+
+    def map_countries(
+        self, worker: Callable[[str], T], countries: Sequence[str]
+    ) -> List[T]:
+        results: List[T] = []
+        for country_code in countries:
+            try:
+                results.append(worker(country_code))
+            except Exception as error:
+                raise CountryExecutionError(country_code, error) from error
+        return results
+
+
+def _collect_in_order(
+    pool: concurrent.futures.Executor,
+    futures: Dict[str, "concurrent.futures.Future"],
+    countries: Sequence[str],
+) -> List[T]:
+    """Await all futures; return results in input order or fail fast.
+
+    On the first failure (earliest in input order) every pending future
+    is cancelled and the pool is drained before the error propagates, so
+    no worker outlives the study call.
+    """
+    def _failure(future: "concurrent.futures.Future") -> Optional[BaseException]:
+        if future.done() and not future.cancelled():
+            return future.exception()
+        return None
+
+    concurrent.futures.wait(
+        futures.values(), return_when=concurrent.futures.FIRST_EXCEPTION
+    )
+    if any(_failure(future) is not None for future in futures.values()):
+        # Cancel everything not yet started, then drain the in-flight
+        # workers: an earlier-in-input-order country may still be running
+        # and about to fail, and blaming it must not depend on timing.
+        # Pool queues are FIFO, so if a later country ran at all, every
+        # earlier country ran too — the scan below is deterministic.
+        for future in futures.values():
+            future.cancel()
+        concurrent.futures.wait(futures.values())
+        pool.shutdown(wait=True, cancel_futures=True)
+        for country_code in countries:
+            error = _failure(futures[country_code])
+            if error is not None:
+                raise CountryExecutionError(country_code, error) from error
+    return [futures[country_code].result() for country_code in countries]
+
+
+class ThreadPoolStudyExecutor(StudyExecutor):
+    """Shared-memory fan-out; needs the per-country work to be thread-safe."""
+
+    name = "thread"
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def map_countries(
+        self, worker: Callable[[str], T], countries: Sequence[str]
+    ) -> List[T]:
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="study"
+        ) as pool:
+            futures = {cc: pool.submit(worker, cc) for cc in countries}
+            return _collect_in_order(pool, futures, countries)
+
+
+# -- process backend plumbing (module level so it pickles) -------------------
+_PROCESS_WORKER: Optional[Callable[[str], object]] = None
+
+
+def _install_process_worker(worker: Callable[[str], object]) -> None:
+    global _PROCESS_WORKER
+    _PROCESS_WORKER = worker
+
+
+def _invoke_process_worker(country_code: str):
+    assert _PROCESS_WORKER is not None, "pool initializer did not run"
+    return _PROCESS_WORKER(country_code)
+
+
+class ProcessPoolStudyExecutor(StudyExecutor):
+    """Isolated-interpreter fan-out; worker and results must pickle."""
+
+    name = "process"
+
+    def __init__(self, jobs: int, start_method: Optional[str] = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        if start_method is None:
+            # fork (where available) inherits the installed worker for
+            # free; spawn pickles it once per worker process.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    def map_countries(
+        self, worker: Callable[[str], T], countries: Sequence[str]
+    ) -> List[T]:
+        context = multiprocessing.get_context(self.start_method)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=context,
+            initializer=_install_process_worker,
+            initargs=(worker,),
+        ) as pool:
+            futures = {
+                cc: pool.submit(_invoke_process_worker, cc) for cc in countries
+            }
+            return _collect_in_order(pool, futures, countries)
+
+
+def create_executor(backend: str = "auto", jobs: Optional[int] = None) -> StudyExecutor:
+    """Build the backend for a job count.
+
+    ``jobs=None`` or ``0`` means "one worker per CPU"; ``backend="auto"``
+    picks serial for one job and the process pool otherwise (threads
+    share the interpreter lock, so real speedup needs processes).
+    """
+    if jobs is None:
+        jobs = 1
+    elif jobs == 0:
+        jobs = os.cpu_count() or 1
+    elif jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = one per CPU)")
+    if backend == "auto":
+        backend = "serial" if jobs == 1 else "process"
+    if backend == "serial":
+        return SerialStudyExecutor()
+    if backend == "thread":
+        return ThreadPoolStudyExecutor(jobs)
+    if backend == "process":
+        return ProcessPoolStudyExecutor(jobs)
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -1,0 +1,115 @@
+"""Per-phase wall-clock accounting for study runs.
+
+Workers time each phase of their country (Gamma run, source-trace
+selection, geolocation, analysis join) with a :class:`PhaseTimer`; the
+executor folds the per-country timings into one :class:`ExecMetrics`
+attached to the study outcome, alongside the end-to-end wall time of the
+fan-out itself.  ``aggregate_seconds / wall_seconds`` is then the
+observed parallel speedup (1.0 for a serial run, up to ``jobs`` for a
+perfectly parallel one).
+
+Timings are measurement artefacts, not study artefacts: they are kept
+off :class:`~repro.core.analysis.summary.StudySummary` and out of the
+exported bundle so those stay bit-identical across runs and backends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["PhaseTimer", "CountryTimings", "ExecMetrics"]
+
+#: Canonical phase names, in pipeline order.
+PHASES = ("gamma", "source_traces", "geoloc", "join")
+
+
+class PhaseTimer:
+    """Context-manager timer writing into a per-country timing dict."""
+
+    def __init__(self, sink: Dict[str, float], phase: str):
+        self._sink = sink
+        self._phase = phase
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "PhaseTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._started is not None
+        elapsed = time.perf_counter() - self._started
+        self._sink[self._phase] = self._sink.get(self._phase, 0.0) + elapsed
+
+
+@dataclass
+class CountryTimings:
+    """Wall-clock seconds spent on one country, split by phase."""
+
+    country_code: str
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def timer(self, phase: str) -> PhaseTimer:
+        return PhaseTimer(self.phase_seconds, phase)
+
+
+@dataclass
+class ExecMetrics:
+    """Execution-layer accounting for one study run."""
+
+    backend: str = "serial"
+    jobs: int = 1
+    #: End-to-end wall time of the country fan-out (submit to last merge).
+    wall_seconds: float = 0.0
+    #: Sum of per-country wall times (what a serial run would pay).
+    aggregate_seconds: float = 0.0
+    #: Phase name -> seconds summed across countries.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Country code -> that country's total seconds.
+    country_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def record_country(self, timings: CountryTimings) -> None:
+        self.country_seconds[timings.country_code] = round(timings.total_seconds, 6)
+        self.aggregate_seconds += timings.total_seconds
+        for phase, seconds in timings.phase_seconds.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate country work divided by observed wall time."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.aggregate_seconds / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "aggregate_seconds": round(self.aggregate_seconds, 4),
+            "speedup": round(self.speedup, 3),
+            "phase_seconds": {
+                phase: round(seconds, 4)
+                for phase, seconds in sorted(self.phase_seconds.items())
+            },
+            "country_seconds": dict(sorted(self.country_seconds.items())),
+        }
+
+    def render(self) -> str:
+        """One human-readable block for the CLI study summary."""
+        lines = [
+            f"execution: backend={self.backend} jobs={self.jobs} "
+            f"wall={self.wall_seconds:.2f}s aggregate={self.aggregate_seconds:.2f}s "
+            f"speedup={self.speedup:.2f}x"
+        ]
+        for phase in PHASES:
+            if phase in self.phase_seconds:
+                lines.append(f"  {phase:<14} {self.phase_seconds[phase]:8.2f}s")
+        for phase in sorted(set(self.phase_seconds) - set(PHASES)):
+            lines.append(f"  {phase:<14} {self.phase_seconds[phase]:8.2f}s")
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""The per-country unit of study work.
+
+:class:`StudyWorker` bundles everything one country's measurement needs
+(the scenario and the study configuration) behind a plain callable:
+``worker(cc)`` runs the Gamma suite, picks source traces, geolocates the
+dataset, and joins the analysis records — exactly the body of the old
+serial ``run_study`` loop.  Both the instance and its
+:class:`CountryRun` result pickle, so the same worker drives the serial,
+thread-pool, and process-pool backends unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.analysis.records import CountryStudyResult, build_country_result
+from repro.core.gamma.config import GammaConfig
+from repro.core.gamma.output import VolunteerDataset, anonymize
+from repro.core.gamma.suite import GammaSuite
+from repro.core.geoloc.pipeline import DatasetGeolocation, GeolocationPipeline
+from repro.exec.metrics import CountryTimings
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.study import StudyConfig
+    from repro.worldgen.builder import Scenario
+
+__all__ = ["CountryRun", "StudyWorker"]
+
+
+@dataclass
+class CountryRun:
+    """Everything one country's worker produced."""
+
+    country_code: str
+    dataset: VolunteerDataset
+    geolocation: DatasetGeolocation
+    result: CountryStudyResult
+    source_trace_origin: str
+    timings: CountryTimings = field(default_factory=lambda: CountryTimings(""))
+
+
+class StudyWorker:
+    """Run the full methodology for single countries of one scenario.
+
+    The worker is constructed once per study (and shipped once per
+    process-pool worker); calling it with a country code is free of
+    cross-country state, which is what makes out-of-order parallel
+    execution safe.
+    """
+
+    def __init__(self, scenario: "Scenario", config: "StudyConfig"):
+        self._scenario = scenario
+        self._config = config
+
+    @property
+    def scenario(self) -> "Scenario":
+        return self._scenario
+
+    def __call__(self, country_code: str) -> CountryRun:
+        from repro.study import build_source_traces
+
+        scenario = self._scenario
+        config = self._config
+        volunteer = scenario.volunteers[country_code]
+        targets = scenario.targets[country_code].without(sorted(volunteer.opted_out_sites))
+        timings = CountryTimings(country_code)
+
+        with timings.timer("gamma"):
+            gamma = GammaSuite(
+                scenario.world,
+                scenario.catalog,
+                GammaConfig.study_defaults(os_name=volunteer.os_name),
+                browser_config=scenario.browser_config,
+                ipinfo=scenario.ipinfo,
+            )
+            dataset = gamma.run(volunteer, targets, visit_key=config.visit_key)
+
+        with timings.timer("source_traces"):
+            source_traces = build_source_traces(scenario, volunteer, dataset)
+
+        with timings.timer("geoloc"):
+            pipeline = GeolocationPipeline.for_scenario(scenario, config.pipeline)
+            geolocation = pipeline.classify_dataset(dataset, source_traces)
+
+        with timings.timer("join"):
+            result = build_country_result(
+                dataset, geolocation, scenario.identifier, scenario.directory
+            )
+            if config.anonymize_ips:
+                anonymize(dataset)
+
+        return CountryRun(
+            country_code=country_code,
+            dataset=dataset,
+            geolocation=geolocation,
+            result=result,
+            source_trace_origin=source_traces.origin,
+            timings=timings,
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
+from repro.exec.cache import ReadThroughCache, register_cache
 from repro.netsim.geography import City
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "FIBER_KM_PER_MS",
     "haversine_km",
     "city_distance_km",
+    "distance_cache",
     "min_rtt_ms",
     "max_feasible_distance_km",
     "interpolate",
@@ -39,9 +41,20 @@ def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
     return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
 
 
+#: Process-wide memo for :func:`city_distance_km`.  City pairs recur
+#: constantly across GeoDNS serving, probe selection, constraint checks
+#: and latency synthesis; the key is the raw coordinates (not city names)
+#: so ad-hoc test cities can never collide, and the value is exactly the
+#: uncached :func:`haversine_km` result.  Safe for concurrent readers.
+distance_cache = register_cache(ReadThroughCache("netsim.distance", maxsize=262144))
+
+
 def city_distance_km(a: City, b: City) -> float:
-    """Great-circle distance between two cities."""
-    return haversine_km(a.lat, a.lon, b.lat, b.lon)
+    """Great-circle distance between two cities (memoised)."""
+    return distance_cache.get(
+        (a.lat, a.lon, b.lat, b.lon),
+        lambda: haversine_km(a.lat, a.lon, b.lat, b.lon),
+    )
 
 
 def min_rtt_ms(distance_km: float) -> float:

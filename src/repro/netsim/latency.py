@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.determinism import stable_rng
+from repro.exec.cache import ReadThroughCache
 from repro.netsim.distance import city_distance_km, min_rtt_ms
 from repro.netsim.geography import City
 
@@ -56,12 +57,23 @@ class LatencyModel:
         self._inflation_range = (low, high)
         self._jitter_ms = jitter_ms
         self._seed = seed
+        # The inflation factor is a pure function of the (sorted) pair, so
+        # the per-instance memo can never change a value — it only skips
+        # re-deriving the SHA-256-seeded draw.  Safe for concurrent readers.
+        self._inflation_cache = ReadThroughCache(f"latency.inflation[{seed}]")
 
     def inflation(self, a: City, b: City) -> float:
         """Path-indirectness factor for a city pair (symmetric, deterministic)."""
         first, second = sorted((a.key, b.key))
         low, high = self._inflation_range
-        return stable_rng(self._seed, "inflation", first, second).uniform(low, high)
+        return self._inflation_cache.get(
+            (first, second),
+            lambda: stable_rng(self._seed, "inflation", first, second).uniform(low, high),
+        )
+
+    @property
+    def inflation_cache(self) -> ReadThroughCache:
+        return self._inflation_cache
 
     def access_penalty(self, city: City) -> float:
         return ACCESS_PENALTY_MS.get(city.country_code, _DEFAULT_ACCESS_PENALTY_MS)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.determinism import stable_rng
+from repro.exec.cache import ReadThroughCache
 from repro.netsim.geohints import hint_for_city
 from repro.netsim.ip import IPSpace
 
@@ -47,9 +48,17 @@ class ReverseDNSService:
         #: Overrides let the world builder plant specific PTR records, e.g.
         #: the Google-in-Fujairah-but-PTR-says-Amsterdam cases of §4.1.3.
         self._overrides: Dict[str, Optional[str]] = {}
+        # PTR generation is deterministic per address, so lookups memoise;
+        # style/override writers invalidate.  Safe for concurrent readers.
+        self._cache = ReadThroughCache("netsim.rdns")
+
+    @property
+    def lookup_cache(self) -> ReadThroughCache:
+        return self._cache
 
     def set_style(self, org_name: str, style: RDNSStyle) -> None:
         self._styles[org_name] = style
+        self._cache.clear()
 
     def style_for(self, org_name: str) -> RDNSStyle:
         return self._styles.get(org_name, _DEFAULT_STYLE)
@@ -57,12 +66,16 @@ class ReverseDNSService:
     def override(self, address: str, hostname: Optional[str]) -> None:
         """Force the PTR record for one address (``None`` = no record)."""
         self._overrides[str(address)] = hostname
+        self._cache.invalidate(str(address))
 
     def lookup(self, address) -> Optional[str]:
-        """Return the PTR hostname for *address*, or ``None`` if absent."""
+        """Return the PTR hostname for *address*, or ``None`` if absent (memoised)."""
         key = str(address)
         if key in self._overrides:
             return self._overrides[key]
+        return self._cache.get(key, lambda: self._lookup_uncached(key))
+
+    def _lookup_uncached(self, key: str) -> Optional[str]:
         allocation = self._ipspace.lookup(key)
         if allocation is None:
             return None

@@ -5,10 +5,18 @@ run Gamma from each volunteer's machine, fall back to Atlas-style probes
 where volunteer traceroutes failed (or were opted out of), geolocate
 every responding server through the multi-constraint pipeline, identify
 trackers, and expose every figure/table analysis over the joined results.
+
+Per-country work is independent, so the study fans out across the
+backends of :mod:`repro.exec` (``jobs``/``backend`` on
+:class:`StudyConfig` or ``run_study``).  Results are merged in input
+country order, making the outcome byte-identical for every backend and
+worker count — the equivalence the test harness in
+``tests/test_exec_equivalence.py`` locks down.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -23,18 +31,18 @@ from repro.core.analysis.organizations import OrganizationAnalysis
 from repro.core.analysis.perwebsite import PerWebsiteAnalysis
 from repro.core.analysis.policy import PolicyAnalysis
 from repro.core.analysis.prevalence import PrevalenceAnalysis
-from repro.core.analysis.records import CountryStudyResult, build_country_result
-from repro.core.gamma.config import GammaConfig
-from repro.core.gamma.output import VolunteerDataset, anonymize
-from repro.core.gamma.suite import GammaSuite
+from repro.core.analysis.records import CountryStudyResult
+from repro.core.gamma.output import VolunteerDataset
 from repro.core.gamma.volunteer import Volunteer
 from repro.core.geoloc.pipeline import (
     DatasetGeolocation,
     FunnelCounters,
-    GeolocationPipeline,
     PipelineConfig,
     SourceTraces,
 )
+from repro.exec.executor import create_executor
+from repro.exec.metrics import ExecMetrics
+from repro.exec.worker import StudyWorker
 from repro.worldgen.builder import Scenario
 
 __all__ = ["StudyConfig", "StudyOutcome", "run_study", "build_source_traces"]
@@ -48,6 +56,10 @@ class StudyConfig:
     visit_key: str = "visit-1"
     #: Anonymise volunteer IPs after analysis (section 3.5).
     anonymize_ips: bool = True
+    #: Per-country workers: 1 = serial, N > 1 = parallel, 0 = one per CPU.
+    jobs: int = 1
+    #: Execution backend: "auto", "serial", "thread", or "process".
+    backend: str = "auto"
 
 
 @dataclass
@@ -60,6 +72,10 @@ class StudyOutcome:
     results: List[CountryStudyResult] = field(default_factory=list)
     #: per country: "volunteer" or "atlas:<country the probe sat in>".
     source_trace_origins: Dict[str, str] = field(default_factory=dict)
+    #: Execution-layer accounting (backend, jobs, per-phase wall time).
+    #: Deliberately excluded from summaries/exports: timings vary run to
+    #: run while every study artefact above stays bit-identical.
+    metrics: ExecMetrics = field(default_factory=ExecMetrics)
 
     def funnel(self) -> FunnelCounters:
         merged = FunnelCounters()
@@ -161,39 +177,38 @@ def run_study(
     scenario: Scenario,
     countries: Optional[List[str]] = None,
     config: Optional[StudyConfig] = None,
+    jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> StudyOutcome:
-    """Run the full methodology over *countries* (default: all volunteers)."""
+    """Run the full methodology over *countries* (default: all volunteers).
+
+    *jobs*/*backend* override the corresponding :class:`StudyConfig`
+    fields; ``jobs=1`` (the default) reproduces the historical serial
+    run exactly, and any other setting produces the identical outcome
+    in parallel (results are merged in input country order, so neither
+    worker count nor completion order is observable in the artefacts).
+    """
     config = config or StudyConfig()
     countries = countries or scenario.countries
-    outcome = StudyOutcome(scenario=scenario)
-    pipeline = GeolocationPipeline(
-        ipmap=scenario.ipmap,
-        atlas=scenario.atlas,
-        stats=scenario.stats,
-        latency=scenario.world.latency,
-        config=config.pipeline,
-    )
+    effective_jobs = config.jobs if jobs is None else jobs
+    effective_backend = config.backend if backend is None else backend
+    executor = create_executor(backend=effective_backend, jobs=effective_jobs)
 
-    for cc in countries:
-        volunteer = scenario.volunteers[cc]
-        targets = scenario.targets[cc].without(sorted(volunteer.opted_out_sites))
-        gamma = GammaSuite(
-            scenario.world,
-            scenario.catalog,
-            GammaConfig.study_defaults(os_name=volunteer.os_name),
-            browser_config=scenario.browser_config,
-            ipinfo=scenario.ipinfo,
-        )
-        dataset = gamma.run(volunteer, targets, visit_key=config.visit_key)
-        source_traces = build_source_traces(scenario, volunteer, dataset)
-        outcome.source_trace_origins[cc] = source_traces.origin
-        geolocation = pipeline.classify_dataset(dataset, source_traces)
-        result = build_country_result(
-            dataset, geolocation, scenario.identifier, scenario.directory
-        )
-        if config.anonymize_ips:
-            anonymize(dataset)
-        outcome.datasets[cc] = dataset
-        outcome.geolocations[cc] = geolocation
-        outcome.results.append(result)
+    worker = StudyWorker(scenario, config)
+    started = time.perf_counter()
+    runs = executor.map_countries(worker, countries)
+    wall_seconds = time.perf_counter() - started
+
+    outcome = StudyOutcome(
+        scenario=scenario,
+        metrics=ExecMetrics(
+            backend=executor.name, jobs=executor.jobs, wall_seconds=wall_seconds
+        ),
+    )
+    for run in runs:  # input country order: the merge is deterministic
+        outcome.source_trace_origins[run.country_code] = run.source_trace_origin
+        outcome.datasets[run.country_code] = run.dataset
+        outcome.geolocations[run.country_code] = run.geolocation
+        outcome.results.append(run.result)
+        outcome.metrics.record_country(run.timings)
     return outcome

@@ -1,0 +1,211 @@
+"""Cache correctness: memoised lookups equal their uncached computations.
+
+Every cache the execution layer added (great-circle distance, latency
+inflation, reverse DNS, GeoDNS resolution) memoises a pure function, so
+cached and uncached answers must be identical over any sample of keys —
+and hit counters must actually move, or the "cache" is dead weight.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.determinism import stable_rng
+from repro.exec.cache import ReadThroughCache, cache_registry
+from repro.netsim.distance import city_distance_km, distance_cache, haversine_km
+from repro.netsim.dns import NXDomain
+from repro.netsim.latency import LatencyModel
+from repro.netsim.resolver import GeoDNSMemo
+
+
+def sample_city_pairs(registry, count: int, seed: str):
+    cities = [city for country in registry.countries for city in country.cities]
+    rng = stable_rng("exec-cache-sample", seed)
+    return [(rng.choice(cities), rng.choice(cities)) for _ in range(count)]
+
+
+class TestDistanceCache:
+    def test_cached_equals_uncached_over_seeded_sample(self, registry):
+        for a, b in sample_city_pairs(registry, 200, "distance"):
+            assert city_distance_km(a, b) == haversine_km(a.lat, a.lon, b.lat, b.lon)
+
+    def test_hit_counter_increments(self, registry):
+        a = registry.city("London, GB")
+        b = registry.city("Nairobi, KE")
+        city_distance_km(a, b)  # ensure the pair is cached
+        before = distance_cache.info()
+        city_distance_km(a, b)
+        after = distance_cache.info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_registered_for_reporting(self):
+        assert any(info.name == "netsim.distance" for info in cache_registry())
+
+
+class TestInflationCache:
+    def test_cached_equals_fresh_model(self, registry):
+        cached = LatencyModel(seed="cache-check")
+        for a, b in sample_city_pairs(registry, 100, "inflation"):
+            fresh = LatencyModel(seed="cache-check")  # empty cache every time
+            assert cached.inflation(a, b) == fresh.inflation(a, b)
+
+    def test_symmetry_survives_caching(self, registry):
+        model = LatencyModel(seed="sym")
+        for a, b in sample_city_pairs(registry, 50, "sym"):
+            assert model.inflation(a, b) == model.inflation(b, a)
+
+    def test_hit_counter_increments(self, registry):
+        model = LatencyModel(seed="hits")
+        a = registry.city("Paris, FR")
+        b = registry.city("Tokyo, JP")
+        model.inflation(a, b)
+        assert model.inflation_cache.info().misses == 1
+        model.inflation(a, b)
+        model.inflation(b, a)  # sorted pair key: same entry
+        info = model.inflation_cache.info()
+        assert info.hits == 2
+        assert info.misses == 1
+
+    def test_model_with_cache_pickles(self, registry):
+        model = LatencyModel(seed="pickle")
+        a = registry.city("Paris, FR")
+        b = registry.city("Tokyo, JP")
+        expected = model.inflation(a, b)
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone.inflation(a, b) == expected
+
+
+class TestReverseDNSCache:
+    def _sample_addresses(self, scenario, count=150):
+        rng = stable_rng("exec-cache-sample", "rdns")
+        allocations = list(scenario.world.ips)
+        return [
+            str(rng.choice(allocations).address(rng.randint(1, 200)))
+            for _ in range(count)
+        ]
+
+    def test_cached_equals_uncached_over_seeded_sample(self, scenario):
+        rdns = scenario.world.rdns
+        for address in self._sample_addresses(scenario):
+            assert rdns.lookup(address) == rdns._lookup_uncached(address)
+
+    def test_hit_counter_increments(self, scenario):
+        rdns = scenario.world.rdns
+        address = self._sample_addresses(scenario, count=1)[0]
+        rdns.lookup(address)
+        before = rdns.lookup_cache.info()
+        rdns.lookup(address)
+        after = rdns.lookup_cache.info()
+        assert after.hits == before.hits + 1
+
+    def test_override_invalidates(self, scenario):
+        rdns = scenario.world.rdns
+        address = self._sample_addresses(scenario, count=1)[0]
+        unpatched = rdns.lookup(address)  # populate the memo
+        try:
+            rdns.override(address, "planted.ptr.example.net")
+            assert rdns.lookup(address) == "planted.ptr.example.net"
+            rdns.override(address, None)
+            assert rdns.lookup(address) is None
+        finally:
+            # The scenario fixture is session-scoped: drop the override so
+            # later tests observe the original generated PTR record.
+            rdns._overrides.pop(address, None)
+            rdns.lookup_cache.invalidate(address)
+        assert rdns.lookup(address) == unpatched
+
+
+class TestGeoDNSMemo:
+    @staticmethod
+    def _outcome(resolve, host, city):
+        """Answer or exception kind, so restricted hosts compare too."""
+        try:
+            return ("ok", resolve(host, city))
+        except NXDomain:
+            return ("nx", None)
+        except LookupError:
+            return ("refused", None)
+
+    def test_cached_equals_uncached_for_catalog_hosts(self, scenario, registry):
+        memo = GeoDNSMemo(scenario.world.dns, name="test.geodns")
+        city = registry.city("Bangkok, TH")
+        hosts = scenario.world.dns.all_registered_domains()[:100]
+        for host in hosts:
+            assert self._outcome(memo.resolve, host, city) == self._outcome(
+                scenario.world.dns.resolve, host, city
+            ), host
+
+    def test_negative_answers_memoised(self, scenario, registry):
+        memo = GeoDNSMemo(scenario.world.dns, name="test.geodns.nx")
+        city = registry.city("Bangkok, TH")
+        for _ in range(2):
+            with pytest.raises(NXDomain):
+                memo.resolve("no-such-host.invalid-zone.example", city)
+        info = memo.cache.info()
+        assert info.misses == 1
+        assert info.hits == 1
+
+    def test_hit_counter_increments(self, scenario, registry):
+        memo = GeoDNSMemo(scenario.world.dns, name="test.geodns.hits")
+        city = registry.city("Bangkok, TH")
+        host = scenario.world.dns.all_registered_domains()[0]
+        first = self._outcome(memo.resolve, host, city)
+        second = self._outcome(memo.resolve, host, city)
+        assert first == second
+        info = memo.cache.info()
+        assert (info.hits, info.misses) == (1, 1)
+
+
+class TestReadThroughCacheConcurrency:
+    def test_each_key_computed_exactly_once_under_contention(self):
+        cache = ReadThroughCache("test.concurrency")
+        computed = []
+
+        def compute_for(key):
+            def compute():
+                computed.append(key)
+                return key * 2
+            return compute
+
+        keys = list(range(64))
+        errors = []
+
+        def hammer():
+            try:
+                for key in keys * 20:
+                    assert cache.get(key, compute_for(key)) == key * 2
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert sorted(computed) == keys  # each key computed exactly once
+        info = cache.info()
+        assert info.misses == len(keys)
+        assert info.hits == 8 * 20 * len(keys) - len(keys)
+
+    def test_maxsize_evicts_oldest(self):
+        cache = ReadThroughCache("test.evict", maxsize=2)
+        cache.get("a", lambda: 1)
+        cache.get("b", lambda: 2)
+        cache.get("c", lambda: 3)  # evicts "a"
+        assert len(cache) == 2
+        present, _ = cache.peek("a")
+        assert not present
+
+    def test_pickle_roundtrip_keeps_entries_and_counters(self):
+        cache = ReadThroughCache("test.pickle")
+        cache.get("k", lambda: "v")
+        cache.get("k", lambda: "v")
+        clone = pickle.loads(pickle.dumps(cache))
+        info = clone.info()
+        assert (info.hits, info.misses, info.size) == (1, 1, 1)
+        assert clone.get("k", lambda: "other") == "v"

@@ -1,0 +1,106 @@
+"""Serial/parallel equivalence of ``run_study`` — the determinism proof.
+
+The repo's headline guarantee is bit-exact determinism; the parallel
+executor must therefore be *unobservable* in study artefacts.  These
+tests run the same study through the serial, thread-pool, and
+process-pool backends at several worker counts and assert that every
+artefact — datasets, verdicts, funnel counters, joined analysis records,
+and the derived summary — is exactly equal, including across repeated
+runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_study
+from repro.core.analysis.summary import summarize_study
+from repro.study import StudyConfig
+from tests.conftest import SMALL_COUNTRIES
+
+
+def assert_outcomes_identical(reference, other) -> None:
+    """Every study artefact equal, field by field (timings excluded)."""
+    assert sorted(reference.datasets) == sorted(other.datasets)
+    assert [r.country_code for r in reference.results] == [
+        r.country_code for r in other.results
+    ]
+    assert reference.source_trace_origins == other.source_trace_origins
+    for cc in reference.datasets:
+        assert reference.datasets[cc].to_json() == other.datasets[cc].to_json(), cc
+        a, b = reference.geolocations[cc], other.geolocations[cc]
+        assert a.funnel == b.funnel, cc
+        assert a.host_to_address == b.host_to_address, cc
+        assert a.verdicts == b.verdicts, cc
+    assert reference.funnel() == other.funnel()
+    for ref_result, other_result in zip(reference.results, other.results):
+        assert ref_result.sites == other_result.sites, ref_result.country_code
+        assert ref_result.tracker_verdicts == other_result.tracker_verdicts
+    # One structural check over every downstream analysis (flows, hosting,
+    # organizations, policy, prevalence, funnel) in a single object.
+    assert summarize_study(reference).to_dict() == summarize_study(other).to_dict()
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("jobs", [1, 2, 8])
+    def test_small_study_equal_for_all_backends_and_job_counts(
+        self, scenario, study_small, backend, jobs
+    ):
+        parallel = run_study(
+            scenario, countries=SMALL_COUNTRIES, jobs=jobs, backend=backend
+        )
+        assert parallel.metrics.backend == backend
+        assert parallel.metrics.jobs == jobs
+        assert_outcomes_identical(study_small, parallel)
+
+    def test_repeated_parallel_runs_identical(self, scenario):
+        first = run_study(scenario, countries=SMALL_COUNTRIES, jobs=2, backend="thread")
+        second = run_study(scenario, countries=SMALL_COUNTRIES, jobs=2, backend="thread")
+        assert_outcomes_identical(first, second)
+
+    def test_config_carries_jobs_and_backend(self, scenario):
+        config = StudyConfig(jobs=2, backend="thread")
+        outcome = run_study(scenario, countries=["CA", "NZ"], config=config)
+        assert outcome.metrics.backend == "thread"
+        assert outcome.metrics.jobs == 2
+
+    def test_explicit_args_override_config(self, scenario):
+        config = StudyConfig(jobs=8, backend="process")
+        outcome = run_study(
+            scenario, countries=["CA"], config=config, jobs=1, backend="serial"
+        )
+        assert outcome.metrics.backend == "serial"
+        assert outcome.metrics.jobs == 1
+
+
+class TestFullScenarioAcceptance:
+    """The acceptance criterion: jobs=4 on the default 23-country world."""
+
+    def test_jobs4_process_pool_equals_serial(self, scenario, study_full):
+        parallel = run_study(scenario, jobs=4)
+        assert parallel.metrics.backend == "process"  # auto resolves to process
+        assert parallel.metrics.jobs == 4
+        assert_outcomes_identical(study_full, parallel)
+        # The per-country work really ran (phase accounting is complete).
+        assert set(parallel.metrics.country_seconds) == set(scenario.countries)
+        assert parallel.metrics.aggregate_seconds > 0
+
+
+class TestMetricsShape:
+    def test_serial_metrics_account_every_phase(self, study_small):
+        metrics = study_small.metrics
+        assert metrics.backend == "serial"
+        assert metrics.jobs == 1
+        assert set(metrics.country_seconds) == set(SMALL_COUNTRIES)
+        for phase in ("gamma", "source_traces", "geoloc", "join"):
+            assert phase in metrics.phase_seconds
+        assert metrics.wall_seconds > 0
+        assert 0 < metrics.aggregate_seconds <= metrics.wall_seconds * 1.5
+        assert metrics.to_dict()["backend"] == "serial"
+
+    def test_metrics_stay_out_of_summary_and_exports(self, study_small):
+        summary = summarize_study(study_small).to_dict()
+        flattened = str(summary)
+        assert "wall_seconds" not in flattened
+        assert "backend" not in flattened
