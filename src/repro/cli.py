@@ -56,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     study = sub.add_parser("study", help="run the full methodology")
     study.add_argument("--countries", default=None,
                        help="comma-separated country codes (default: all 23)")
+    study.add_argument("--cache-stats", action="store_true",
+                       help="print hit/miss counters for every memo cache "
+                            "(verdicts, distance, ...) after the summary")
     _add_exec_arguments(study)
 
     figures = sub.add_parser("figures", help="regenerate every figure and table")
@@ -158,6 +161,18 @@ def _cmd_study(args: argparse.Namespace) -> int:
           f"{funnel.after_latency_constraints} after latency -> "
           f"{funnel.after_rdns} verified")
     print(f"\n{outcome.metrics.render()}")
+    if args.cache_stats:
+        from repro.exec.cache import cache_registry
+
+        print(render_table(
+            ["cache", "hits", "misses", "hit %", "size"],
+            [
+                (info.name, info.hits, info.misses,
+                 f"{100 * info.hit_rate:.1f}", info.size)
+                for info in cache_registry()
+            ],
+            title="Memo-cache statistics",
+        ))
     return 0
 
 

@@ -60,8 +60,13 @@ class CrossCountryAnalysis:
             return None
         hosts: List[str] = []
         orgs: Set[str] = set()
-        for host in measurement.requested_hosts:
-            verdict = self._identifier.classify(host, country_code)
+        # Batch through the identifier's memoised verdict cache: the same
+        # hosts recur across the site's per-country views, so only the
+        # first view pays for classification.
+        verdicts = self._identifier.classify_many(
+            list(measurement.requested_hosts), country_code
+        )
+        for host, verdict in verdicts.items():
             if not verdict.is_tracker:
                 continue
             hosts.append(host)

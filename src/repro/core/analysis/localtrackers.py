@@ -63,7 +63,9 @@ class LocalTrackerAnalysis:
             verdict = geolocation.verdict_for_host(host)
             if verdict is None or verdict.status != ServerStatus.LOCAL:
                 continue
-            if self._identifier.classify(host, country_code).is_tracker:
+            # Memoised engine-level verdicts: the same hosts were already
+            # classified during the study join, so these are cache hits.
+            if self._identifier.is_tracker(host, country_code):
                 hosts.append(host)
         return hosts
 
@@ -83,7 +85,7 @@ class LocalTrackerAnalysis:
                 verdict = geolocation.verdict_for_host(host)
                 if verdict is None or verdict.status != ServerStatus.LOCAL:
                     continue
-                if self._identifier.classify(host, country_code).is_tracker:
+                if self._identifier.is_tracker(host, country_code):
                     hits += 1
                     break
         return 100.0 * hits / len(loaded)

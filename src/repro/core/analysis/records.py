@@ -100,7 +100,7 @@ def build_country_result(
     result = CountryStudyResult(
         country_code=dataset.country_code, dataset=dataset, geolocation=geolocation
     )
-    verdict_cache: Dict[str, TrackerVerdict] = {}
+    verdicts: Dict[str, TrackerVerdict] = {}
 
     for measurement in dataset.websites.values():
         if not measurement.loaded:
@@ -117,9 +117,11 @@ def build_country_result(
             server = geolocation.verdict_for_host(host)
             if server is None or not server.is_verified_nonlocal:
                 continue
-            if host not in verdict_cache:
-                verdict_cache[host] = identifier.classify(host, dataset.country_code)
-            verdict = verdict_cache[host]
+            # classify() memoises engine-wide, so repeated hosts — within
+            # this country and across countries sharing no regional list —
+            # are classified once and counted as cache hits.
+            verdict = identifier.classify(host, dataset.country_code)
+            verdicts[host] = verdict
             if not verdict.is_tracker:
                 continue
             org_name = verdict.org_name
@@ -138,5 +140,5 @@ def build_country_result(
             )
         result.sites.append(site)
 
-    result.tracker_verdicts = verdict_cache
+    result.tracker_verdicts = verdicts
     return result

@@ -1,5 +1,6 @@
 """Tracker identification: filter lists, org directory, party classification."""
 
+from repro.core.trackers.filterindex import FilterListIndex, FilterSetIndex
 from repro.core.trackers.filterlist import (
     FilterList,
     FilterMatch,
@@ -18,9 +19,11 @@ from repro.core.trackers.party import PartyClassifier, PartyKind, PartyVerdict
 
 __all__ = [
     "FilterList",
+    "FilterListIndex",
     "FilterMatch",
     "FilterRule",
     "FilterSet",
+    "FilterSetIndex",
     "IdentificationMethod",
     "OrgEntry",
     "OrganizationDirectory",

@@ -6,7 +6,7 @@ relies on (EasyList / EasyPrivacy and regional lists are ABP-format):
 * comments (``!``) and section headers (``[Adblock Plus 2.0]``),
 * domain-anchored network rules ``||example.com^`` with options
   (``$third-party``, ``$script``, ...),
-* exception rules ``@@||example.com^``,
+* exception rules ``@@||example.com^`` and ``@@<pattern>``,
 * plain substring rules (parsed; matched against hostnames only when the
   pattern is a bare domain fragment),
 * element-hiding rules (``##``, ``#@#``) — parsed and retained but never
@@ -14,6 +14,13 @@ relies on (EasyList / EasyPrivacy and regional lists are ABP-format):
 
 Matching is host-based because Gamma records request hostnames; an
 exception rule suppresses any blocking match from the same list set.
+
+``FilterSet.match`` runs on the indexed engine in
+:mod:`repro.core.trackers.filterindex` (a reversed-label suffix index
+plus a compiled fragment matcher, O(host labels) per lookup).  The
+original linear scan survives as :meth:`FilterSet.match_naive` and is
+kept byte-identical to the index by the equivalence suite in
+``tests/test_filterindex.py``.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ class RuleKind:
     DOMAIN_BLOCK = "domain_block"  # ||example.com^
     DOMAIN_EXCEPTION = "domain_exception"  # @@||example.com^
     SUBSTRING = "substring"  # /ads/banner.
+    SUBSTRING_EXCEPTION = "substring_exception"  # @@/ads/banner. or @@||bad host^
     ELEMENT_HIDING = "element_hiding"  # ##.ad-box
     COMMENT = "comment"
     HEADER = "header"
@@ -48,18 +56,25 @@ class FilterRule:
 
     @property
     def is_network_rule(self) -> bool:
-        return self.kind in (RuleKind.DOMAIN_BLOCK, RuleKind.DOMAIN_EXCEPTION, RuleKind.SUBSTRING)
+        return self.kind in (
+            RuleKind.DOMAIN_BLOCK,
+            RuleKind.DOMAIN_EXCEPTION,
+            RuleKind.SUBSTRING,
+            RuleKind.SUBSTRING_EXCEPTION,
+        )
+
+    @property
+    def is_exception(self) -> bool:
+        return self.kind in (RuleKind.DOMAIN_EXCEPTION, RuleKind.SUBSTRING_EXCEPTION)
 
     def matches_host(self, host: str) -> bool:
         """Does this rule apply to a request to *host*?"""
         if self.kind in (RuleKind.DOMAIN_BLOCK, RuleKind.DOMAIN_EXCEPTION):
             assert self.domain is not None
             return is_subdomain(host, self.domain)
-        if self.kind == RuleKind.SUBSTRING and self.pattern:
-            # Substring rules target URLs; for host-level matching we only
-            # honour patterns that look like a domain fragment.
-            fragment = self.pattern.strip("*")
-            if _looks_like_domain_fragment(fragment):
+        if self.kind in (RuleKind.SUBSTRING, RuleKind.SUBSTRING_EXCEPTION):
+            fragment = host_fragment(self)
+            if fragment is not None:
                 return fragment in host
         return False
 
@@ -69,6 +84,21 @@ _DOMAIN_RE = re.compile(r"^[a-z0-9.-]+$")
 
 def _looks_like_domain_fragment(text: str) -> bool:
     return bool(text) and "." in text and bool(_DOMAIN_RE.match(text))
+
+
+def host_fragment(rule: FilterRule) -> Optional[str]:
+    """The hostname substring a SUBSTRING(_EXCEPTION) rule matches, if any.
+
+    Substring rules target URLs; for host-level matching we only honour
+    patterns that look like a bare domain fragment.  Returns ``None`` for
+    path patterns, which never match hosts.
+    """
+    if not rule.pattern:
+        return None
+    fragment = rule.pattern.strip("*")
+    if _looks_like_domain_fragment(fragment):
+        return fragment
+    return None
 
 
 def _parse_line(line: str) -> Optional[FilterRule]:
@@ -89,20 +119,22 @@ def _parse_line(line: str) -> Optional[FilterRule]:
         body, _, option_text = body.partition("$")
         options = tuple(opt.strip() for opt in option_text.split(",") if opt.strip())
 
+    substring_kind = RuleKind.SUBSTRING_EXCEPTION if exception else RuleKind.SUBSTRING
     if body.startswith("||"):
-        domain = body[2:].rstrip("^/").strip()
+        anchor = body[2:].rstrip("^/").strip()
+        # ``||example.com/ads^`` anchors a *URL* path, not a hostname: the
+        # hostname part ends at the first ``/`` (or interior ``^``
+        # separator).  Such rules fall back to substring rules and, as
+        # patterns carrying a path, never match bare hosts.
+        if "/" in anchor or "^" in anchor:
+            return FilterRule(raw=line, kind=substring_kind, pattern=body, options=options)
         try:
-            domain = validate_hostname(domain)
+            domain = validate_hostname(anchor)
         except ValueError:
-            return FilterRule(raw=line, kind=RuleKind.SUBSTRING, pattern=body, options=options)
+            return FilterRule(raw=line, kind=substring_kind, pattern=body, options=options)
         kind = RuleKind.DOMAIN_EXCEPTION if exception else RuleKind.DOMAIN_BLOCK
         return FilterRule(raw=line, kind=kind, domain=domain, options=options)
-    return FilterRule(
-        raw=line,
-        kind=RuleKind.DOMAIN_EXCEPTION if exception else RuleKind.SUBSTRING,
-        pattern=body.strip(),
-        options=options,
-    )
+    return FilterRule(raw=line, kind=substring_kind, pattern=body.strip(), options=options)
 
 
 def parse_filter_text(text: str) -> List[FilterRule]:
@@ -135,9 +167,7 @@ class FilterList:
         host = validate_hostname(host)
         blocking: Optional[FilterRule] = None
         for rule in self.rules:
-            if rule.kind == RuleKind.DOMAIN_EXCEPTION or (
-                rule.kind == RuleKind.SUBSTRING and rule.raw.strip().startswith("@@")
-            ):
+            if rule.is_exception:
                 if rule.matches_host(host):
                     return None
             elif blocking is None and rule.matches_host(host):
@@ -158,27 +188,54 @@ class FilterSet:
 
     def __init__(self, lists: Iterable[FilterList] = ()):
         self._lists: List[FilterList] = list(lists)
+        self._index = None  # built lazily, dropped on mutation
 
     def add(self, filter_list: FilterList) -> None:
         self._lists.append(filter_list)
+        self._index = None
+
+    @property
+    def lists(self) -> List[FilterList]:
+        return list(self._lists)
 
     @property
     def list_names(self) -> List[str]:
         return [fl.name for fl in self._lists]
+
+    @property
+    def index(self):
+        """The indexed matching engine, built on first use.
+
+        The build is deterministic in the list contents, so lazily
+        building in one process and shipping the built index to another
+        (or rebuilding there) yields identical verdicts.  Call
+        :meth:`invalidate_index` after mutating a member list in place.
+        """
+        if self._index is None:
+            from repro.core.trackers.filterindex import FilterSetIndex
+
+            self._index = FilterSetIndex.build(self._lists)
+        return self._index
+
+    def invalidate_index(self) -> None:
+        self._index = None
 
     def match(self, host: str) -> Optional[FilterMatch]:
         """First list (in order) that blocks *host*.
 
         Exceptions are list-global: an exception in *any* list suppresses
         blocking matches from every list, mirroring ad-blocker semantics.
+        Runs on the suffix/fragment index; byte-identical to
+        :meth:`match_naive`.
         """
+        return self.index.match(host)
+
+    def match_naive(self, host: str) -> Optional[FilterMatch]:
+        """Reference linear scan — the oracle the index is tested against."""
         host = validate_hostname(host)
         for filter_list in self._lists:
             for rule in filter_list.rules:
-                is_exception = rule.kind == RuleKind.DOMAIN_EXCEPTION or (
-                    rule.kind == RuleKind.SUBSTRING and rule.raw.strip().startswith("@@")
-                )
-                if is_exception and rule.matches_host(host):
+                if rule.is_exception and rule.matches_host(host):
                     return None
         for filter_list in self._lists:
             rule = filter_list.block_match(host)

@@ -7,6 +7,16 @@ Mirrors section 4.2 of the paper:
 3. finally fall back to "manual inspection" — a lookup in the
    WhoTracksMe-like organisation directory, which catches regional
    trackers the lists miss (the paper labelled 64 domains this way).
+
+Classification is memoised: the ~100 sites per country repeat the same
+third-party hosts heavily, so :meth:`TrackerIdentifier.classify` keeps a
+read-through verdict cache (``trackers.verdicts`` in the
+:mod:`repro.exec.cache` registry).  Verdicts are keyed per country only
+where a regional list exists — for every other country the verdict is
+country-independent, so one cache entry serves them all.  Memoisation
+never changes a verdict, only how often it is recomputed; the
+uncached path stays reachable as :meth:`classify_uncached` and the
+equivalence is locked down in ``tests/test_trackers_core.py``.
 """
 
 from __future__ import annotations
@@ -17,8 +27,12 @@ from typing import Dict, List, Optional
 from repro.core.trackers.filterlist import FilterSet
 from repro.core.trackers.orgs import OrganizationDirectory
 from repro.domains import registrable_domain, validate_hostname
+from repro.exec.cache import CacheInfo, ReadThroughCache, register_cache
 
 __all__ = ["IdentificationMethod", "TrackerVerdict", "TrackerIdentifier"]
+
+#: Registry name of the memoised verdict cache.
+VERDICT_CACHE_NAME = "trackers.verdicts"
 
 
 class IdentificationMethod:
@@ -44,27 +58,51 @@ class TrackerVerdict:
 
 
 class TrackerIdentifier:
-    """Layered tracker classification."""
+    """Layered tracker classification with a memoised verdict cache."""
 
     def __init__(
         self,
         global_lists: FilterSet,
         regional_lists: Optional[Dict[str, FilterSet]] = None,
         directory: Optional[OrganizationDirectory] = None,
+        verdict_cache_size: Optional[int] = 65536,
     ):
         self._global = global_lists
         self._regional = dict(regional_lists or {})
         self._directory = directory
+        self._cache = register_cache(
+            ReadThroughCache(VERDICT_CACHE_NAME, maxsize=verdict_cache_size)
+        )
 
     @property
     def directory(self) -> Optional[OrganizationDirectory]:
         return self._directory
 
+    @property
+    def verdict_cache(self) -> ReadThroughCache:
+        return self._cache
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss snapshot of the verdict cache."""
+        return self._cache.info()
+
     def regional_countries(self) -> List[str]:
         return sorted(self._regional)
 
     def classify(self, host: str, country_code: Optional[str] = None) -> TrackerVerdict:
-        """Classify one requested host observed in *country_code*."""
+        """Classify one requested host observed in *country_code* (memoised)."""
+        host = validate_hostname(host)
+        # Regional lists are the only country-dependent layer, so countries
+        # without one share a single country-independent cache entry.
+        key_country = country_code if country_code in self._regional else None
+        return self._cache.get(
+            (host, key_country), lambda: self.classify_uncached(host, country_code)
+        )
+
+    def classify_uncached(
+        self, host: str, country_code: Optional[str] = None
+    ) -> TrackerVerdict:
+        """The uncached reference path (also the cache's compute function)."""
         host = validate_hostname(host)
 
         match = self._global.match(host)
@@ -88,6 +126,19 @@ class TrackerIdentifier:
                     org_name=entry.name,
                 )
         return TrackerVerdict(host=host, is_tracker=False)
+
+    def is_tracker(self, host: str, country_code: Optional[str] = None) -> bool:
+        """Convenience: the memoised verdict's boolean."""
+        return self.classify(host, country_code).is_tracker
+
+    def org_name_for(self, host: str, verdict: Optional[TrackerVerdict] = None) -> Optional[str]:
+        """Directory attribution for *host*, preferring the verdict's org."""
+        if verdict is not None and verdict.org_name is not None:
+            return verdict.org_name
+        if self._directory is None:
+            return None
+        entry = self._directory.org_for_host(host)
+        return entry.name if entry is not None else None
 
     def _verdict(self, host: str, method: str, list_name: str) -> TrackerVerdict:
         org_name = None

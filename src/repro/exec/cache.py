@@ -21,7 +21,13 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Hashable, Iterator, Optional, Tuple
 
-__all__ = ["CacheInfo", "ReadThroughCache", "cache_registry", "register_cache"]
+__all__ = [
+    "CacheInfo",
+    "ReadThroughCache",
+    "cache_registry",
+    "cache_snapshot",
+    "register_cache",
+]
 
 
 class CacheInfo:
@@ -157,3 +163,17 @@ def cache_registry() -> Iterator[CacheInfo]:
     with _REGISTRY_LOCK:
         caches = list(_REGISTRY.values())
     return iter([cache.info() for cache in caches])
+
+
+def cache_snapshot(prefix: Optional[str] = None) -> Dict[str, CacheInfo]:
+    """``{name: CacheInfo}`` for registered caches, optionally by prefix.
+
+    Counters are process-cumulative (a cache registered at import time
+    keeps counting across runs); consumers wanting per-run numbers can
+    diff two snapshots.
+    """
+    return {
+        info.name: info
+        for info in cache_registry()
+        if prefix is None or info.name.startswith(prefix)
+    }

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
+
+from repro.exec.cache import CacheInfo
 
 __all__ = ["PhaseTimer", "CountryTimings", "ExecMetrics"]
 
@@ -72,12 +74,21 @@ class ExecMetrics:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: Country code -> that country's total seconds.
     country_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Cache name -> hit/miss counter snapshot (memoised lookup layers).
+    #: Snapshots are taken in the coordinating process: with the process
+    #: backend, lookups performed inside pool workers are not visible here.
+    cache_infos: Dict[str, dict] = field(default_factory=dict)
 
     def record_country(self, timings: CountryTimings) -> None:
         self.country_seconds[timings.country_code] = round(timings.total_seconds, 6)
         self.aggregate_seconds += timings.total_seconds
         for phase, seconds in timings.phase_seconds.items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def record_caches(self, infos: Iterable[CacheInfo]) -> None:
+        """Fold cache counter snapshots into the run's metrics."""
+        for info in infos:
+            self.cache_infos[info.name] = info.to_dict()
 
     @property
     def speedup(self) -> float:
@@ -98,6 +109,7 @@ class ExecMetrics:
                 for phase, seconds in sorted(self.phase_seconds.items())
             },
             "country_seconds": dict(sorted(self.country_seconds.items())),
+            "caches": dict(sorted(self.cache_infos.items())),
         }
 
     def render(self) -> str:
@@ -112,4 +124,9 @@ class ExecMetrics:
                 lines.append(f"  {phase:<14} {self.phase_seconds[phase]:8.2f}s")
         for phase in sorted(set(self.phase_seconds) - set(PHASES)):
             lines.append(f"  {phase:<14} {self.phase_seconds[phase]:8.2f}s")
+        for name, info in sorted(self.cache_infos.items()):
+            lines.append(
+                f"  cache {name}: hits={info['hits']} misses={info['misses']} "
+                f"hit_rate={100 * info['hit_rate']:.1f}% size={info['size']}"
+            )
         return "\n".join(lines)

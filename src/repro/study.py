@@ -40,6 +40,7 @@ from repro.core.geoloc.pipeline import (
     PipelineConfig,
     SourceTraces,
 )
+from repro.exec.cache import cache_registry
 from repro.exec.executor import create_executor
 from repro.exec.metrics import ExecMetrics
 from repro.exec.worker import StudyWorker
@@ -211,4 +212,7 @@ def run_study(
         outcome.geolocations[run.country_code] = run.geolocation
         outcome.results.append(run.result)
         outcome.metrics.record_country(run.timings)
+    # Memo-cache counters (verdicts, distance, ...) — snapshotted in this
+    # process, so the process backend's in-worker lookups are not counted.
+    outcome.metrics.record_caches(cache_registry())
     return outcome

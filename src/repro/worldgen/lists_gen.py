@@ -87,6 +87,9 @@ def build_filter_lists(specs: List[OrgSpec]) -> Tuple[FilterSet, Dict[str, Filte
         "##.ad-box",
         "##.sponsored-content",
         "@@||allowlisted.example^$document",
+        # Path-anchored network rule: parses as a URL substring rule (the
+        # hostname part ends at the first "/"), never matches bare hosts.
+        "||static.adrotator.example/creatives^",
     ]
     easyprivacy_lines: List[str] = [
         "[Adblock Plus 2.0]",
@@ -94,6 +97,9 @@ def build_filter_lists(specs: List[OrgSpec]) -> Tuple[FilterSet, Dict[str, Filte
         "! Synthetic supplementary tracking filter list",
         "/telemetry/v1/",
         "##.tracking-pixel",
+        # Substring exception without "||": a SUBSTRING_EXCEPTION rule;
+        # its path pattern never suppresses host-level matches.
+        "@@/telemetry/opt-out/*",
     ]
     regional_lines: Dict[str, List[str]] = {
         cc: [f"! Title: regional list ({cc})"] for cc in REGIONAL_LIST_COUNTRIES

@@ -14,7 +14,7 @@ import threading
 import pytest
 
 from repro.determinism import stable_rng
-from repro.exec.cache import ReadThroughCache, cache_registry
+from repro.exec.cache import ReadThroughCache, cache_registry, cache_snapshot
 from repro.netsim.distance import city_distance_km, distance_cache, haversine_km
 from repro.netsim.dns import NXDomain
 from repro.netsim.latency import LatencyModel
@@ -44,6 +44,34 @@ class TestDistanceCache:
 
     def test_registered_for_reporting(self):
         assert any(info.name == "netsim.distance" for info in cache_registry())
+
+    def test_cache_snapshot_filters_by_prefix(self):
+        snapshot = cache_snapshot("netsim.")
+        assert "netsim.distance" in snapshot
+        assert all(name.startswith("netsim.") for name in snapshot)
+
+
+class TestVerdictCacheSurfacing:
+    """The tracker verdict cache reports through the exec metrics layer."""
+
+    def test_study_metrics_include_verdict_cache(self, study_small):
+        infos = study_small.metrics.cache_infos
+        assert "trackers.verdicts" in infos
+        verdicts = infos["trackers.verdicts"]
+        # The ~100 sites per country repeat hosts heavily: the study join
+        # must produce real hits, and counters must reconcile.
+        assert verdicts["hits"] > 0
+        assert verdicts["misses"] > 0
+        assert 0.0 <= verdicts["hit_rate"] <= 1.0
+
+    def test_metrics_render_shows_cache_counters(self, study_small):
+        rendered = study_small.metrics.render()
+        assert "cache trackers.verdicts:" in rendered
+        assert "hit_rate=" in rendered
+
+    def test_metrics_to_dict_includes_caches(self, study_small):
+        as_dict = study_small.metrics.to_dict()
+        assert "trackers.verdicts" in as_dict["caches"]
 
 
 class TestInflationCache:

@@ -50,6 +50,47 @@ class TestParsing:
         (rule,) = parse_filter_text("@@||ok.example^")
         assert rule.kind == RuleKind.DOMAIN_EXCEPTION
 
+    def test_exception_without_anchor_is_substring_exception(self):
+        # Regression: these used to parse as DOMAIN_EXCEPTION with
+        # domain=None and explode in matches_host.
+        (rule,) = parse_filter_text("@@/telemetry/opt-out/*")
+        assert rule.kind == RuleKind.SUBSTRING_EXCEPTION
+        assert rule.domain is None
+        assert rule.pattern == "/telemetry/opt-out/*"
+        assert not rule.matches_host("telemetry.example.com")  # no AssertionError
+
+    def test_exception_fragment_matches_hosts(self):
+        (rule,) = parse_filter_text("@@optout.example.")
+        assert rule.kind == RuleKind.SUBSTRING_EXCEPTION
+        assert rule.is_exception
+        assert rule.matches_host("a.optout.example.net")
+        assert not rule.matches_host("other.example.net")
+
+    def test_domain_rule_with_path_falls_back_to_substring(self):
+        # Regression: ``||example.com/ads^`` used to become a DOMAIN_BLOCK
+        # whose "domain" contained a slash.  The hostname part of a
+        # path-anchored rule ends at the first "/": the rule targets URLs,
+        # so it is kept as a substring rule that never matches bare hosts.
+        (rule,) = parse_filter_text("||example.com/ads^")
+        assert rule.kind == RuleKind.SUBSTRING
+        assert rule.domain is None
+        assert not rule.matches_host("example.com")
+        assert not rule.matches_host("ads.example.com")
+
+    def test_domain_exception_with_path_falls_back(self):
+        (rule,) = parse_filter_text("@@||example.com/ads^")
+        assert rule.kind == RuleKind.SUBSTRING_EXCEPTION
+        assert not rule.matches_host("example.com")
+
+    def test_interior_separator_is_not_a_domain_rule(self):
+        (rule,) = parse_filter_text("||ads.example^script^")
+        assert rule.kind == RuleKind.SUBSTRING
+
+    def test_trailing_slash_still_domain_rule(self):
+        (rule,) = parse_filter_text("||example.com/")
+        assert rule.kind == RuleKind.DOMAIN_BLOCK
+        assert rule.domain == "example.com"
+
 
 class TestRuleMatching:
     def test_domain_block_matches_subdomains(self):
@@ -88,6 +129,11 @@ class TestFilterList:
         text = "||allowlisted.net^\n@@||allowlisted.net^\n"
         flist = FilterList.parse("test", text)
         assert flist.block_match("x.allowlisted.net") is None
+
+    def test_substring_exception_suppresses(self):
+        text = "||telemetry.example.net^\n@@telemetry.example.\n"
+        flist = FilterList.parse("test", text)
+        assert flist.block_match("telemetry.example.net") is None
 
     def test_no_match(self):
         flist = FilterList.parse("test", SAMPLE)
