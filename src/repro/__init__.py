@@ -20,6 +20,7 @@ from repro.core.trackers import TrackerIdentifier
 from repro.artifacts import export_study, load_datasets
 from repro.exec import CountryExecutionError, ExecMetrics, StudyExecutor, create_executor
 from repro.longitudinal import ComplianceReport, LongitudinalStudy
+from repro.obs import RunJournal, Tracer, strip_timings
 from repro.recruitment import RecruitmentLog, build_recruitment_log
 from repro.stability import SiteStability, VisitVariabilityStudy
 from repro.study import StudyConfig, StudyOutcome, build_source_traces, run_study
@@ -37,6 +38,7 @@ __all__ = [
     "RecruitmentLog",
     "ComplianceReport",
     "LongitudinalStudy",
+    "RunJournal",
     "Scenario",
     "SiteStability",
     "SourceTraces",
@@ -44,6 +46,7 @@ __all__ = [
     "StudyExecutor",
     "StudyOutcome",
     "TrackerIdentifier",
+    "Tracer",
     "Volunteer",
     "VolunteerDataset",
     "VisitVariabilityStudy",
@@ -54,5 +57,6 @@ __all__ = [
     "export_study",
     "load_datasets",
     "run_study",
+    "strip_timings",
     "__version__",
 ]

@@ -14,11 +14,14 @@ Subcommands mirror how the paper's artefacts are used:
   takes effect and operators deploy residency PoPs.
 * ``gamma stability CC``  — multi-visit variability (the §7 follow-up).
 * ``gamma recruitment``   — the volunteer/consent ledger (§3.3-3.5).
+* ``gamma trace FILE``    — summarize a run journal written with
+  ``--trace`` (span tree, funnel drill-down, slowest sites, caches).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -88,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("country", choices=sorted(MEASUREMENT_COUNTRIES))
     report.add_argument("--output", type=Path, default=None)
 
+    trace = sub.add_parser("trace", help="summarize a structured run journal")
+    trace.add_argument("journal", type=Path, help="JSONL journal from --trace")
+    trace.add_argument("--top", type=int, default=10,
+                       help="how many slowest site visits to list (default 10)")
+    trace.add_argument("--validate", action="store_true",
+                       help="only validate every line against the event schema "
+                            "(exit 1 on any problem)")
+
     sub.add_parser("selfcheck", help="validate the built scenario's consistency")
     return parser
 
@@ -107,6 +118,12 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=["auto"] + list(BACKENDS), default="auto",
                         help="execution backend (default: auto — serial for "
                              "--jobs 1, process pool otherwise)")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="write the structured run journal (JSONL) here; "
+                             "summarize it with 'gamma trace FILE'")
+    parser.add_argument("--no-timings", action="store_true",
+                        help="strip timing/runtime fields from the journal so "
+                             "it is byte-identical across backends and runs")
 
 
 def _parse_countries(raw: Optional[str]) -> Optional[List[str]]:
@@ -141,11 +158,16 @@ def _cmd_volunteer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_kwargs(args: argparse.Namespace) -> dict:
+    return {"trace": args.trace, "trace_timings": not args.no_timings}
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     countries = _parse_countries(args.countries)
     scenario = build_scenario()
     outcome = run_study(scenario, countries=countries,
-                        jobs=args.jobs, backend=args.backend)
+                        jobs=args.jobs, backend=args.backend,
+                        **_trace_kwargs(args))
     rows = [
         (r.country_code, f"{r.regional_pct:.1f}", f"{r.government_pct:.1f}",
          f"{r.combined_pct:.1f}", outcome.source_trace_origins[r.country_code])
@@ -162,23 +184,28 @@ def _cmd_study(args: argparse.Namespace) -> int:
           f"{funnel.after_rdns} verified")
     print(f"\n{outcome.metrics.render()}")
     if args.cache_stats:
-        from repro.exec.cache import cache_registry
-
+        # Read the merged run metrics, not the coordinator's registry:
+        # under the process backend only the metrics include the
+        # worker-side hits/misses shipped back with each country.
         print(render_table(
             ["cache", "hits", "misses", "hit %", "size"],
             [
-                (info.name, info.hits, info.misses,
-                 f"{100 * info.hit_rate:.1f}", info.size)
-                for info in cache_registry()
+                (name, info["hits"], info["misses"],
+                 f"{100 * info['hit_rate']:.1f}", info["size"])
+                for name, info in sorted(outcome.metrics.cache_infos.items())
             ],
             title="Memo-cache statistics",
         ))
+    if args.trace is not None:
+        print(f"\nrun journal written to {args.trace} "
+              f"(summarize with: gamma trace {args.trace})")
     return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     scenario = build_scenario()
-    outcome = run_study(scenario, jobs=args.jobs, backend=args.backend)
+    outcome = run_study(scenario, jobs=args.jobs, backend=args.backend,
+                        **_trace_kwargs(args))
     sections = [
         render_fig3(outcome.prevalence()),
         render_fig4(outcome.per_website()),
@@ -218,7 +245,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     scenario = build_scenario()
-    outcome = run_study(scenario, jobs=args.jobs, backend=args.backend)
+    outcome = run_study(scenario, jobs=args.jobs, backend=args.backend,
+                        **_trace_kwargs(args))
     files = export_study(outcome, args.directory)
     print(f"Wrote {len(files)} files under {args.directory}")
     return 0
@@ -290,6 +318,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import RunJournal, render_journal, validate_journal
+
+    try:
+        journal = RunJournal.read(args.journal)
+    except (OSError, ValueError) as error:
+        print(f"cannot read journal: {error}")
+        return 1
+    if args.validate:
+        problems = validate_journal(journal.records)
+        if problems:
+            for problem in problems:
+                print(f"SCHEMA: {problem}")
+            return 1
+        print(f"journal OK: {len(journal)} records conform to the event schema")
+        return 0
+    print(render_journal(journal, top=args.top))
+    return 0
+
+
 def _cmd_selfcheck(_args: argparse.Namespace) -> int:
     from repro.worldgen.selfcheck import check_scenario
 
@@ -315,13 +363,22 @@ _COMMANDS = {
     "stability": _cmd_stability,
     "recruitment": _cmd_recruitment,
     "report": _cmd_report,
+    "trace": _cmd_trace,
     "selfcheck": _cmd_selfcheck,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved filter.  Reopen stdout on devnull so the
+        # interpreter's shutdown flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

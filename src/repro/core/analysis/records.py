@@ -94,8 +94,14 @@ def build_country_result(
     geolocation: DatasetGeolocation,
     identifier: TrackerIdentifier,
     directory: Optional[OrganizationDirectory] = None,
+    tracer=None,
 ) -> CountryStudyResult:
-    """Join dataset + geolocation + identification into analysis records."""
+    """Join dataset + geolocation + identification into analysis records.
+
+    With a :class:`repro.obs.Tracer`, one ``tracker_match`` event is
+    emitted per unique flagged host for this country (the first
+    classification; repeats across sites reuse the local verdict map).
+    """
     directory = directory or identifier.directory
     result = CountryStudyResult(
         country_code=dataset.country_code, dataset=dataset, geolocation=geolocation
@@ -119,8 +125,12 @@ def build_country_result(
                 continue
             # classify() memoises engine-wide, so repeated hosts — within
             # this country and across countries sharing no regional list —
-            # are classified once and counted as cache hits.
-            verdict = identifier.classify(host, dataset.country_code)
+            # are classified once and counted as cache hits.  Attribution
+            # events fire only on the country's first sight of a host.
+            verdict = identifier.classify(
+                host, dataset.country_code,
+                tracer=tracer if host not in verdicts else None,
+            )
             verdicts[host] = verdict
             if not verdict.is_tracker:
                 continue

@@ -70,8 +70,15 @@ class GammaSuite:
         checkpoint: Optional[Checkpoint] = None,
         progress: Optional[ProgressCallback] = None,
         visit_key: str = "visit-1",
+        tracer=None,
     ) -> VolunteerDataset:
-        """Execute the full run and return the volunteer's dataset."""
+        """Execute the full run and return the volunteer's dataset.
+
+        With a :class:`repro.obs.Tracer`, each site gets its own span
+        plus ``site_visit``/``site_skip``/``site_traceroutes`` events,
+        so per-site wall time and load failures are auditable from the
+        run journal.
+        """
         config = self._effective_config(volunteer)
         dataset = self._resume_or_start(volunteer, checkpoint)
         prober = ProbeRunner(self._world, config.os_name) if config.traceroutes_enabled else None
@@ -84,18 +91,51 @@ class GammaSuite:
 
         for url in self._visit_order(targets.all_sites, config.instances):
             if volunteer.opted_out(url):
+                if tracer is not None:
+                    tracer.event("site_skip", url=url, reason="opted_out")
                 continue
             if checkpoint is not None and checkpoint.is_done(url):
+                if tracer is not None:
+                    tracer.event("site_skip", url=url, reason="checkpointed")
                 continue
-            measurement = self._measure_site(
-                url, categories[url], volunteer, config, prober, visit_key
-            )
+            if tracer is None:
+                measurement = self._measure_site(
+                    url, categories[url], volunteer, config, prober, visit_key
+                )
+            else:
+                with tracer.span("site", url):
+                    measurement = self._measure_site(
+                        url, categories[url], volunteer, config, prober, visit_key
+                    )
+                    self._emit_site_events(tracer, measurement)
             dataset.add(measurement)
             if checkpoint is not None:
                 checkpoint.mark_done(url, dataset)
             if progress is not None:
                 progress(url, measurement)
         return dataset
+
+    @staticmethod
+    def _emit_site_events(tracer, measurement: WebsiteMeasurement) -> None:
+        tracer.event(
+            "site_visit",
+            url=measurement.url,
+            category=measurement.category,
+            loaded=measurement.loaded,
+            failure_reason=measurement.failure_reason or None,
+            requested_hosts=len(measurement.requested_hosts),
+            background_hosts=len(measurement.background_hosts),
+            hardcoded_domains=len(measurement.hardcoded_domains),
+        )
+        if measurement.traceroutes:
+            tracer.event(
+                "site_traceroutes",
+                url=measurement.url,
+                attempted=len(measurement.traceroutes),
+                reached=sum(
+                    1 for trace in measurement.traceroutes.values() if trace.reached
+                ),
+            )
 
     # -- internals -----------------------------------------------------------
     @staticmethod

@@ -162,6 +162,11 @@ class DatasetGeolocation:
         ]
 
 
+def _round_ms(value: Optional[float]) -> Optional[float]:
+    """Journal-stable form of a (deterministic) evidence latency."""
+    return None if value is None else round(value, 6)
+
+
 class GeolocationPipeline:
     """Applies database + constraints to a volunteer dataset."""
 
@@ -210,7 +215,16 @@ class GeolocationPipeline:
         self,
         dataset: VolunteerDataset,
         source_traces: SourceTraces,
+        tracer=None,
     ) -> DatasetGeolocation:
+        """Classify every contacted host; funnel-account the verdicts.
+
+        When a :class:`repro.obs.Tracer` is supplied, one
+        ``geoloc_decision`` event is emitted per unique address — which
+        constraint fired and the evidence values — plus one closing
+        ``country_funnel`` event, making every exclusion in the paper's
+        section-5 funnel auditable from the run journal.
+        """
         result = DatasetGeolocation(country_code=dataset.country_code)
         rdns_records: Dict[str, Optional[str]] = {}
         # Funnel accounting is per host *observation* (one per site whose
@@ -240,6 +254,44 @@ class GeolocationPipeline:
             result.verdicts[address] = verdict
             weight = sum(observation_counts.get(host, 1) for host in hosts)
             self._account(verdict, weight, result.funnel)
+            if tracer is not None:
+                tracer.event(
+                    "geoloc_decision",
+                    address=address,
+                    hosts=list(hosts),
+                    weight=weight,
+                    status=verdict.status,
+                    claim_country=verdict.claimed_country,
+                    claim_city=verdict.claim.city_key if verdict.claim else None,
+                    discarded_by=verdict.discarded_by or None,
+                    checks=[
+                        {
+                            "constraint": check.constraint,
+                            "status": check.status,
+                            "reason": check.reason,
+                            "observed_ms": _round_ms(check.observed_ms),
+                            "expected_ms": _round_ms(check.expected_ms),
+                        }
+                        for check in verdict.checks
+                    ],
+                )
+        if tracer is not None:
+            funnel = result.funnel
+            tracer.event(
+                "country_funnel",
+                country=dataset.country_code,
+                funnel={
+                    "total_hosts": funnel.total_hosts,
+                    "unlocated": funnel.unlocated,
+                    "local": funnel.local,
+                    "nonlocal_candidates": funnel.nonlocal_candidates,
+                    "discarded_source": funnel.discarded_source,
+                    "discarded_destination": funnel.discarded_destination,
+                    "discarded_rdns": funnel.discarded_rdns,
+                    "verified_nonlocal": funnel.verified_nonlocal,
+                    "destination_traceroutes": funnel.destination_traceroutes,
+                },
+            )
         return result
 
     # -- internals -----------------------------------------------------------

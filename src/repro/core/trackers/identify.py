@@ -89,15 +89,36 @@ class TrackerIdentifier:
     def regional_countries(self) -> List[str]:
         return sorted(self._regional)
 
-    def classify(self, host: str, country_code: Optional[str] = None) -> TrackerVerdict:
-        """Classify one requested host observed in *country_code* (memoised)."""
+    def classify(
+        self,
+        host: str,
+        country_code: Optional[str] = None,
+        tracer=None,
+    ) -> TrackerVerdict:
+        """Classify one requested host observed in *country_code* (memoised).
+
+        With a :class:`repro.obs.Tracer`, a ``tracker_match`` event
+        attributes each positive verdict to the list (or manual
+        directory entry) that flagged it.  The verdict — and hence the
+        event — is identical whether it came from the cache or a fresh
+        classification, so journals stay backend-independent.
+        """
         host = validate_hostname(host)
         # Regional lists are the only country-dependent layer, so countries
         # without one share a single country-independent cache entry.
         key_country = country_code if country_code in self._regional else None
-        return self._cache.get(
+        verdict = self._cache.get(
             (host, key_country), lambda: self.classify_uncached(host, country_code)
         )
+        if tracer is not None and verdict.is_tracker:
+            tracer.event(
+                "tracker_match",
+                host=host,
+                method=verdict.method,
+                list=verdict.list_name,
+                org=verdict.org_name,
+            )
+        return verdict
 
     def classify_uncached(
         self, host: str, country_code: Optional[str] = None

@@ -5,7 +5,11 @@ serial, thread-pool, or process-pool backend (``StudyConfig.jobs`` /
 ``gamma study --jobs N``), merges results in stable country order so the
 outcome is byte-identical regardless of worker count, memoises the hot
 cross-country lookups for concurrent readers, and accounts per-phase
-wall time so the speedup is observable.  See ``docs/parallel-execution.md``.
+wall time so the speedup is observable.  Each ``CountryRun`` also ships
+back the worker-side memo-cache deltas (merged into ``ExecMetrics`` for
+the process backend) and, when tracing is on, the country's span/event
+buffer for the run journal (:mod:`repro.obs`).  See
+``docs/parallel-execution.md`` and ``docs/observability.md``.
 """
 
 from repro.exec.cache import CacheInfo, ReadThroughCache, cache_registry, register_cache

@@ -75,13 +75,20 @@ class ExecMetrics:
     #: Country code -> that country's total seconds.
     country_seconds: Dict[str, float] = field(default_factory=dict)
     #: Cache name -> hit/miss counter snapshot (memoised lookup layers).
-    #: Snapshots are taken in the coordinating process: with the process
-    #: backend, lookups performed inside pool workers are not visible here.
+    #: The coordinator snapshots its own registry; for the process
+    #: backend, per-worker deltas shipped back with each ``CountryRun``
+    #: are folded in via :meth:`merge_worker_caches`, so in-worker
+    #: lookups are counted too.
     cache_infos: Dict[str, dict] = field(default_factory=dict)
 
     def record_country(self, timings: CountryTimings) -> None:
-        self.country_seconds[timings.country_code] = round(timings.total_seconds, 6)
-        self.aggregate_seconds += timings.total_seconds
+        # Accumulate the *rounded* total so that, with dicts preserving
+        # insertion order, ``sum(country_seconds.values())`` replays the
+        # exact float additions behind ``aggregate_seconds`` — the
+        # invariant the metrics tests lock down.
+        total = round(timings.total_seconds, 6)
+        self.country_seconds[timings.country_code] = total
+        self.aggregate_seconds += total
         for phase, seconds in timings.phase_seconds.items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
@@ -89,6 +96,26 @@ class ExecMetrics:
         """Fold cache counter snapshots into the run's metrics."""
         for info in infos:
             self.cache_infos[info.name] = info.to_dict()
+
+    def merge_worker_caches(self, deltas: Iterable[Dict[str, dict]]) -> None:
+        """Fold per-worker cache counter deltas into the run's metrics.
+
+        Process-pool workers count cache activity in their own
+        interpreters; each country ships back the hit/miss deltas it
+        caused, and this merge adds them to the coordinator snapshot.
+        ``size`` is the largest population observed in any one process
+        (cache contents cannot be unioned from counters alone).
+        """
+        for delta in deltas:
+            for name, counters in delta.items():
+                info = self.cache_infos.setdefault(
+                    name, {"name": name, "hits": 0, "misses": 0, "size": 0, "hit_rate": 0.0}
+                )
+                info["hits"] += counters.get("hits", 0)
+                info["misses"] += counters.get("misses", 0)
+                info["size"] = max(info["size"], counters.get("size", 0))
+                lookups = info["hits"] + info["misses"]
+                info["hit_rate"] = round(info["hits"] / lookups, 4) if lookups else 0.0
 
     @property
     def speedup(self) -> float:
@@ -119,11 +146,17 @@ class ExecMetrics:
             f"wall={self.wall_seconds:.2f}s aggregate={self.aggregate_seconds:.2f}s "
             f"speedup={self.speedup:.2f}x"
         ]
+
+        def _phase_line(phase: str) -> str:
+            seconds = self.phase_seconds[phase]
+            share = 100.0 * seconds / self.aggregate_seconds if self.aggregate_seconds else 0.0
+            return f"  {phase:<14} {seconds:8.2f}s {share:5.1f}%"
+
         for phase in PHASES:
             if phase in self.phase_seconds:
-                lines.append(f"  {phase:<14} {self.phase_seconds[phase]:8.2f}s")
+                lines.append(_phase_line(phase))
         for phase in sorted(set(self.phase_seconds) - set(PHASES)):
-            lines.append(f"  {phase:<14} {self.phase_seconds[phase]:8.2f}s")
+            lines.append(_phase_line(phase))
         for name, info in sorted(self.cache_infos.items()):
             lines.append(
                 f"  cache {name}: hits={info['hits']} misses={info['misses']} "

@@ -7,25 +7,63 @@ dataset, and joins the analysis records — exactly the body of the old
 serial ``run_study`` loop.  Both the instance and its
 :class:`CountryRun` result pickle, so the same worker drives the serial,
 thread-pool, and process-pool backends unchanged.
+
+Observability rides along in two picklable side channels on
+:class:`CountryRun`:
+
+* ``cache_deltas`` — the hit/miss deltas this country caused in the
+  process-wide memo caches, snapshotted around the work.  For the
+  process backend these are the *only* view of in-worker cache
+  activity, so the coordinator merges them into ``ExecMetrics``.
+* ``events`` — the country's span/event buffer when tracing is enabled
+  (``StudyWorker(..., trace=True)``), recorded by a private
+  :class:`repro.obs.Tracer` whose paths root under ``study/<CC>``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.analysis.records import CountryStudyResult, build_country_result
 from repro.core.gamma.config import GammaConfig
 from repro.core.gamma.output import VolunteerDataset, anonymize
 from repro.core.gamma.suite import GammaSuite
 from repro.core.geoloc.pipeline import DatasetGeolocation, GeolocationPipeline
+from repro.exec.cache import cache_registry
 from repro.exec.metrics import CountryTimings
+from repro.obs.tracer import Tracer, maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.study import StudyConfig
     from repro.worldgen.builder import Scenario
 
 __all__ = ["CountryRun", "StudyWorker"]
+
+
+def _registry_counters() -> Dict[str, Dict[str, int]]:
+    return {
+        info.name: {"hits": info.hits, "misses": info.misses, "size": info.size}
+        for info in cache_registry()
+    }
+
+
+def _cache_deltas(
+    before: Dict[str, Dict[str, int]], after: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-cache counter movement between two registry snapshots."""
+    deltas: Dict[str, Dict[str, int]] = {}
+    for name, counters in after.items():
+        base = before.get(name, {"hits": 0, "misses": 0})
+        delta_hits = counters["hits"] - base["hits"]
+        delta_misses = counters["misses"] - base["misses"]
+        if delta_hits or delta_misses:
+            deltas[name] = {
+                "hits": delta_hits,
+                "misses": delta_misses,
+                "size": counters["size"],
+            }
+    return deltas
 
 
 @dataclass
@@ -38,6 +76,11 @@ class CountryRun:
     result: CountryStudyResult
     source_trace_origin: str
     timings: CountryTimings = field(default_factory=lambda: CountryTimings(""))
+    #: Memo-cache counter deltas caused by this country (in the worker's
+    #: own process — the coordinator merges these for the process backend).
+    cache_deltas: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Span/event buffer for the run journal (None when tracing is off).
+    events: Optional[List[dict]] = None
 
 
 class StudyWorker:
@@ -49,9 +92,10 @@ class StudyWorker:
     execution safe.
     """
 
-    def __init__(self, scenario: "Scenario", config: "StudyConfig"):
+    def __init__(self, scenario: "Scenario", config: "StudyConfig", trace: bool = False):
         self._scenario = scenario
         self._config = config
+        self._trace = trace
 
     @property
     def scenario(self) -> "Scenario":
@@ -65,30 +109,42 @@ class StudyWorker:
         volunteer = scenario.volunteers[country_code]
         targets = scenario.targets[country_code].without(sorted(volunteer.opted_out_sites))
         timings = CountryTimings(country_code)
+        tracer = Tracer(root="study") if self._trace else None
+        caches_before = _registry_counters()
 
-        with timings.timer("gamma"):
-            gamma = GammaSuite(
-                scenario.world,
-                scenario.catalog,
-                GammaConfig.study_defaults(os_name=volunteer.os_name),
-                browser_config=scenario.browser_config,
-                ipinfo=scenario.ipinfo,
-            )
-            dataset = gamma.run(volunteer, targets, visit_key=config.visit_key)
+        with maybe_span(tracer, "country", country_code):
+            with timings.timer("gamma"), maybe_span(tracer, "phase", "gamma"):
+                gamma = GammaSuite(
+                    scenario.world,
+                    scenario.catalog,
+                    GammaConfig.study_defaults(os_name=volunteer.os_name),
+                    browser_config=scenario.browser_config,
+                    ipinfo=scenario.ipinfo,
+                )
+                dataset = gamma.run(
+                    volunteer, targets, visit_key=config.visit_key, tracer=tracer
+                )
 
-        with timings.timer("source_traces"):
-            source_traces = build_source_traces(scenario, volunteer, dataset)
+            with timings.timer("source_traces"), maybe_span(tracer, "phase", "source_traces"):
+                source_traces = build_source_traces(scenario, volunteer, dataset)
 
-        with timings.timer("geoloc"):
-            pipeline = GeolocationPipeline.for_scenario(scenario, config.pipeline)
-            geolocation = pipeline.classify_dataset(dataset, source_traces)
+            with timings.timer("geoloc"), maybe_span(tracer, "phase", "geoloc"):
+                pipeline = GeolocationPipeline.for_scenario(scenario, config.pipeline)
+                geolocation = pipeline.classify_dataset(
+                    dataset, source_traces, tracer=tracer
+                )
 
-        with timings.timer("join"):
-            result = build_country_result(
-                dataset, geolocation, scenario.identifier, scenario.directory
-            )
-            if config.anonymize_ips:
-                anonymize(dataset)
+            with timings.timer("join"), maybe_span(tracer, "phase", "join"):
+                result = build_country_result(
+                    dataset, geolocation, scenario.identifier, scenario.directory,
+                    tracer=tracer,
+                )
+                if config.anonymize_ips:
+                    anonymize(dataset)
+
+        cache_deltas = _cache_deltas(caches_before, _registry_counters())
+        if tracer is not None:
+            tracer.event("country_caches", country=country_code, caches=cache_deltas)
 
         return CountryRun(
             country_code=country_code,
@@ -97,4 +153,6 @@ class StudyWorker:
             result=result,
             source_trace_origin=source_traces.origin,
             timings=timings,
+            cache_deltas=cache_deltas,
+            events=tracer.events() if tracer is not None else None,
         )

@@ -1,0 +1,217 @@
+"""Human-readable summaries of a run journal (the ``gamma trace`` view).
+
+Everything here is a pure function of the journal records, so the same
+renderers work on live journals (with timings) and stripped ones
+(``--no-timings`` — durations display as ``-``).
+
+:func:`funnel_from_journal` rebuilds the paper's section-5 funnel from
+the per-host ``geoloc_decision`` events alone; by construction its
+counts equal :meth:`repro.study.StudyOutcome.funnel` exactly, which the
+determinism suite asserts.  A ``country_funnel`` event recorded by the
+pipeline provides an independent cross-check (drift between the two
+would mean the decision events no longer cover every host).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.journal import RunJournal
+
+__all__ = [
+    "funnel_from_journal",
+    "render_journal",
+    "render_span_tree",
+    "render_funnel",
+    "render_slowest_sites",
+    "render_caches",
+]
+
+_FUNNEL_KEYS = (
+    "total_hosts",
+    "unlocated",
+    "local",
+    "nonlocal_candidates",
+    "discarded_source",
+    "discarded_destination",
+    "discarded_rdns",
+    "verified_nonlocal",
+    "destination_traceroutes",
+)
+
+
+def _decision_country(record: dict) -> str:
+    """Country code from a decision event's span path (``study/CC/...``)."""
+    parts = record.get("span", "").split("/")
+    return parts[1] if len(parts) > 1 else "?"
+
+
+def funnel_from_journal(journal: RunJournal) -> Dict[str, Dict[str, int]]:
+    """Per-country funnel counters rebuilt from ``geoloc_decision`` events.
+
+    Returns ``{country: {counter: value}}`` plus an ``"ALL"`` merge.
+    ``destination_traceroutes`` is probe accounting, not a per-host
+    decision, so it is taken from the ``country_funnel`` events.
+    """
+    per_country: Dict[str, Dict[str, int]] = {}
+    for record in journal.events("geoloc_decision"):
+        counters = per_country.setdefault(
+            _decision_country(record), {key: 0 for key in _FUNNEL_KEYS}
+        )
+        weight = record["weight"]
+        status = record["status"]
+        counters["total_hosts"] += weight
+        if status == "unlocated":
+            counters["unlocated"] += weight
+        elif status == "local":
+            counters["local"] += weight
+        else:
+            counters["nonlocal_candidates"] += weight
+            if status == "discarded":
+                by = record.get("discarded_by") or ""
+                if by in ("source", "destination", "rdns"):
+                    counters[f"discarded_{by}"] += weight
+            elif status == "nonlocal_verified":
+                counters["verified_nonlocal"] += weight
+    for record in journal.events("country_funnel"):
+        counters = per_country.setdefault(
+            record["country"], {key: 0 for key in _FUNNEL_KEYS}
+        )
+        counters["destination_traceroutes"] = record["funnel"].get(
+            "destination_traceroutes", 0
+        )
+    merged = {key: 0 for key in _FUNNEL_KEYS}
+    for counters in per_country.values():
+        for key in _FUNNEL_KEYS:
+            merged[key] += counters[key]
+    result = dict(sorted(per_country.items()))
+    result["ALL"] = merged
+    return result
+
+
+def _fmt_seconds(value: Optional[float], width: int = 8) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return f"{value:{width}.2f}"
+
+
+def render_span_tree(journal: RunJournal) -> str:
+    """Indented span tree with self/total seconds; sites are aggregated."""
+    spans = journal.spans()
+    children: Dict[str, List[dict]] = {}
+    by_path: Dict[str, dict] = {}
+    for span in spans:
+        by_path[span["span"]] = span
+        children.setdefault(span["parent"], []).append(span)
+
+    lines = ["span tree (total / self seconds):"]
+
+    def visit(span: dict, depth: int) -> None:
+        kids = children.get(span["span"], [])
+        total = span.get("dur")
+        child_sum = sum(k.get("dur") or 0.0 for k in kids)
+        self_s = None if total is None else max(0.0, total - child_sum)
+        site_kids = [k for k in kids if k["kind"] == "site"]
+        other_kids = [k for k in kids if k["kind"] != "site"]
+        label = f"{'  ' * depth}{span['name']}"
+        lines.append(f"  {label:<42} {_fmt_seconds(total)} {_fmt_seconds(self_s)}")
+        if site_kids:
+            site_total = sum(k.get("dur") or 0.0 for k in site_kids)
+            shown = _fmt_seconds(site_total if span.get("dur") is not None else None)
+            lines.append(
+                f"  {'  ' * (depth + 1)}[{len(site_kids)} site visits]"
+                f"{'':<{max(0, 42 - len(f'[{len(site_kids)} site visits]') - 2 * (depth + 1))}}"
+                f" {shown}"
+            )
+        for kid in other_kids:
+            visit(kid, depth + 1)
+
+    roots = [span for span in spans if not span["parent"]]
+    # Worker buffers close country/phase spans before the study span is
+    # recorded, so render from the study root when present, else orphans.
+    for root in roots or [s for s in spans if s["parent"] not in by_path]:
+        visit(root, 0)
+    if len(lines) == 1:
+        lines.append("  (no spans recorded)")
+    return "\n".join(lines)
+
+
+def render_funnel(journal: RunJournal) -> str:
+    """Per-country + merged funnel drill-down table."""
+    funnels = funnel_from_journal(journal)
+    header = (
+        f"  {'country':<8} {'total':>7} {'unloc':>6} {'local':>6} {'nonlocal':>8} "
+        f"{'-src':>6} {'-dst':>6} {'-rdns':>6} {'verified':>8}"
+    )
+    lines = ["funnel drill-down (host observations):", header]
+    for country, c in funnels.items():
+        lines.append(
+            f"  {country:<8} {c['total_hosts']:>7} {c['unlocated']:>6} "
+            f"{c['local']:>6} {c['nonlocal_candidates']:>8} "
+            f"{c['discarded_source']:>6} {c['discarded_destination']:>6} "
+            f"{c['discarded_rdns']:>6} {c['verified_nonlocal']:>8}"
+        )
+    return "\n".join(lines)
+
+
+def render_slowest_sites(journal: RunJournal, top: int = 10) -> str:
+    """Top-N slowest site visits (needs timings in the journal)."""
+    sites = [span for span in journal.spans("site") if span.get("dur") is not None]
+    lines = [f"top {top} slowest site visits:"]
+    if not sites:
+        lines.append("  (no site timings in journal)")
+        return "\n".join(lines)
+    sites.sort(key=lambda span: (-span["dur"], span["span"]))
+    for span in sites[:top]:
+        country = span["parent"].split("/")[1] if span["parent"].count("/") >= 1 else "?"
+        lines.append(f"  {span['dur']:8.4f}s  {country:<3} {span['name']}")
+    return "\n".join(lines)
+
+
+def render_caches(journal: RunJournal) -> str:
+    """Cache deltas summed over the per-country worker snapshots."""
+    totals: Dict[str, Dict[str, int]] = {}
+    for record in journal.events("country_caches"):
+        for name, info in record["caches"].items():
+            total = totals.setdefault(name, {"hits": 0, "misses": 0, "size": 0})
+            total["hits"] += info.get("hits", 0)
+            total["misses"] += info.get("misses", 0)
+            total["size"] = max(total["size"], info.get("size", 0))
+    lines = ["cache activity (worker-side deltas summed):"]
+    if not totals:
+        lines.append("  (no cache diagnostics in journal — stripped or untraced)")
+        return "\n".join(lines)
+    for name, total in sorted(totals.items()):
+        lookups = total["hits"] + total["misses"]
+        rate = 100.0 * total["hits"] / lookups if lookups else 0.0
+        lines.append(
+            f"  {name:<22} hits={total['hits']:<8} misses={total['misses']:<8} "
+            f"hit_rate={rate:5.1f}% size={total['size']}"
+        )
+    return "\n".join(lines)
+
+
+def render_journal(journal: RunJournal, top: int = 10) -> str:
+    """The full ``gamma trace`` report."""
+    run = journal.run_record or {}
+    headline = [
+        f"run journal: {len(journal)} records, schema v{run.get('schema', '?')}, "
+        f"{len(run.get('countries', []))} countries"
+    ]
+    env_bits = []
+    if "backend" in run:
+        env_bits.append(f"backend={run['backend']}")
+    if "jobs" in run:
+        env_bits.append(f"jobs={run['jobs']}")
+    if "wall_seconds" in run:
+        env_bits.append(f"wall={run['wall_seconds']:.2f}s")
+    if env_bits:
+        headline.append(" ".join(env_bits))
+    sections = [
+        "\n".join(headline),
+        render_span_tree(journal),
+        render_funnel(journal),
+        render_slowest_sites(journal, top=top),
+        render_caches(journal),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,107 @@
+"""Span/event recording for one execution stream.
+
+One :class:`Tracer` instance belongs to one sequential stream of work —
+the study coordinator, or one country inside one pool worker.  It is
+deliberately *not* shared across threads: concurrent workers each hold
+their own tracer, and the coordinator concatenates the buffers in input
+country order, which is what makes the merged journal deterministic
+regardless of completion order.
+
+Records are plain dicts of JSON primitives, so a buffer recorded inside
+a process-pool worker pickles back to the coordinator unchanged.
+
+Instrumented code receives ``tracer=None`` by default and guards every
+emission with ``if tracer is not None`` (or :func:`maybe_span`), so a
+run without tracing pays nothing beyond the ``None`` checks.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from typing import ContextManager, Dict, List, Optional
+
+__all__ = ["Tracer", "maybe_span"]
+
+
+class _Span:
+    """Context manager recording one span on exit."""
+
+    __slots__ = ("_tracer", "_kind", "_name", "_attrs", "_path", "_parent", "_t0")
+
+    def __init__(self, tracer: "Tracer", kind: str, name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self._kind = kind
+        self._name = name
+        self._attrs = attrs
+        self._path: Optional[str] = None
+        self._parent: Optional[str] = None
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self._parent = tracer.current_span
+        self._path = f"{self._parent}/{self._name}" if self._parent else self._name
+        tracer._stack.append(self._path)
+        self._t0 = tracer._now()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        tracer = self._tracer
+        elapsed = tracer._now() - self._t0
+        popped = tracer._stack.pop()
+        assert popped == self._path, "span stack corrupted"
+        record: Dict[str, object] = {
+            "ev": "span",
+            "kind": self._kind,
+            "name": self._name,
+            "span": self._path,
+            "parent": self._parent,
+            "t": round(self._t0, 6),
+            "dur": round(elapsed, 6),
+        }
+        if self._attrs:
+            record["attrs"] = self._attrs
+        tracer._events.append(record)
+
+
+class Tracer:
+    """Buffers spans and typed events for one sequential work stream.
+
+    ``root`` seeds the span path without emitting a record for it — a
+    per-country tracer created inside a worker uses ``root="study"`` so
+    its paths line up under the coordinator's study span.
+    """
+
+    def __init__(self, root: str = ""):
+        self._events: List[dict] = []
+        self._stack: List[str] = [root] if root else []
+        self._origin = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    @property
+    def current_span(self) -> str:
+        return self._stack[-1] if self._stack else ""
+
+    def span(self, kind: str, name: str, **attrs) -> ContextManager["_Span"]:
+        """Open a child span of the current one; recorded when it closes."""
+        return _Span(self, kind, name, attrs)
+
+    def event(self, ev: str, **attrs) -> None:
+        """Record one typed point event attached to the current span."""
+        self._events.append(
+            {"ev": ev, "span": self.current_span, "t": round(self._now(), 6), **attrs}
+        )
+
+    def events(self) -> List[dict]:
+        """The buffered records, in emission order (spans close post-order)."""
+        return self._events
+
+
+def maybe_span(tracer: Optional[Tracer], kind: str, name: str, **attrs) -> ContextManager:
+    """``tracer.span(...)`` or a free no-op when tracing is disabled."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(kind, name, **attrs)

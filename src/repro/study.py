@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro.core.analysis.continents import ContinentFlowAnalysis
 from repro.core.analysis.crosscountry import CrossCountryAnalysis
@@ -44,6 +45,7 @@ from repro.exec.cache import cache_registry
 from repro.exec.executor import create_executor
 from repro.exec.metrics import ExecMetrics
 from repro.exec.worker import StudyWorker
+from repro.obs.journal import SCHEMA_VERSION, RunJournal
 from repro.worldgen.builder import Scenario
 
 __all__ = ["StudyConfig", "StudyOutcome", "run_study", "build_source_traces"]
@@ -77,6 +79,10 @@ class StudyOutcome:
     #: Deliberately excluded from summaries/exports: timings vary run to
     #: run while every study artefact above stays bit-identical.
     metrics: ExecMetrics = field(default_factory=ExecMetrics)
+    #: The structured run journal (``run_study(..., trace=...)``), or
+    #: None when tracing was off.  Like ``metrics``, a measurement
+    #: artefact: never part of summaries or exported bundles.
+    journal: Optional[RunJournal] = None
 
     def funnel(self) -> FunnelCounters:
         merged = FunnelCounters()
@@ -180,6 +186,8 @@ def run_study(
     config: Optional[StudyConfig] = None,
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    trace: Union[None, bool, str, Path] = None,
+    trace_timings: bool = True,
 ) -> StudyOutcome:
     """Run the full methodology over *countries* (default: all volunteers).
 
@@ -188,6 +196,14 @@ def run_study(
     run exactly, and any other setting produces the identical outcome
     in parallel (results are merged in input country order, so neither
     worker count nor completion order is observable in the artefacts).
+
+    *trace* enables the structured run journal: pass a path to write it
+    as JSONL, or ``True`` to only attach it as ``outcome.journal``.
+    Per-country buffers recorded inside workers are merged in input
+    country order, so — after :func:`repro.obs.strip_timings` (or with
+    ``trace_timings=False``) — the journal bytes are identical for
+    every backend and worker count.  The default (``trace=None``) skips
+    all event collection; study artefacts never include the journal.
     """
     config = config or StudyConfig()
     countries = countries or scenario.countries
@@ -195,7 +211,8 @@ def run_study(
     effective_backend = config.backend if backend is None else backend
     executor = create_executor(backend=effective_backend, jobs=effective_jobs)
 
-    worker = StudyWorker(scenario, config)
+    tracing = trace is not None and trace is not False
+    worker = StudyWorker(scenario, config, trace=tracing)
     started = time.perf_counter()
     runs = executor.map_countries(worker, countries)
     wall_seconds = time.perf_counter() - started
@@ -212,7 +229,37 @@ def run_study(
         outcome.geolocations[run.country_code] = run.geolocation
         outcome.results.append(run.result)
         outcome.metrics.record_country(run.timings)
-    # Memo-cache counters (verdicts, distance, ...) — snapshotted in this
-    # process, so the process backend's in-worker lookups are not counted.
+    # Memo-cache counters (verdicts, distance, ...): the coordinator's
+    # registry sees serial/thread lookups directly; process-pool workers
+    # count in their own interpreters, so their per-country deltas are
+    # shipped back with each CountryRun and merged on top.
     outcome.metrics.record_caches(cache_registry())
+    if executor.name == "process":
+        outcome.metrics.merge_worker_caches(run.cache_deltas for run in runs)
+
+    if tracing:
+        run_record = {
+            "ev": "run",
+            "schema": SCHEMA_VERSION,
+            "countries": list(countries),
+            "backend": executor.name,
+            "jobs": executor.jobs,
+            "wall_seconds": round(wall_seconds, 6),
+        }
+        study_span = {
+            "ev": "span",
+            "kind": "study",
+            "name": "study",
+            "span": "study",
+            "parent": "",
+            "t": 0.0,
+            "dur": round(wall_seconds, 6),
+        }
+        outcome.journal = RunJournal.assemble(
+            run_record,
+            (run.events or [] for run in runs),
+            [study_span],
+        )
+        if not isinstance(trace, bool):
+            outcome.journal.write(trace, timings=trace_timings)
     return outcome
