@@ -26,7 +26,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro import GammaConfig, GammaSuite, build_scenario, run_study
+from repro import GammaConfig, GammaSuite, StudyConfig, build_scenario, run_study
 from repro.artifacts import export_study
 from repro.exec.executor import BACKENDS
 from repro.core.analysis.report import (
@@ -61,7 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated country codes (default: all 23)")
     study.add_argument("--cache-stats", action="store_true",
                        help="print hit/miss counters for every memo cache "
-                            "(verdicts, distance, ...) after the summary")
+                            "(verdicts, distance, traces, ...) after the summary")
+    study.add_argument("--exercise-parsers", action="store_true",
+                       help="normalise traceroutes through the historical "
+                            "render -> parse round trip instead of the "
+                            "byte-identical direct fast path (CI oracle mode)")
     _add_exec_arguments(study)
 
     figures = sub.add_parser("figures", help="regenerate every figure and table")
@@ -165,7 +169,8 @@ def _trace_kwargs(args: argparse.Namespace) -> dict:
 def _cmd_study(args: argparse.Namespace) -> int:
     countries = _parse_countries(args.countries)
     scenario = build_scenario()
-    outcome = run_study(scenario, countries=countries,
+    config = StudyConfig(exercise_parsers=args.exercise_parsers)
+    outcome = run_study(scenario, countries=countries, config=config,
                         jobs=args.jobs, backend=args.backend,
                         **_trace_kwargs(args))
     rows = [

@@ -46,6 +46,14 @@ class GammaConfig:
     #: Save full page sources and scrape them for hardcoded domains
     #: (section 3: C1 saves webpages; C2 resolves hardcoded domains too).
     save_pages: bool = False
+    #: Normalise traceroutes through the historical render-text → parse
+    #: round trip instead of the byte-identical direct fast path.  Off by
+    #: default; CI keeps the parser path continuously exercised with it.
+    exercise_parsers: bool = False
+    #: Memoise the first trace per (volunteer, address) across sites —
+    #: duplicates are thrown away downstream anyway (only the first
+    #: observation per address feeds the geolocation pipeline).
+    memo_traces: bool = True
 
     def __post_init__(self) -> None:
         if self.browser not in BrowserKind.ALL:
@@ -98,4 +106,7 @@ class GammaConfig:
             opted_out_sites=set(self.opted_out_sites),
             os_name=self.os_name,
             probes_per_hop=self.probes_per_hop,
+            save_pages=self.save_pages,
+            exercise_parsers=self.exercise_parsers,
+            memo_traces=self.memo_traces,
         )

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.core.gamma.normalize import normalize_direct
+from repro.core.gamma.parsers import NormalizedTraceroute
 from repro.determinism import stable_rng
 from repro.netsim.geography import City
 from repro.netsim.latency import LatencyModel
@@ -48,9 +50,23 @@ class OSAdapter:
 
     name = "abstract"
     traceroute_command = "traceroute"
+    #: Which text format :meth:`raw_traceroute` produces — and therefore
+    #: which quantisation the direct normaliser must reproduce.
+    render_format = "linux"
 
     def raw_traceroute(self, engine: TracerouteEngine, source: City, target_ip: str, key: str) -> str:
         raise NotImplementedError
+
+    def normalized_traceroute(
+        self, engine: TracerouteEngine, source: City, target_ip: str, key: str
+    ) -> NormalizedTraceroute:
+        """One normalised trace without the render → parse round trip.
+
+        Byte-identical to ``parse_traceroute_output(self.raw_traceroute(...))``
+        — the equivalence the oracle tests in
+        ``tests/test_gamma_normalize.py`` lock down per platform format.
+        """
+        return normalize_direct(engine.trace(source, target_ip, key), self.render_format)
 
     def ping(
         self,
@@ -83,6 +99,7 @@ class LinuxAdapter(OSAdapter):
 class WindowsAdapter(OSAdapter):
     name = "windows"
     traceroute_command = "tracert"
+    render_format = "windows"
 
     def raw_traceroute(self, engine: TracerouteEngine, source: City, target_ip: str, key: str) -> str:
         return render_windows(engine.trace(source, target_ip, key))

@@ -81,7 +81,11 @@ class GammaSuite:
         """
         config = self._effective_config(volunteer)
         dataset = self._resume_or_start(volunteer, checkpoint)
-        prober = ProbeRunner(self._world, config.os_name) if config.traceroutes_enabled else None
+        prober = (
+            ProbeRunner(self._world, config.os_name, exercise_parsers=config.exercise_parsers)
+            if config.traceroutes_enabled
+            else None
+        )
 
         categories: Dict[str, str] = {}
         for url in targets.regional:
@@ -224,6 +228,7 @@ class GammaSuite:
         if prober is not None:
             addresses = measurement.resolved_addresses
             measurement.traceroutes = prober.traceroute_many(
-                volunteer.city, addresses, key_prefix=f"{volunteer.name}:{url}"
+                volunteer.city, addresses, key_prefix=f"{volunteer.name}:{url}",
+                memo=config.memo_traces,
             )
         return measurement

@@ -327,8 +327,10 @@ class GeolocationPipeline:
             )
             trace = None
             if probe is not None:
+                # Logical launch count — memoisation below may serve the
+                # trace from another country's identical measurement.
                 funnel.destination_traceroutes += 1
-                trace = self._atlas.traceroute(probe, address, f"dest:{address}")
+                trace = self._atlas.dest_traceroute(probe, address)
             check = self._destination.check(trace, probe.city if probe else None, claim.city)
             checks.append(check)
             if check.failed:

@@ -5,39 +5,126 @@ Every stochastic decision in the reproduction flows through
 SHA-256 digests of caller-supplied strings.  This keeps experiments
 bit-identical across runs and across machines, and makes them immune to
 Python's per-process hash randomisation (``PYTHONHASHSEED``).
+
+The digests are on the study's hot path (a profiled 3-country study
+seeds tens of thousands of RNGs under the traceroute engine alone), so
+:func:`stable_hash` keeps a memo of partially-fed SHA-256 states: most
+call sites hash a tuple whose leading parts repeat across calls (e.g.
+``("trace", city_key, ip)`` with only the measurement key varying), and
+``hashlib`` objects can be ``.copy()``-ed mid-stream.  Feeding the same
+bytes in two steps produces the same digest as one join, so the fast
+path is exactly equivalent to hashing the separator-joined string — the
+property ``tests/test_determinism_fastpath.py`` locks down against a
+reference implementation.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+import threading
+from collections.abc import Sequence
 
-__all__ = ["stable_hash", "stable_rng", "stable_uniform", "stable_choice"]
+__all__ = [
+    "stable_hash",
+    "stable_rng",
+    "stable_draw_rng",
+    "stable_uniform",
+    "stable_choice",
+]
+
+_SEPARATOR = b"\x1f"
+
+#: Memoised SHA-256 states, one per distinct leading tuple, already fed
+#: ``part0 SEP part1 SEP ... SEP`` and never mutated again (reads copy).
+#: Bounded by wholesale reset: prefixes are cheap to rebuild and the
+#: working set of any one study phase is far below the limit.
+_PREFIX_STATES: dict = {}
+_PREFIX_STATE_LIMIT = 16384
+
+
+def _prefix_state(head):
+    """A fresh hash object pre-fed with *head* parts and separators."""
+    state = _PREFIX_STATES.get(head)
+    if state is None:
+        state = hashlib.sha256()
+        for part in head:
+            state.update(part.encode("utf-8"))
+            state.update(_SEPARATOR)
+        if len(_PREFIX_STATES) >= _PREFIX_STATE_LIMIT:
+            _PREFIX_STATES.clear()
+        _PREFIX_STATES[head] = state
+    return state.copy()
 
 
 def stable_hash(*parts: object) -> int:
     """Return a 64-bit integer hash derived from the string forms of *parts*.
 
     Unlike the built-in :func:`hash`, the result is identical across
-    processes and Python versions.
+    processes and Python versions.  Equivalent to digesting
+    ``"\\x1f".join(str(p) for p in parts)``; multi-part keys reuse a
+    memoised digest state for their leading parts instead of re-hashing
+    the full key string every call.
     """
-    text = "\x1f".join(str(p) for p in parts)
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    if len(parts) >= 2:
+        digest_state = _prefix_state(tuple(str(p) for p in parts[:-1]))
+        digest_state.update(str(parts[-1]).encode("utf-8"))
+        digest = digest_state.digest()
+    else:
+        text = str(parts[0]) if parts else ""
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
 
 
 def stable_rng(*parts: object) -> random.Random:
-    """Return a :class:`random.Random` seeded from :func:`stable_hash`."""
+    """Return a :class:`random.Random` seeded from :func:`stable_hash`.
+
+    Always a fresh instance: callers hold the generator and interleave
+    draws with other ``stable_*`` calls, so the state cannot be shared.
+    """
     return random.Random(stable_hash(*parts))
+
+
+#: Single-draw helpers reseed one long-lived generator per thread:
+#: ``Random.seed(n)`` installs the exact state ``Random(n)`` would, and
+#: the draw consumes it whole, so reuse is invisible in the results
+#: while skipping a generator allocation per call.
+_DRAW_LOCAL = threading.local()
+
+
+def _seeded_draw_rng(seed: int) -> random.Random:
+    rng = getattr(_DRAW_LOCAL, "rng", None)
+    if rng is None:
+        rng = _DRAW_LOCAL.rng = random.Random()
+    rng.seed(seed)
+    return rng
+
+
+def stable_draw_rng(*parts: object) -> random.Random:
+    """A thread-local generator reseeded from *parts* — single-use.
+
+    State-identical to ``stable_rng(*parts)`` (``Random.seed(n)``
+    installs exactly the state ``Random(n)`` starts with) but without
+    allocating a generator per call — the win on hot paths that draw a
+    short, fixed burst.  The caller must consume its draws immediately:
+    holding the generator across any other ``stable_*`` draw on the
+    same thread reseeds it out from under the holder.  When the
+    generator escapes to callers or draws interleave, use
+    :func:`stable_rng`.
+    """
+    return _seeded_draw_rng(stable_hash(*parts))
 
 
 def stable_uniform(low: float, high: float, *parts: object) -> float:
     """A single deterministic uniform draw in ``[low, high)`` keyed by *parts*."""
-    return stable_rng("uniform", *parts).uniform(low, high)
+    return _seeded_draw_rng(stable_hash("uniform", *parts)).uniform(low, high)
 
 
 def stable_choice(options, *parts: object):
     """A single deterministic choice from *options* keyed by *parts*."""
     if not options:
         raise ValueError("cannot choose from an empty sequence")
-    return stable_rng("choice", *parts).choice(list(options))
+    rng = _seeded_draw_rng(stable_hash("choice", *parts))
+    if isinstance(options, Sequence):
+        return rng.choice(options)
+    return rng.choice(list(options))

@@ -5,7 +5,10 @@ processes, and the hottest cross-country lookups — great-circle
 distance, city-pair latency statistics, reverse DNS, GeoDNS resolution —
 are pure functions of their keys.  :class:`ReadThroughCache` memoises
 such lookups behind a lock so concurrent readers never observe a
-half-written entry, while hit/miss counters stay exact.
+half-written entry, while hit/miss counters stay exact.  First-time
+computes run *outside* the lock under per-key single-flight
+coordination: two threads missing different keys compute concurrently,
+two threads missing the same key compute it once.
 
 Because every cached value is deterministic in its key, memoisation can
 never change a result — only how often it is recomputed.  The
@@ -66,16 +69,31 @@ class CacheInfo:
         )
 
 
+class _InFlight:
+    """Coordination record for one in-progress compute."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: object = None
+        self.error = False
+
+
 class ReadThroughCache:
     """A keyed memo safe for concurrent readers.
 
     ``get(key, compute)`` returns the cached value for *key* or calls
-    ``compute()`` under the lock and stores the result.  Holding the
-    lock during compute keeps the hit/miss counters exact (each key is
-    computed exactly once) at the cost of serialising first-time
-    computes — acceptable because every cached lookup here is cheap and
-    pure.  An optional ``maxsize`` evicts the oldest entry FIFO-style so
-    unbounded key spaces cannot grow without limit.
+    ``compute()`` and stores the result.  Computes run *outside* the
+    lock: the first thread to miss a key claims ownership of it (that
+    claim is the recorded miss) and computes while the lock is free, so
+    misses on distinct keys proceed in parallel.  Threads missing the
+    same key wait on the owner's flight and count a hit once the value
+    lands — each key is still computed exactly once, and counters stay
+    exact.  If the owner's ``compute()`` raises, the exception
+    propagates to the owner and one waiter takes over ownership and
+    retries.  An optional ``maxsize`` evicts the oldest entry FIFO-style
+    so unbounded key spaces cannot grow without limit.
     """
 
     def __init__(self, name: str, maxsize: Optional[int] = None):
@@ -84,21 +102,48 @@ class ReadThroughCache:
         self.name = name
         self._maxsize = maxsize
         self._data: Dict[Hashable, object] = {}
+        self._inflight: Dict[Hashable, _InFlight] = {}
         self._hits = 0
         self._misses = 0
         self._lock = threading.Lock()
 
     def get(self, key: Hashable, compute: Callable[[], object]) -> object:
-        with self._lock:
-            if key in self._data:
-                self._hits += 1
-                return self._data[key]
-            self._misses += 1
-            value = compute()
-            if self._maxsize is not None and len(self._data) >= self._maxsize:
-                self._data.pop(next(iter(self._data)))
-            self._data[key] = value
-            return value
+        while True:
+            with self._lock:
+                if key in self._data:
+                    self._hits += 1
+                    return self._data[key]
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = self._inflight[key] = _InFlight()
+                    self._misses += 1
+                    owner = True
+                else:
+                    owner = False
+            if owner:
+                try:
+                    value = compute()
+                except BaseException:
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    flight.error = True
+                    flight.event.set()
+                    raise
+                with self._lock:
+                    if self._maxsize is not None and len(self._data) >= self._maxsize:
+                        self._data.pop(next(iter(self._data)))
+                    self._data[key] = value
+                    self._inflight.pop(key, None)
+                flight.value = value
+                flight.event.set()
+                return value
+            flight.event.wait()
+            if not flight.error:
+                with self._lock:
+                    self._hits += 1
+                return flight.value
+            # The owner's compute raised; loop and race to become the
+            # new owner (or find the value a faster retrier stored).
 
     def peek(self, key: Hashable) -> Tuple[bool, object]:
         """``(present, value)`` without touching the counters."""
@@ -142,6 +187,7 @@ class ReadThroughCache:
         self._data = state["_data"]
         self._hits = state["_hits"]
         self._misses = state["_misses"]
+        self._inflight = {}
         self._lock = threading.Lock()
 
 

@@ -117,7 +117,11 @@ class StudyWorker:
                 gamma = GammaSuite(
                     scenario.world,
                     scenario.catalog,
-                    GammaConfig.study_defaults(os_name=volunteer.os_name),
+                    GammaConfig.study_defaults(
+                        os_name=volunteer.os_name,
+                        exercise_parsers=config.exercise_parsers,
+                        memo_traces=config.memo_traces,
+                    ),
                     browser_config=scenario.browser_config,
                     ipinfo=scenario.ipinfo,
                 )

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
-from repro.determinism import stable_rng
+from repro.determinism import stable_draw_rng, stable_rng
 from repro.netsim.geography import City
 from repro.netsim.ip import IPSpace
 from repro.netsim.latency import LatencyModel
@@ -27,16 +27,26 @@ __all__ = [
     "TracerouteEngine",
     "render_linux",
     "render_windows",
+    "probe_rtts",
 ]
 
 
 @dataclass(frozen=True)
 class TracerouteHop:
-    """One TTL step.  ``address is None`` renders as ``*`` probes."""
+    """One TTL step.  ``address is None`` renders as ``*`` probes.
+
+    ``probes`` holds the three per-probe RTT samples the tool observed.
+    The engine fills it at synthesis time; hops built without it (tests,
+    hand-rolled traces) have the identical samples derived lazily by
+    :func:`probe_rtts` — the field is an eager cache, never a different
+    value.
+    """
 
     index: int
     address: Optional[str]
     rtt_ms: Optional[float]
+    #: Cache only — equality/repr stay on the three identity fields.
+    probes: Optional[tuple] = field(default=None, compare=False, repr=False)
 
     @property
     def responded(self) -> bool:
@@ -93,7 +103,7 @@ class TracerouteBlocking:
         return country_code in self.blocked_source_countries
 
     def destination_unreachable(self, source_key: str, target: str) -> bool:
-        return stable_rng("trace-unreach", source_key, target).random() < self.unreachable_rate
+        return stable_draw_rng("trace-unreach", source_key, target).random() < self.unreachable_rate
 
 
 class TracerouteEngine:
@@ -145,10 +155,10 @@ class TracerouteEngine:
         hops: List[TracerouteHop] = []
         # Hop 1: the volunteer's home gateway.
         gateway_rtt = rng.uniform(0.4, 3.0)
-        hops.append(TracerouteHop(1, self._GATEWAY, round(gateway_rtt, 3)))
+        hops.append(_responded_hop(1, self._GATEWAY, round(gateway_rtt, 3)))
         # Hop 2: the access ISP's first router; carries the local penalty.
         access_rtt = gateway_rtt + self._latency.access_penalty(source_city) * rng.uniform(0.7, 1.2)
-        hops.append(TracerouteHop(2, self._transit_address(source_city.key, 0, rng), round(access_rtt, 3)))
+        hops.append(_responded_hop(2, self._transit_address(source_city.key, 0, rng), round(access_rtt, 3)))
 
         waypoints = synthesize_path(source_city, destination_city, measurement_key)
         propagation_budget = max(0.0, total_rtt - access_rtt - 1.0)
@@ -162,9 +172,9 @@ class TracerouteEngine:
             rtt = max(previous_rtt + 0.05, rtt)  # keep the profile monotone
             previous_rtt = rtt
             hops.append(
-                TracerouteHop(index, self._transit_address(source_city.key + target_ip, order, rng), round(rtt, 3))
+                _responded_hop(index, self._transit_address(source_city.key + target_ip, order, rng), round(rtt, 3))
             )
-        hops.append(TracerouteHop(len(hops) + 1, target_ip, round(max(previous_rtt + 0.05, total_rtt), 3)))
+        hops.append(_responded_hop(len(hops) + 1, target_ip, round(max(previous_rtt + 0.05, total_rtt), 3)))
         return hops
 
     def _failed_trace(
@@ -172,11 +182,11 @@ class TracerouteEngine:
     ) -> TracerouteResult:
         hops: List[TracerouteHop] = []
         if hops_before_loss > 0:
-            hops.append(TracerouteHop(1, self._GATEWAY, round(rng.uniform(0.4, 3.0), 3)))
+            hops.append(_responded_hop(1, self._GATEWAY, round(rng.uniform(0.4, 3.0), 3)))
             previous = hops[0].rtt_ms or 1.0
             for i in range(2, hops_before_loss + 1):
                 previous = previous + rng.uniform(0.5, 12.0)
-                hops.append(TracerouteHop(i, self._transit_address(source_city.key, i, rng), round(previous, 3)))
+                hops.append(_responded_hop(i, self._transit_address(source_city.key, i, rng), round(previous, 3)))
         start = len(hops) + 1
         for i in range(start, start + 5):  # trailing all-star hops, then give up
             hops.append(TracerouteHop(i, None, None))
@@ -185,7 +195,7 @@ class TracerouteEngine:
     @staticmethod
     def _transit_address(key: str, order: int, rng) -> str:
         """A plausible transit-router address (not part of the served space)."""
-        h = stable_rng("transit-ip", key, order, rng.random())
+        h = stable_draw_rng("transit-ip", key, order, rng.random())
         return f"62.{h.randint(0, 255)}.{h.randint(0, 255)}.{h.randint(1, 254)}"
 
 
@@ -196,7 +206,7 @@ def render_linux(result: TracerouteResult, max_hops: int = 30) -> str:
         if not hop.responded:
             lines.append(f"{hop.index:2d}  * * *")
             continue
-        rtts = _probe_rtts(hop)
+        rtts = probe_rtts(hop)
         rtt_text = "  ".join(f"{value:.3f} ms" for value in rtts)
         lines.append(f"{hop.index:2d}  {hop.address} ({hop.address})  {rtt_text}")
     return "\n".join(lines) + "\n"
@@ -214,7 +224,7 @@ def render_windows(result: TracerouteResult, max_hops: int = 30) -> str:
             lines.append(f"  {hop.index:2d}     *        *        *     Request timed out.")
             continue
         cells = []
-        for value in _probe_rtts(hop):
+        for value in probe_rtts(hop):
             cells.append("<1 ms" if value < 1.0 else f"{int(round(value)):d} ms")
         lines.append(f"  {hop.index:2d}  {cells[0]:>8} {cells[1]:>8} {cells[2]:>8}  {hop.address}")
     lines.append("")
@@ -222,8 +232,34 @@ def render_windows(result: TracerouteResult, max_hops: int = 30) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _probe_rtts(hop: TracerouteHop) -> List[float]:
-    """Three per-probe RTT samples around the hop's canonical RTT."""
+def _sample_probe_rtts(index: int, address: str, rtt_ms: float) -> tuple:
+    """Derive the three per-probe samples for one responded hop."""
+    # Three draws, consumed before the generator can be reseeded: the
+    # single-use thread-local fast path applies.
+    rng = stable_draw_rng("probe-rtts", index, address, rtt_ms)
+    return (
+        max(0.05, rtt_ms + rng.uniform(-0.4, 0.4)),
+        max(0.05, rtt_ms + rng.uniform(-0.4, 0.4)),
+        max(0.05, rtt_ms + rng.uniform(-0.4, 0.4)),
+    )
+
+
+def _responded_hop(index: int, address: str, rtt_ms: float) -> TracerouteHop:
+    """A responded hop with its probe samples synthesised eagerly."""
+    return TracerouteHop(index, address, rtt_ms, _sample_probe_rtts(index, address, rtt_ms))
+
+
+def probe_rtts(hop: TracerouteHop) -> List[float]:
+    """Three per-probe RTT samples around the hop's canonical RTT.
+
+    Shared by both text renderers and by the direct normaliser
+    (:mod:`repro.core.gamma.normalize`), which must quantise exactly the
+    samples the renderers would have printed.  Engine-built hops carry
+    the samples (:attr:`TracerouteHop.probes`); hand-built hops derive
+    the identical values on demand.
+    """
     assert hop.rtt_ms is not None
-    rng = stable_rng("probe-rtts", hop.index, hop.address, hop.rtt_ms)
-    return [max(0.05, hop.rtt_ms + rng.uniform(-0.4, 0.4)) for _ in range(3)]
+    if hop.probes is not None:
+        return list(hop.probes)
+    return list(_sample_probe_rtts(hop.index, hop.address, hop.rtt_ms))
+

@@ -63,6 +63,11 @@ class StudyConfig:
     jobs: int = 1
     #: Execution backend: "auto", "serial", "thread", or "process".
     backend: str = "auto"
+    #: Route traceroutes through the historical render → parse round trip
+    #: instead of the byte-identical direct normaliser (CI's oracle mode).
+    exercise_parsers: bool = False
+    #: Memoise each volunteer's first trace per address across sites.
+    memo_traces: bool = True
 
 
 @dataclass

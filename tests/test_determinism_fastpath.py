@@ -1,0 +1,155 @@
+"""The determinism fast paths vs their reference implementations.
+
+``stable_hash`` memoises partially-fed SHA-256 states per leading tuple
+and ``stable_uniform``/``stable_choice`` reseed one thread-local
+generator instead of allocating a fresh ``random.Random`` per draw.
+Both rewrites must be *invisible*: every value equals what the
+historical implementation — digest the ``\\x1f``-joined string, seed a
+fresh generator — produced.  These properties pin that equivalence
+down, including under prefix-memo reuse, memo resets, and thread
+contention.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import determinism
+from repro.determinism import stable_choice, stable_hash, stable_rng, stable_uniform
+
+
+def reference_stable_hash(*parts: object) -> int:
+    """The historical implementation, verbatim."""
+    text = "\x1f".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+#: Part values as call sites use them — strings (including ones that
+#: contain the separator), numbers, bools, tuples.
+_part = st.one_of(
+    st.text(max_size=24),
+    st.text(alphabet="\x1f\\x1f|:", max_size=6),
+    st.integers(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.tuples(st.integers(), st.text(max_size=5)),
+)
+_parts = st.lists(_part, min_size=0, max_size=6)
+
+
+class TestStableHashFastPath:
+    @settings(max_examples=300, deadline=None)
+    @given(_parts)
+    def test_equals_reference(self, parts):
+        assert stable_hash(*parts) == reference_stable_hash(*parts)
+
+    def test_no_parts_and_single_part(self):
+        assert stable_hash() == reference_stable_hash()
+        assert stable_hash("x") == reference_stable_hash("x")
+        assert stable_hash(42) == reference_stable_hash(42)
+
+    def test_prefix_memo_reuse_is_invisible(self):
+        # Same leading tuple thousands of times: the first call builds
+        # the memoised state, the rest copy it — values never drift.
+        for i in range(2000):
+            key = ("trace", "Auckland, NZ", "10.1.2.3", f"site:{i}")
+            assert stable_hash(*key) == reference_stable_hash(*key)
+
+    def test_prefix_boundary_does_not_alias(self):
+        # ("ab", "c") and ("a", "bc") share the joined text length but
+        # not the digest; the separator keeps part boundaries distinct
+        # in both the memoised prefix and the final update.
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+        assert stable_hash("ab", "c") == reference_stable_hash("ab", "c")
+        assert stable_hash("a", "bc") == reference_stable_hash("a", "bc")
+
+    def test_memo_reset_preserves_values(self, monkeypatch):
+        monkeypatch.setattr(determinism, "_PREFIX_STATE_LIMIT", 8)
+        determinism._PREFIX_STATES.clear()
+        try:
+            for i in range(64):  # crosses the reset threshold repeatedly
+                key = (f"prefix-{i}", "tail")
+                assert stable_hash(*key) == reference_stable_hash(*key)
+                assert stable_hash(*key) == reference_stable_hash(*key)
+            assert len(determinism._PREFIX_STATES) <= 8
+        finally:
+            determinism._PREFIX_STATES.clear()
+
+
+class TestSingleDrawFastPath:
+    @settings(max_examples=200, deadline=None)
+    @given(_parts, st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=0.0, max_value=1e6))
+    def test_uniform_equals_reference(self, parts, low, span):
+        expected = random.Random(
+            reference_stable_hash("uniform", *parts)
+        ).uniform(low, low + span)
+        assert stable_uniform(low, low + span, *parts) == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(_parts, st.lists(st.integers(), min_size=1, max_size=20))
+    def test_choice_equals_reference(self, parts, options):
+        expected = random.Random(
+            reference_stable_hash("choice", *parts)
+        ).choice(list(options))
+        assert stable_choice(options, *parts) == expected
+        assert stable_choice(tuple(options), *parts) == expected
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stable_choice([], "k")
+
+    def test_draws_do_not_disturb_each_other(self):
+        # Interleaving the thread-local draw helpers with fresh stable_rng
+        # generators must leave every value exactly as when called alone.
+        alone_uniform = stable_uniform(0.0, 1.0, "a")
+        alone_choice = stable_choice([1, 2, 3, 4], "b")
+        rng = stable_rng("seq")
+        mixed = []
+        for _ in range(3):
+            mixed.append(rng.random())
+            assert stable_uniform(0.0, 1.0, "a") == alone_uniform
+            assert stable_choice([1, 2, 3, 4], "b") == alone_choice
+        fresh = stable_rng("seq")
+        assert mixed == [fresh.random() for _ in range(3)]
+
+    def test_threaded_draws_match_reference(self):
+        errors = []
+
+        def hammer(tid):
+            try:
+                for i in range(400):
+                    key = ("thread", tid, i)
+                    expected = random.Random(
+                        reference_stable_hash("uniform", *key)
+                    ).uniform(0.0, 10.0)
+                    assert stable_uniform(0.0, 10.0, *key) == expected
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+
+
+class TestStableRngUnchanged:
+    def test_fresh_instance_every_call(self):
+        first = stable_rng("k")
+        second = stable_rng("k")
+        assert first is not second
+        assert [first.random() for _ in range(5)] == [second.random() for _ in range(5)]
+
+    def test_seeded_from_fast_hash(self):
+        assert stable_rng("a", "b").random() == random.Random(
+            reference_stable_hash("a", "b")
+        ).random()

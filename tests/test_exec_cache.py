@@ -237,3 +237,119 @@ class TestReadThroughCacheConcurrency:
         info = clone.info()
         assert (info.hits, info.misses, info.size) == (1, 1, 1)
         assert clone.get("k", lambda: "other") == "v"
+
+
+class TestReadThroughCacheSingleFlight:
+    """Computes run outside the lock, coordinated per key.
+
+    The original implementation held the cache lock *during* compute, so
+    one slow lookup stalled every other key.  These tests are the
+    regression net: distinct keys must compute concurrently, same-key
+    callers must share one compute, and an owner's failure must hand
+    ownership to a waiter instead of poisoning the key.
+    """
+
+    def test_distinct_keys_compute_concurrently(self):
+        # Each compute blocks until the *other* compute has started.
+        # Under lock-held-compute this deadlocks; under single-flight it
+        # completes immediately.
+        cache = ReadThroughCache("test.sf.parallel")
+        started_a = threading.Event()
+        started_b = threading.Event()
+        results = {}
+
+        def compute_a():
+            started_a.set()
+            assert started_b.wait(timeout=20), "compute 'b' never entered"
+            return "va"
+
+        def compute_b():
+            started_b.set()
+            assert started_a.wait(timeout=20), "compute 'a' never entered"
+            return "vb"
+
+        threads = [
+            threading.Thread(target=lambda: results.update(a=cache.get("a", compute_a))),
+            threading.Thread(target=lambda: results.update(b=cache.get("b", compute_b))),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads), "computes serialised"
+        assert results == {"a": "va", "b": "vb"}
+        info = cache.info()
+        assert (info.hits, info.misses) == (0, 2)
+
+    def test_same_key_waiters_share_one_compute(self):
+        cache = ReadThroughCache("test.sf.shared")
+        in_compute = threading.Event()
+        release = threading.Event()
+        calls = []
+        results = []
+
+        def slow_compute():
+            calls.append(1)
+            in_compute.set()
+            assert release.wait(timeout=20)
+            return "value"
+
+        threads = [
+            threading.Thread(target=lambda: results.append(cache.get("k", slow_compute)))
+            for _ in range(6)
+        ]
+        threads[0].start()
+        assert in_compute.wait(timeout=20)
+        for thread in threads[1:]:  # all join while the owner is inside compute
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert results == ["value"] * 6
+        assert len(calls) == 1  # one compute served every caller
+        info = cache.info()
+        assert (info.hits, info.misses) == (5, 1)
+
+    def test_owner_error_propagates_and_waiter_takes_over(self):
+        cache = ReadThroughCache("test.sf.errors")
+        in_compute = threading.Event()
+        release = threading.Event()
+        calls = []
+        outcome = {}
+
+        def failing_then_ok():
+            calls.append(1)
+            if len(calls) == 1:
+                in_compute.set()
+                assert release.wait(timeout=20)
+                raise RuntimeError("boom")
+            return 42
+
+        def owner():
+            try:
+                cache.get("k", failing_then_ok)
+            except RuntimeError as error:
+                outcome["owner_error"] = str(error)
+
+        def waiter():
+            outcome["waiter_value"] = cache.get("k", failing_then_ok)
+
+        owner_thread = threading.Thread(target=owner)
+        owner_thread.start()
+        assert in_compute.wait(timeout=20)
+        waiter_thread = threading.Thread(target=waiter)
+        waiter_thread.start()
+        release.set()
+        owner_thread.join(timeout=30)
+        waiter_thread.join(timeout=30)
+        assert outcome == {"owner_error": "boom", "waiter_value": 42}
+        assert len(calls) == 2  # the failure was retried, not cached
+        present, value = cache.peek("k")
+        assert present and value == 42
+
+    def test_failed_compute_leaves_no_entry(self):
+        cache = ReadThroughCache("test.sf.clean")
+        with pytest.raises(KeyError):
+            cache.get("k", lambda: (_ for _ in ()).throw(KeyError("nope")))
+        assert len(cache) == 0
+        assert cache.get("k", lambda: "ok") == "ok"

@@ -56,13 +56,27 @@ class TestTracerouteRoundtripProperties:
 
 class TestSourceConstraintProperties:
     """The constraint can never discard a *truthful* claim that used
-    accurate statistics: physics guarantees observed >= floor, and the
-    model's jitter keeps observations above 80 % of typical."""
+    accurate statistics: physics guarantees observed >= floor, and — for
+    pairs whose typical RTT dominates the local-network term — the
+    adjusted latency stays above 80 % of typical.
+
+    The adjustment subtracts the gateway hop (up to 3 ms, plus up to
+    0.4 ms of per-probe sampling on each end), so for very close pairs
+    (typical RTT under 5 × that ~3.8 ms bound, e.g. Brussels–Paris)
+    a truthful claim *can* legitimately dip below the 80 % floor — the
+    conservative rule trades those for certainty elsewhere, so the
+    property is only claimed where the bound holds."""
+
+    #: Worst case removed by the adjustment: 3.0 ms gateway + 2 × 0.4 ms
+    #: probe-sample median offset, over the 20 % margin the rule allows.
+    MIN_TYPICAL_RTT_MS = (3.0 + 2 * 0.4) / 0.2
 
     @settings(max_examples=30, deadline=None)
     @given(_city, _city, st.integers(min_value=0, max_value=9))
     def test_truthful_claims_survive(self, src, dst, key):
         if src.key == dst.key:
+            return
+        if MODEL.typical_rtt_ms(src, dst) < self.MIN_TYPICAL_RTT_MS:
             return
         engine, target = _engine_with_target(dst)
         trace = engine.trace(src, target, f"k{key}")
