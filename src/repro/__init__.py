@@ -18,7 +18,15 @@ from repro.core.gamma import GammaConfig, GammaSuite, Volunteer, VolunteerDatase
 from repro.core.geoloc import GeolocationPipeline, PipelineConfig, SourceTraces
 from repro.core.trackers import TrackerIdentifier
 from repro.artifacts import export_study, load_datasets
-from repro.exec import CountryExecutionError, ExecMetrics, StudyExecutor, create_executor
+from repro.exec import (
+    CountryExecutionError,
+    CountryFailure,
+    ExecMetrics,
+    FaultInjector,
+    StudyCheckpoint,
+    StudyExecutor,
+    create_executor,
+)
 from repro.longitudinal import ComplianceReport, LongitudinalStudy
 from repro.obs import RunJournal, Tracer, strip_timings
 from repro.recruitment import RecruitmentLog, build_recruitment_log
@@ -30,7 +38,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CountryExecutionError",
+    "CountryFailure",
     "ExecMetrics",
+    "FaultInjector",
+    "StudyCheckpoint",
     "GammaConfig",
     "GammaSuite",
     "GeolocationPipeline",

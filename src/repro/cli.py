@@ -29,6 +29,7 @@ from typing import List, Optional
 from repro import GammaConfig, GammaSuite, StudyConfig, build_scenario, run_study
 from repro.artifacts import export_study
 from repro.exec.executor import BACKENDS
+from repro.exec.resilience import ON_ERROR_POLICIES, FaultInjector
 from repro.core.analysis.report import (
     render_fig3,
     render_fig4,
@@ -66,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="normalise traceroutes through the historical "
                             "render -> parse round trip instead of the "
                             "byte-identical direct fast path (CI oracle mode)")
+    study.add_argument("--inject-fault", default=None, metavar="CC[:N]",
+                       help="deterministic fault injection (testing/CI): fail "
+                            "country CC on its first N attempts (omit :N for "
+                            "a permanent fault); comma-separate entries")
     _add_exec_arguments(study)
 
     figures = sub.add_parser("figures", help="regenerate every figure and table")
@@ -128,6 +133,22 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-timings", action="store_true",
                         help="strip timing/runtime fields from the journal so "
                              "it is byte-identical across backends and runs")
+    parser.add_argument("--on-error", choices=list(ON_ERROR_POLICIES),
+                        default="raise",
+                        help="per-country failure policy: raise = fail fast "
+                             "(default), skip = record the failure and keep "
+                             "going, retry = deterministic exponential "
+                             "backoff, then skip")
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="retries per country under --on-error retry "
+                             "(default 2)")
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="persist each completed country here (atomic, "
+                             "one file per country) as it lands")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip countries already persisted in "
+                             "--checkpoint-dir and merge their stored runs")
 
 
 def _parse_countries(raw: Optional[str]) -> Optional[List[str]]:
@@ -162,17 +183,45 @@ def _cmd_volunteer(args: argparse.Namespace) -> int:
     return 0
 
 
-def _trace_kwargs(args: argparse.Namespace) -> dict:
-    return {"trace": args.trace, "trace_timings": not args.no_timings}
+def _run_kwargs(args: argparse.Namespace) -> dict:
+    """``run_study`` keyword arguments shared by study/figures/export."""
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    return {
+        "jobs": args.jobs,
+        "backend": args.backend,
+        "trace": args.trace,
+        "trace_timings": not args.no_timings,
+        "on_error": args.on_error,
+        "max_retries": args.max_retries,
+        "checkpoint_dir": args.checkpoint_dir,
+        "resume": args.resume,
+    }
+
+
+def _print_failures(outcome) -> None:
+    if not outcome.failures:
+        return
+    print()
+    print(render_table(
+        ["country", "attempts", "error"],
+        [(f.country_code, f.attempts, f"{f.error_type}: {f.message}")
+         for f in outcome.failures],
+        title="Failed countries (excluded from the analyses above)",
+    ))
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
     countries = _parse_countries(args.countries)
     scenario = build_scenario()
     config = StudyConfig(exercise_parsers=args.exercise_parsers)
+    try:
+        injector = (FaultInjector.parse(args.inject_fault)
+                    if args.inject_fault else None)
+    except ValueError as error:
+        raise SystemExit(str(error))
     outcome = run_study(scenario, countries=countries, config=config,
-                        jobs=args.jobs, backend=args.backend,
-                        **_trace_kwargs(args))
+                        fault_injector=injector, **_run_kwargs(args))
     rows = [
         (r.country_code, f"{r.regional_pct:.1f}", f"{r.government_pct:.1f}",
          f"{r.combined_pct:.1f}", outcome.source_trace_origins[r.country_code])
@@ -201,6 +250,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
             ],
             title="Memo-cache statistics",
         ))
+    _print_failures(outcome)
     if args.trace is not None:
         print(f"\nrun journal written to {args.trace} "
               f"(summarize with: gamma trace {args.trace})")
@@ -209,8 +259,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     scenario = build_scenario()
-    outcome = run_study(scenario, jobs=args.jobs, backend=args.backend,
-                        **_trace_kwargs(args))
+    outcome = run_study(scenario, **_run_kwargs(args))
     sections = [
         render_fig3(outcome.prevalence()),
         render_fig4(outcome.per_website()),
@@ -221,6 +270,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         render_table1(outcome.policy()),
     ]
     print(("\n\n" + "=" * 72 + "\n\n").join(sections))
+    _print_failures(outcome)
     return 0
 
 
@@ -250,10 +300,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     scenario = build_scenario()
-    outcome = run_study(scenario, jobs=args.jobs, backend=args.backend,
-                        **_trace_kwargs(args))
+    outcome = run_study(scenario, **_run_kwargs(args))
     files = export_study(outcome, args.directory)
     print(f"Wrote {len(files)} files under {args.directory}")
+    _print_failures(outcome)
     return 0
 
 

@@ -4,6 +4,12 @@ Volunteers were asked to finish in one sitting but could run Gamma in
 chunks: "Gamma is designed to resume from where it was last stopped"
 (section 3.3).  A checkpoint is a small JSON file listing completed URLs
 plus the partial dataset, written after every site.
+
+Robustness contract (docs/robustness.md): a checkpoint file that cannot
+be parsed — truncated by a crash predating the atomic writer, or
+schema-drifted by an older version — is quarantined (renamed to
+``<name>.corrupt``) and the run starts fresh, instead of raising
+``json.JSONDecodeError``/``TypeError`` at the caller.
 """
 
 from __future__ import annotations
@@ -22,11 +28,21 @@ __all__ = ["Checkpoint"]
 
 @dataclass
 class Checkpoint:
-    """Tracks which target URLs a run has already completed."""
+    """Tracks which target URLs a run has already completed.
+
+    ``mark_done`` holds a live reference to the dataset and only
+    :meth:`save` serialises it — once per save, from that reference —
+    so an in-memory checkpoint (``path=None``) never pays the
+    O(sites²) cost of re-serialising the whole dataset per site that
+    the old per-call ``dataset_json`` caching incurred.
+    """
 
     path: Optional[Path] = None
     completed: Set[str] = field(default_factory=set)
+    #: Dataset JSON as loaded from disk (resume source); refreshed by save().
     dataset_json: Optional[str] = None
+    #: Live dataset reference, serialised once per save().
+    dataset: Optional[VolunteerDataset] = field(default=None, repr=False)
 
     def is_done(self, url: str) -> bool:
         return url in self.completed
@@ -34,11 +50,15 @@ class Checkpoint:
     def mark_done(self, url: str, dataset: Optional[VolunteerDataset] = None) -> None:
         self.completed.add(url)
         if dataset is not None:
-            self.dataset_json = dataset.to_json()
+            self.dataset = dataset
         if self.path is not None:
             self.save()
 
     def partial_dataset(self) -> Optional[VolunteerDataset]:
+        if self.dataset is not None:
+            # Round trip for copy semantics: the resumed run must not
+            # alias a dataset the previous caller may still mutate.
+            return VolunteerDataset.from_json(self.dataset.to_json())
         if self.dataset_json is None:
             return None
         return VolunteerDataset.from_json(self.dataset_json)
@@ -46,6 +66,8 @@ class Checkpoint:
     def save(self) -> None:
         if self.path is None:
             raise ValueError("checkpoint has no path")
+        if self.dataset is not None:
+            self.dataset_json = self.dataset.to_json()
         payload = {"completed": sorted(self.completed), "dataset": self.dataset_json}
         # Write atomically so an interrupted run never truncates the file.
         directory = self.path.parent
@@ -60,16 +82,42 @@ class Checkpoint:
                 os.unlink(tmp_name)
             raise
 
+    @staticmethod
+    def _parse_payload(payload: object) -> "tuple[Set[str], Optional[str]]":
+        """Validate the on-disk schema; raise ValueError on any drift."""
+        if not isinstance(payload, dict):
+            raise ValueError("checkpoint payload is not an object")
+        completed = payload.get("completed", [])
+        if not isinstance(completed, list) or not all(
+            isinstance(url, str) for url in completed
+        ):
+            raise ValueError("checkpoint 'completed' is not a list of URLs")
+        dataset_json = payload.get("dataset")
+        if dataset_json is not None:
+            if not isinstance(dataset_json, str):
+                raise ValueError("checkpoint 'dataset' is not a JSON string")
+            if not isinstance(json.loads(dataset_json), dict):
+                raise ValueError("checkpoint 'dataset' does not hold an object")
+        return set(completed), dataset_json
+
     @classmethod
     def load(cls, path: Path) -> "Checkpoint":
-        """Load an existing checkpoint, or start fresh if none exists."""
+        """Load an existing checkpoint, or start fresh if none exists.
+
+        A corrupt or schema-drifted file is quarantined as
+        ``<name>.corrupt`` and an empty checkpoint (which will overwrite
+        the original path on the next save) is returned.
+        """
         path = Path(path)
         if not path.exists():
             return cls(path=path)
-        with open(path) as handle:
-            payload = json.load(handle)
-        return cls(
-            path=path,
-            completed=set(payload.get("completed", [])),
-            dataset_json=payload.get("dataset"),
-        )
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            completed, dataset_json = cls._parse_payload(payload)
+        except (ValueError, UnicodeDecodeError):
+            # json.JSONDecodeError is a ValueError: both parse failures
+            # and schema drift land here.
+            os.replace(str(path), str(path.with_name(path.name + ".corrupt")))
+            return cls(path=path)
+        return cls(path=path, completed=completed, dataset_json=dataset_json)

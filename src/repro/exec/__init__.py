@@ -8,11 +8,23 @@ cross-country lookups for concurrent readers, and accounts per-phase
 wall time so the speedup is observable.  Each ``CountryRun`` also ships
 back the worker-side memo-cache deltas (merged into ``ExecMetrics`` for
 the process backend) and, when tracing is on, the country's span/event
-buffer for the run journal (:mod:`repro.obs`).  See
-``docs/parallel-execution.md`` and ``docs/observability.md``.
+buffer for the run journal (:mod:`repro.obs`).  The fan-out is fault
+tolerant: per-country retry/skip policies with deterministic backoff
+(:mod:`repro.exec.resilience`) and study-level checkpoint/resume
+(:mod:`repro.exec.checkpoint`).  See ``docs/parallel-execution.md``,
+``docs/observability.md``, and ``docs/robustness.md``.
 """
 
 from repro.exec.cache import CacheInfo, ReadThroughCache, cache_registry, register_cache
+from repro.exec.checkpoint import StudyCheckpoint
+from repro.exec.resilience import (
+    ON_ERROR_POLICIES,
+    CountryFailure,
+    FaultInjector,
+    InjectedFaultError,
+    ResilientWorker,
+    backoff_delay,
+)
 from repro.exec.executor import (
     BACKENDS,
     CountryExecutionError,
@@ -39,18 +51,25 @@ def __getattr__(name: str):
 
 __all__ = [
     "BACKENDS",
+    "ON_ERROR_POLICIES",
     "CacheInfo",
     "CountryExecutionError",
+    "CountryFailure",
     "CountryRun",
     "CountryTimings",
     "ExecMetrics",
+    "FaultInjector",
+    "InjectedFaultError",
     "PhaseTimer",
     "ProcessPoolStudyExecutor",
     "ReadThroughCache",
+    "ResilientWorker",
     "SerialStudyExecutor",
+    "StudyCheckpoint",
     "StudyExecutor",
     "StudyWorker",
     "ThreadPoolStudyExecutor",
+    "backoff_delay",
     "cache_registry",
     "create_executor",
     "register_cache",

@@ -41,6 +41,14 @@ class CountryExecutionError(RuntimeError):
     def __init__(self, country_code: str, cause: BaseException):
         self.country_code = country_code
         self.cause = cause
+        #: Formatted traceback captured inside the worker, when available.
+        #: ``cause.__traceback__`` does not survive the process-pool
+        #: pickle round trip, so :class:`repro.exec.worker.StudyWorker`
+        #: attaches ``traceback.format_exc()`` to the exception instance
+        #: and it is surfaced here for all backends alike.
+        self.worker_traceback: Optional[str] = getattr(
+            cause, "worker_traceback", None
+        )
         super().__init__(
             f"study worker for country {country_code!r} failed: "
             f"{type(cause).__name__}: {cause}"

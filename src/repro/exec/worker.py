@@ -22,6 +22,7 @@ Observability rides along in two picklable side channels on
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -92,16 +93,37 @@ class StudyWorker:
     execution safe.
     """
 
-    def __init__(self, scenario: "Scenario", config: "StudyConfig", trace: bool = False):
+    def __init__(
+        self,
+        scenario: "Scenario",
+        config: "StudyConfig",
+        trace: bool = False,
+        fault_injector=None,
+    ):
         self._scenario = scenario
         self._config = config
         self._trace = trace
+        #: Deterministic test hook (:class:`repro.exec.resilience.FaultInjector`):
+        #: fail selected countries on selected attempts before any work runs.
+        self._fault_injector = fault_injector
 
     @property
     def scenario(self) -> "Scenario":
         return self._scenario
 
-    def __call__(self, country_code: str) -> CountryRun:
+    def __call__(self, country_code: str, attempt: int = 1) -> CountryRun:
+        try:
+            if self._fault_injector is not None:
+                self._fault_injector.check(country_code, attempt)
+            return self._run(country_code)
+        except Exception as error:
+            # Pickled exceptions lose __traceback__ crossing the process
+            # boundary; the formatted text rides on the instance (plain
+            # attribute, preserved by pickle) for the failure manifest.
+            error.worker_traceback = traceback.format_exc()
+            raise
+
+    def _run(self, country_code: str) -> CountryRun:
         from repro.study import build_source_traces
 
         scenario = self._scenario

@@ -28,7 +28,7 @@ from repro.obs.journal import (
     RunJournal,
     strip_timings,
 )
-from repro.obs.render import funnel_from_journal, render_journal
+from repro.obs.render import funnel_from_journal, render_faults, render_journal
 from repro.obs.schema import validate_journal, validate_record
 from repro.obs.tracer import Tracer, maybe_span
 
@@ -41,6 +41,7 @@ __all__ = [
     "Tracer",
     "funnel_from_journal",
     "maybe_span",
+    "render_faults",
     "render_journal",
     "strip_timings",
     "validate_journal",

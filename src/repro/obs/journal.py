@@ -44,13 +44,18 @@ SCHEMA_VERSION = 1
 TIMING_FIELDS = frozenset({"t", "dur"})
 
 #: Fields of the ``run`` record that describe the execution environment
-#: rather than the study (they differ across backend/jobs combinations).
-RUN_ENV_FIELDS = frozenset({"backend", "jobs", "wall_seconds"})
+#: rather than the study (they differ across backend/jobs combinations,
+#: and across interrupted/retried/uninterrupted executions of the same
+#: study).
+RUN_ENV_FIELDS = frozenset({"backend", "jobs", "wall_seconds", "resumed", "failed"})
 
 #: Event types that are runtime diagnostics: their payloads depend on
-#: work scheduling (e.g. cache hits shift between workers), so the strip
-#: operation removes the whole record.
-DIAGNOSTIC_EVENTS = frozenset({"country_caches"})
+#: how the run unfolded rather than on the study itself — cache hits
+#: shift between workers, retries and resumes record recovered faults
+#: that leave the artefacts untouched — so the strip operation removes
+#: the whole record.  ``country_failed`` is *not* here: a country that
+#: stayed down changes what the run produced, so it survives stripping.
+DIAGNOSTIC_EVENTS = frozenset({"country_caches", "country_retry", "country_resumed"})
 
 
 def strip_timings(records: Iterable[dict]) -> List[dict]:

@@ -25,6 +25,7 @@ __all__ = [
     "render_funnel",
     "render_slowest_sites",
     "render_caches",
+    "render_faults",
 ]
 
 _FUNNEL_KEYS = (
@@ -191,6 +192,33 @@ def render_caches(journal: RunJournal) -> str:
     return "\n".join(lines)
 
 
+def render_faults(journal: RunJournal) -> str:
+    """The fault-tolerance story: retries, permanent failures, resumes.
+
+    Retry/resume records are diagnostics (stripped journals lack them);
+    ``country_failed`` records survive stripping, so a skipped country
+    is always visible here.
+    """
+    lines = ["fault tolerance (retries / failures / resumes):"]
+    for record in journal.events("country_resumed"):
+        lines.append(f"  resumed  {record['country']:<3} from checkpoint")
+    for record in journal.events("country_retry"):
+        delay = record.get("delay_seconds")
+        backoff = f" (backoff {delay:.3f}s)" if delay is not None else ""
+        lines.append(
+            f"  retry    {record['country']:<3} attempt {record['attempt']} "
+            f"failed: {record['error']}{backoff}"
+        )
+    for record in journal.events("country_failed"):
+        lines.append(
+            f"  FAILED   {record['country']:<3} after {record['attempts']} "
+            f"attempt(s): {record['error']}"
+        )
+    if len(lines) == 1:
+        lines.append("  (no faults recorded)")
+    return "\n".join(lines)
+
+
 def render_journal(journal: RunJournal, top: int = 10) -> str:
     """The full ``gamma trace`` report."""
     run = journal.run_record or {}
@@ -213,5 +241,6 @@ def render_journal(journal: RunJournal, top: int = 10) -> str:
         render_funnel(journal),
         render_slowest_sites(journal, top=top),
         render_caches(journal),
+        render_faults(journal),
     ]
     return "\n\n".join(sections)

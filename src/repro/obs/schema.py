@@ -35,6 +35,8 @@ EVENT_FIELDS: Dict[str, Dict[str, Tuple[tuple, bool]]] = {
         "backend": (_STR, False),
         "jobs": (_INT, False),
         "wall_seconds": (_NUM, False),
+        "resumed": (_LIST, False),
+        "failed": (_LIST, False),
     },
     "span": {
         "kind": (_STR, True),
@@ -84,6 +86,24 @@ EVENT_FIELDS: Dict[str, Dict[str, Tuple[tuple, bool]]] = {
     "country_caches": {
         "country": (_STR, True),
         "caches": (_DICT, True),
+    },
+    # Fault-tolerance story (docs/robustness.md): retries and resumes are
+    # runtime diagnostics (stripped with the timings); a permanent
+    # failure is part of what the run produced and survives stripping.
+    "country_retry": {
+        "country": (_STR, True),
+        "attempt": (_INT, True),
+        "error": (_STR, True),
+        "delay_seconds": (_NUM, False),
+    },
+    "country_failed": {
+        "country": (_STR, True),
+        "attempts": (_INT, True),
+        "error": (_STR, True),
+        "traceback": (_STR, False),
+    },
+    "country_resumed": {
+        "country": (_STR, True),
     },
 }
 

@@ -12,6 +12,15 @@ backends of :mod:`repro.exec` (``jobs``/``backend`` on
 country order, making the outcome byte-identical for every backend and
 worker count — the equivalence the test harness in
 ``tests/test_exec_equivalence.py`` locks down.
+
+The fan-out is fault tolerant (docs/robustness.md): a per-country
+failure policy (``on_error="raise"|"skip"|"retry"`` with deterministic
+exponential backoff) lets a failing country be retried or recorded on
+:attr:`StudyOutcome.failures` while the rest of the study completes,
+and a checkpoint directory (``checkpoint_dir=``/``resume=``) persists
+each completed country as it lands so an interrupted study resumes
+where it stopped — mirroring, at study level, Gamma's own per-site
+resume from section 3.3 of the paper.
 """
 
 from __future__ import annotations
@@ -42,9 +51,11 @@ from repro.core.geoloc.pipeline import (
     SourceTraces,
 )
 from repro.exec.cache import cache_registry
+from repro.exec.checkpoint import StudyCheckpoint
 from repro.exec.executor import create_executor
 from repro.exec.metrics import ExecMetrics
-from repro.exec.worker import StudyWorker
+from repro.exec.resilience import ON_ERROR_POLICIES, CountryFailure, ResilientWorker
+from repro.exec.worker import CountryRun, StudyWorker
 from repro.obs.journal import SCHEMA_VERSION, RunJournal
 from repro.worldgen.builder import Scenario
 
@@ -68,6 +79,16 @@ class StudyConfig:
     exercise_parsers: bool = False
     #: Memoise each volunteer's first trace per address across sites.
     memo_traces: bool = True
+    #: What a failing country does to the study: "raise" fails fast (the
+    #: historical contract), "skip" records it on ``outcome.failures``
+    #: and keeps the rest, "retry" re-attempts with deterministic
+    #: exponential backoff before skipping (docs/robustness.md).
+    on_error: str = "raise"
+    #: Retries per country under ``on_error="retry"`` (attempts = 1 + retries).
+    max_retries: int = 2
+    #: Base of the deterministic exponential backoff schedule, seconds.
+    #: ``0`` disables sleeping while keeping the schedule observable.
+    retry_base_delay: float = 0.1
 
 
 @dataclass
@@ -88,6 +109,14 @@ class StudyOutcome:
     #: None when tracing was off.  Like ``metrics``, a measurement
     #: artefact: never part of summaries or exported bundles.
     journal: Optional[RunJournal] = None
+    #: Countries that stayed down under ``on_error="skip"``/``"retry"``,
+    #: in input country order: who failed, after how many attempts, with
+    #: the worker-side traceback.  Every analysis accessor degrades
+    #: gracefully to the surviving countries in ``results``.
+    failures: List[CountryFailure] = field(default_factory=list)
+
+    def failed_countries(self) -> List[str]:
+        return [failure.country_code for failure in self.failures]
 
     def funnel(self) -> FunnelCounters:
         merged = FunnelCounters()
@@ -147,6 +176,12 @@ class StudyOutcome:
         for result in self.results:
             if result.country_code == country_code:
                 return result
+        for failure in self.failures:
+            if failure.country_code == country_code:
+                raise KeyError(
+                    f"no result for {country_code}: country failed after "
+                    f"{failure.attempts} attempt(s) ({failure.error_type})"
+                )
         raise KeyError(f"no result for {country_code}")
 
 
@@ -185,6 +220,15 @@ def build_source_traces(
     return SourceTraces(city=probe.city, traces=traces, origin=f"atlas:{used_country}")
 
 
+def _merge_run(outcome: StudyOutcome, run: CountryRun) -> None:
+    """Fold one completed country into the outcome (input-order caller)."""
+    outcome.source_trace_origins[run.country_code] = run.source_trace_origin
+    outcome.datasets[run.country_code] = run.dataset
+    outcome.geolocations[run.country_code] = run.geolocation
+    outcome.results.append(run.result)
+    outcome.metrics.record_country(run.timings)
+
+
 def run_study(
     scenario: Scenario,
     countries: Optional[List[str]] = None,
@@ -193,6 +237,11 @@ def run_study(
     backend: Optional[str] = None,
     trace: Union[None, bool, str, Path] = None,
     trace_timings: bool = True,
+    on_error: Optional[str] = None,
+    max_retries: Optional[int] = None,
+    checkpoint_dir: Union[None, str, Path] = None,
+    resume: bool = False,
+    fault_injector=None,
 ) -> StudyOutcome:
     """Run the full methodology over *countries* (default: all volunteers).
 
@@ -209,18 +258,61 @@ def run_study(
     ``trace_timings=False``) — the journal bytes are identical for
     every backend and worker count.  The default (``trace=None``) skips
     all event collection; study artefacts never include the journal.
+
+    *on_error*/*max_retries* override the :class:`StudyConfig` failure
+    policy.  Under ``"skip"``/``"retry"`` a country that stays down is
+    recorded on :attr:`StudyOutcome.failures` while every other country
+    completes; retry backoff is deterministic (seeded per country and
+    attempt), so a transient fault under ``"retry"`` leaves the outcome
+    byte-identical to a fault-free run.
+
+    *checkpoint_dir* persists each completed country the moment it
+    lands (atomic write, one file per country); with *resume* the
+    persisted countries are loaded instead of re-measured and merge
+    byte-identically with the fresh ones.  *fault_injector* is the
+    deterministic test hook (:class:`repro.exec.FaultInjector`).
     """
     config = config or StudyConfig()
     countries = countries or scenario.countries
     effective_jobs = config.jobs if jobs is None else jobs
     effective_backend = config.backend if backend is None else backend
+    policy = config.on_error if on_error is None else on_error
+    if policy not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"unknown on_error policy {policy!r}; expected one of {ON_ERROR_POLICIES}"
+        )
+    retries = config.max_retries if max_retries is None else max_retries
     executor = create_executor(backend=effective_backend, jobs=effective_jobs)
 
+    checkpoint = None if checkpoint_dir is None else StudyCheckpoint(checkpoint_dir)
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+
     tracing = trace is not None and trace is not False
-    worker = StudyWorker(scenario, config, trace=tracing)
+    worker = StudyWorker(
+        scenario, config, trace=tracing, fault_injector=fault_injector
+    )
+    call = ResilientWorker(
+        worker,
+        on_error=policy,
+        max_retries=retries,
+        base_delay=config.retry_base_delay,
+        checkpoint=checkpoint,
+        trace=tracing,
+    )
+
+    resumed: Dict[str, CountryRun] = {}
+    if resume:
+        for country_code in countries:
+            run = checkpoint.load(country_code)
+            if run is not None:
+                resumed[country_code] = run
+    pending = [cc for cc in countries if cc not in resumed]
+
     started = time.perf_counter()
-    runs = executor.map_countries(worker, countries)
+    produced = executor.map_countries(call, pending) if pending else []
     wall_seconds = time.perf_counter() - started
+    by_country = dict(zip(pending, produced))
 
     outcome = StudyOutcome(
         scenario=scenario,
@@ -228,19 +320,36 @@ def run_study(
             backend=executor.name, jobs=executor.jobs, wall_seconds=wall_seconds
         ),
     )
-    for run in runs:  # input country order: the merge is deterministic
-        outcome.source_trace_origins[run.country_code] = run.source_trace_origin
-        outcome.datasets[run.country_code] = run.dataset
-        outcome.geolocations[run.country_code] = run.geolocation
-        outcome.results.append(run.result)
-        outcome.metrics.record_country(run.timings)
+    fresh_runs: List[CountryRun] = []
+    buffers: List[List[dict]] = []  # input country order: deterministic merge
+    for country_code in countries:
+        if country_code in resumed:
+            run = resumed[country_code]
+            _merge_run(outcome, run)
+            events = list(run.events or [])
+            if tracing:
+                events.append({
+                    "ev": "country_resumed",
+                    "span": f"study/{country_code}",
+                    "country": country_code,
+                })
+            buffers.append(events)
+            continue
+        item = by_country[country_code]
+        if isinstance(item, CountryFailure):
+            outcome.failures.append(item)
+            buffers.append(list(item.events or []))
+            continue
+        fresh_runs.append(item)
+        _merge_run(outcome, item)
+        buffers.append(item.events or [])
     # Memo-cache counters (verdicts, distance, ...): the coordinator's
     # registry sees serial/thread lookups directly; process-pool workers
     # count in their own interpreters, so their per-country deltas are
     # shipped back with each CountryRun and merged on top.
     outcome.metrics.record_caches(cache_registry())
     if executor.name == "process":
-        outcome.metrics.merge_worker_caches(run.cache_deltas for run in runs)
+        outcome.metrics.merge_worker_caches(run.cache_deltas for run in fresh_runs)
 
     if tracing:
         run_record = {
@@ -251,6 +360,12 @@ def run_study(
             "jobs": executor.jobs,
             "wall_seconds": round(wall_seconds, 6),
         }
+        # Environment fields (stripped with the timings): how this
+        # particular execution unfolded, not what the study measured.
+        if resumed:
+            run_record["resumed"] = [cc for cc in countries if cc in resumed]
+        if outcome.failures:
+            run_record["failed"] = outcome.failed_countries()
         study_span = {
             "ev": "span",
             "kind": "study",
@@ -262,7 +377,7 @@ def run_study(
         }
         outcome.journal = RunJournal.assemble(
             run_record,
-            (run.events or [] for run in runs),
+            buffers,
             [study_span],
         )
         if not isinstance(trace, bool):

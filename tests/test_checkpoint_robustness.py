@@ -1,0 +1,127 @@
+"""Gamma per-site checkpoint robustness (the section-3.3 resume file).
+
+Regression suite for two historical defects:
+
+* ``Checkpoint.load`` raised ``json.JSONDecodeError``/``TypeError`` on a
+  corrupt or schema-drifted file instead of starting fresh — it now
+  quarantines the bad file as ``<name>.corrupt`` and returns an empty
+  checkpoint.
+* ``Checkpoint.mark_done`` re-serialised the entire dataset after every
+  site (O(sites²) across a run) even when the checkpoint had no path —
+  serialisation now happens once per :meth:`save`, from the live
+  dataset reference, with the on-disk format unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.gamma.checkpoint import Checkpoint
+from repro.core.gamma.output import VolunteerDataset
+
+
+def _dataset() -> VolunteerDataset:
+    return VolunteerDataset(
+        country_code="CA", city_key="ca-toronto", volunteer_ip="10.0.0.1",
+        os_name="linux", browser="chrome",
+    )
+
+
+class TestCorruptionQuarantine:
+    def test_truncated_json_starts_fresh_and_quarantines(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text('{"completed": ["a.com", "b.co')  # interrupted write
+        checkpoint = Checkpoint.load(path)
+        assert checkpoint.completed == set()
+        assert checkpoint.path == path
+        assert not path.exists()
+        assert (tmp_path / "ckpt.json.corrupt").read_text().startswith('{"completed"')
+
+    @pytest.mark.parametrize("payload", [
+        '["not", "an", "object"]',
+        '{"completed": 42}',
+        '{"completed": [1, 2, 3]}',
+        '{"completed": [], "dataset": 7}',
+        '{"completed": [], "dataset": "not json either"}',
+        '{"completed": [], "dataset": "[1, 2]"}',
+        "\x00\x01\x02",
+    ])
+    def test_schema_drift_starts_fresh_and_quarantines(self, tmp_path, payload):
+        path = tmp_path / "ckpt.json"
+        path.write_text(payload)
+        checkpoint = Checkpoint.load(path)
+        assert checkpoint.completed == set()
+        assert checkpoint.partial_dataset() is None
+        assert (tmp_path / "ckpt.json.corrupt").exists()
+
+    def test_quarantined_checkpoint_can_be_overwritten(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("garbage")
+        checkpoint = Checkpoint.load(path)
+        checkpoint.mark_done("a.com", _dataset())
+        reloaded = Checkpoint.load(path)
+        assert reloaded.completed == {"a.com"}
+        assert reloaded.partial_dataset().country_code == "CA"
+
+    def test_valid_checkpoint_loads_untouched(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        original = Checkpoint(path=path)
+        original.mark_done("a.com", _dataset())
+        loaded = Checkpoint.load(path)
+        assert loaded.completed == {"a.com"}
+        assert loaded.partial_dataset().country_code == "CA"
+        assert not (tmp_path / "ckpt.json.corrupt").exists()
+
+
+class TestSerialisationCost:
+    def test_mark_done_without_path_never_serialises(self, monkeypatch):
+        calls = []
+        original = VolunteerDataset.to_json
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(VolunteerDataset, "to_json", counting)
+        checkpoint = Checkpoint()
+        dataset = _dataset()
+        for n in range(50):
+            checkpoint.mark_done(f"site-{n}.com", dataset)
+        assert calls == []  # the old per-call caching serialised 50 times
+
+    def test_save_serialises_exactly_once(self, tmp_path, monkeypatch):
+        calls = []
+        original = VolunteerDataset.to_json
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(VolunteerDataset, "to_json", counting)
+        checkpoint = Checkpoint(path=tmp_path / "ckpt.json")
+        dataset = _dataset()
+        checkpoint.completed.add("a.com")
+        checkpoint.dataset = dataset
+        checkpoint.save()
+        assert len(calls) == 1
+
+    def test_on_disk_format_unchanged(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        checkpoint = Checkpoint(path=path)
+        dataset = _dataset()
+        checkpoint.mark_done("b.com", dataset)
+        checkpoint.mark_done("a.com", dataset)
+        payload = json.loads(path.read_text())
+        assert sorted(payload) == ["completed", "dataset"]
+        assert payload["completed"] == ["a.com", "b.com"]  # sorted, as before
+        assert payload["dataset"] == dataset.to_json()
+
+    def test_partial_dataset_returns_a_copy(self):
+        checkpoint = Checkpoint()
+        dataset = _dataset()
+        checkpoint.mark_done("a.com", dataset)
+        partial = checkpoint.partial_dataset()
+        assert partial is not dataset
+        assert partial.country_code == dataset.country_code

@@ -78,3 +78,50 @@ class TestReportCommand:
         text = capsys.readouterr().out
         assert "Canada" in text
         assert "No verified cross-border tracker flows" in text
+
+
+class TestFaultToleranceCLI:
+    """--on-error / --inject-fault / --checkpoint-dir / --resume."""
+
+    def test_skip_policy_exits_zero_with_manifest(self, tmp_path, capsys):
+        journal = tmp_path / "skip.jsonl"
+        assert main(["study", "--countries", "CA,NZ,RW", "--on-error", "skip",
+                     "--inject-fault", "NZ", "--trace", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "Failed countries" in out
+        assert "InjectedFaultError" in out
+        assert '"ev": "country_failed"' in journal.read_text().replace('","', '", "') \
+            or '"ev":"country_failed"' in journal.read_text()
+        # The fault journal still validates and renders the failure story.
+        assert main(["trace", str(journal), "--validate"]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(journal)]) == 0
+        assert "FAILED   NZ" in capsys.readouterr().out
+
+    def test_retry_policy_recovers_transient_fault(self, capsys):
+        assert main(["study", "--countries", "CA,NZ", "--on-error", "retry",
+                     "--inject-fault", "NZ:1"]) == 0
+        out = capsys.readouterr().out
+        assert "Failed countries" not in out
+        assert "NZ" in out  # the retried country completed normally
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        checkpoint_dir = tmp_path / "ckpt"
+        assert main(["study", "--countries", "CA,NZ",
+                     "--checkpoint-dir", str(checkpoint_dir)]) == 0
+        capsys.readouterr()
+        assert sorted(p.name for p in checkpoint_dir.iterdir()) == [
+            "CA.run.pkl", "NZ.run.pkl",
+        ]
+        assert main(["study", "--countries", "CA,NZ,RW",
+                     "--checkpoint-dir", str(checkpoint_dir), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "RW" in out
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="--resume requires --checkpoint-dir"):
+            main(["study", "--countries", "CA", "--resume"])
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(SystemExit, match="attempt bound"):
+            main(["study", "--countries", "CA", "--inject-fault", "CA:0"])
