@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from repro import GammaConfig, GammaSuite, StudyConfig, build_scenario, run_study
 from repro.artifacts import export_study
+from repro.core.geoloc.pipeline import GEOLOC_ENGINES, PipelineConfig
 from repro.exec.executor import BACKENDS
 from repro.exec.resilience import ON_ERROR_POLICIES, FaultInjector
 from repro.core.analysis.report import (
@@ -67,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="normalise traceroutes through the historical "
                             "render -> parse round trip instead of the "
                             "byte-identical direct fast path (CI oracle mode)")
+    study.add_argument("--geoloc-engine", choices=list(GEOLOC_ENGINES),
+                       default="columnar",
+                       help="constraint engine for server geolocation: "
+                            "columnar = vectorised batch math (default), "
+                            "scalar = the per-address oracle; outputs are "
+                            "byte-identical (CI equivalence mode)")
     study.add_argument("--inject-fault", default=None, metavar="CC[:N]",
                        help="deterministic fault injection (testing/CI): fail "
                             "country CC on its first N attempts (omit :N for "
@@ -214,7 +221,10 @@ def _print_failures(outcome) -> None:
 def _cmd_study(args: argparse.Namespace) -> int:
     countries = _parse_countries(args.countries)
     scenario = build_scenario()
-    config = StudyConfig(exercise_parsers=args.exercise_parsers)
+    config = StudyConfig(
+        pipeline=PipelineConfig(engine=args.geoloc_engine),
+        exercise_parsers=args.exercise_parsers,
+    )
     try:
         injector = (FaultInjector.parse(args.inject_fault)
                     if args.inject_fault else None)

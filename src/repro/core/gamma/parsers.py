@@ -34,9 +34,18 @@ class NormalizedHop:
     @property
     def rtt_ms(self) -> Optional[float]:
         """Canonical per-hop RTT: the median of the probe samples."""
-        if not self.rtts_ms:
+        samples = self.rtts_ms
+        if not samples:
             return None
-        return float(statistics.median(self.rtts_ms))
+        # Hand-rolled medians for the only sizes the tools emit (one to
+        # three probes) — bit-identical to statistics.median, an order
+        # of magnitude cheaper on the geolocation hot path.
+        if len(samples) == 1:
+            return float(samples[0])
+        if len(samples) == 3:
+            a, b, c = samples
+            return float(max(min(a, b), min(max(a, b), c)))
+        return float(statistics.median(samples))
 
     def to_dict(self) -> dict:
         return {"hop": self.hop, "ip": self.address, "rtt_ms": list(self.rtts_ms)}

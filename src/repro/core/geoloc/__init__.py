@@ -1,5 +1,6 @@
 """Multi-constraint server geolocation (section 4.1)."""
 
+from repro.core.geoloc.columnar import HAVE_NUMPY, ColumnarGeolocationEngine
 from repro.core.geoloc.constraints import (
     ConstraintResult,
     ConstraintStatus,
@@ -7,6 +8,8 @@ from repro.core.geoloc.constraints import (
     ReverseDNSConstraint,
     SourceConstraint,
     adjusted_latency_ms,
+    round_evidence_ms,
+    source_latency_floor_ms,
 )
 from repro.core.geoloc.latency_stats import (
     LatencyStatsProvider,
@@ -21,6 +24,7 @@ from repro.core.geoloc.validation import (
     validate_against_truth,
 )
 from repro.core.geoloc.pipeline import (
+    GEOLOC_ENGINES,
     DatasetGeolocation,
     FunnelCounters,
     GeolocationPipeline,
@@ -31,6 +35,9 @@ from repro.core.geoloc.pipeline import (
 )
 
 __all__ = [
+    "GEOLOC_ENGINES",
+    "HAVE_NUMPY",
+    "ColumnarGeolocationEngine",
     "ConstraintResult",
     "ConstraintStatus",
     "DatasetGeolocation",
@@ -51,5 +58,7 @@ __all__ = [
     "adjusted_latency_ms",
     "default_stats_chain",
     "misclassified_servers",
+    "round_evidence_ms",
+    "source_latency_floor_ms",
     "validate_against_truth",
 ]

@@ -24,6 +24,8 @@ __all__ = [
     "ConstraintStatus",
     "ConstraintResult",
     "adjusted_latency_ms",
+    "round_evidence_ms",
+    "source_latency_floor_ms",
     "SourceConstraint",
     "DestinationConstraint",
     "ReverseDNSConstraint",
@@ -53,6 +55,29 @@ class ConstraintResult:
     @property
     def passed(self) -> bool:
         return self.status == ConstraintStatus.PASS
+
+
+def round_evidence_ms(value: Optional[float]) -> Optional[float]:
+    """Journal-stable form of a (deterministic) evidence latency.
+
+    The single rounding point for every latency the pipeline reports in
+    ``geoloc_decision`` events.  Both engines store *raw* floats on
+    :class:`ConstraintResult` and round only here, at the journal
+    boundary, so rounding can never shift a threshold comparison and the
+    two engines can never round differently.
+    """
+    return None if value is None else round(value, 6)
+
+
+def source_latency_floor_ms(threshold: float, published_ms: float) -> float:
+    """The 80 %-rule floor: the slowest believable RTT for the pair.
+
+    One shared multiplication, used by the scalar constraint and the
+    columnar engine alike — an observed RTT strictly below this value is
+    too fast for the claimed location.  Centralised so the comparison
+    boundary is bit-identical across engines.
+    """
+    return threshold * published_ms
 
 
 def adjusted_latency_ms(trace: NormalizedTraceroute) -> Optional[float]:
@@ -117,7 +142,7 @@ class SourceConstraint:
                 "SOL ok; no published statistics for pair",
                 observed_ms=observed,
             )
-        floor = self._threshold * published
+        floor = source_latency_floor_ms(self._threshold, published)
         if observed < floor:
             return ConstraintResult(
                 self.name,

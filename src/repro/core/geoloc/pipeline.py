@@ -12,6 +12,24 @@ For every unique host a volunteer's browser contacted:
 The pipeline also accounts the data-collection funnel the paper reports
 in section 5 (domains -> non-local -> after latency constraints -> after
 reverse DNS).
+
+Two interchangeable engines evaluate the constraint battery
+(``PipelineConfig.engine``, ``gamma study --geoloc-engine``):
+
+* ``"scalar"`` — the historical per-address walk through the constraint
+  classes of :mod:`repro.core.geoloc.constraints`; always available and
+  kept as the byte-identical oracle.
+* ``"columnar"`` — the batch engine of
+  :mod:`repro.core.geoloc.columnar` (the default): evidence gathered
+  into numpy arrays, constraints evaluated as vectorised mask algebra,
+  anchored on per-unique-city scalar values so every verdict, funnel
+  counter and journal ``geoloc_decision`` event is identical to the
+  scalar engine's.  When numpy is unavailable the pipeline silently
+  resolves to the scalar oracle.
+
+Funnel accounting and journal emission are shared code below either
+engine, so the observability contract (docs/observability.md) cannot
+drift between them.
 """
 
 from __future__ import annotations
@@ -27,13 +45,21 @@ from repro.core.geoloc.constraints import (
     DestinationConstraint,
     ReverseDNSConstraint,
     SourceConstraint,
+    round_evidence_ms,
 )
 from repro.core.geoloc.latency_stats import LatencyStatsProvider
-from repro.geodb.ipmap import GeoClaim, IPMapService
+from repro.core.geoloc.verdicts import (
+    DatasetGeolocation,
+    FunnelCounters,
+    ServerStatus,
+    ServerVerdict,
+)
+from repro.geodb.ipmap import IPMapService
 from repro.netsim.geography import City
 from repro.netsim.latency import LatencyModel
 
 __all__ = [
+    "GEOLOC_ENGINES",
     "ServerStatus",
     "SourceTraces",
     "PipelineConfig",
@@ -43,12 +69,9 @@ __all__ = [
     "GeolocationPipeline",
 ]
 
-
-class ServerStatus:
-    LOCAL = "local"
-    NONLOCAL_VERIFIED = "nonlocal_verified"
-    DISCARDED = "discarded"
-    UNLOCATED = "unlocated"
+#: Selectable constraint engines; "columnar" resolves to "scalar" when
+#: numpy is unavailable (outputs are identical by contract).
+GEOLOC_ENGINES = ("scalar", "columnar")
 
 
 @dataclass
@@ -79,92 +102,9 @@ class PipelineConfig:
     enable_source: bool = True
     enable_destination: bool = True
     enable_rdns: bool = True
-
-
-@dataclass
-class ServerVerdict:
-    """Final ruling for one address."""
-
-    address: str
-    hosts: List[str]
-    status: str
-    claim: Optional[GeoClaim] = None
-    discarded_by: str = ""  # constraint name when status == DISCARDED
-    checks: List[ConstraintResult] = field(default_factory=list)
-
-    @property
-    def is_verified_nonlocal(self) -> bool:
-        return self.status == ServerStatus.NONLOCAL_VERIFIED
-
-    @property
-    def claimed_country(self) -> Optional[str]:
-        return self.claim.country_code if self.claim else None
-
-
-@dataclass
-class FunnelCounters:
-    """Section-5 accounting, at unique-host granularity per country."""
-
-    total_hosts: int = 0
-    unlocated: int = 0
-    local: int = 0
-    nonlocal_candidates: int = 0
-    discarded_source: int = 0
-    discarded_destination: int = 0
-    discarded_rdns: int = 0
-    verified_nonlocal: int = 0
-    destination_traceroutes: int = 0
-
-    @property
-    def after_latency_constraints(self) -> int:
-        """Candidates surviving source+destination (the paper's ~6.1 K stage)."""
-        return self.nonlocal_candidates - self.discarded_source - self.discarded_destination
-
-    @property
-    def after_rdns(self) -> int:
-        """...and surviving reverse DNS too (the paper's ~4.7 K stage)."""
-        return self.after_latency_constraints - self.discarded_rdns
-
-    def merged_with(self, other: "FunnelCounters") -> "FunnelCounters":
-        return FunnelCounters(
-            total_hosts=self.total_hosts + other.total_hosts,
-            unlocated=self.unlocated + other.unlocated,
-            local=self.local + other.local,
-            nonlocal_candidates=self.nonlocal_candidates + other.nonlocal_candidates,
-            discarded_source=self.discarded_source + other.discarded_source,
-            discarded_destination=self.discarded_destination + other.discarded_destination,
-            discarded_rdns=self.discarded_rdns + other.discarded_rdns,
-            verified_nonlocal=self.verified_nonlocal + other.verified_nonlocal,
-            destination_traceroutes=self.destination_traceroutes + other.destination_traceroutes,
-        )
-
-
-@dataclass
-class DatasetGeolocation:
-    """Pipeline output for one volunteer dataset."""
-
-    country_code: str
-    verdicts: Dict[str, ServerVerdict] = field(default_factory=dict)  # by address
-    host_to_address: Dict[str, str] = field(default_factory=dict)
-    funnel: FunnelCounters = field(default_factory=FunnelCounters)
-
-    def verdict_for_host(self, host: str) -> Optional[ServerVerdict]:
-        address = self.host_to_address.get(host)
-        if address is None:
-            return None
-        return self.verdicts.get(address)
-
-    def nonlocal_hosts(self) -> List[str]:
-        return [
-            host
-            for host, address in self.host_to_address.items()
-            if self.verdicts[address].is_verified_nonlocal
-        ]
-
-
-def _round_ms(value: Optional[float]) -> Optional[float]:
-    """Journal-stable form of a (deterministic) evidence latency."""
-    return None if value is None else round(value, 6)
+    #: Constraint engine: "columnar" (vectorised batch math, the default)
+    #: or "scalar" (the per-address oracle).  Byte-identical outputs.
+    engine: str = "columnar"
 
 
 class GeolocationPipeline:
@@ -181,6 +121,11 @@ class GeolocationPipeline:
         self._ipmap = ipmap
         self._atlas = atlas
         self._config = config or PipelineConfig()
+        if self._config.engine not in GEOLOC_ENGINES:
+            raise ValueError(
+                f"unknown geoloc engine {self._config.engine!r}; "
+                f"expected one of {GEOLOC_ENGINES}"
+            )
         self._source = SourceConstraint(stats, self._config.conservative_threshold)
         self._destination = DestinationConstraint(
             latency,
@@ -189,6 +134,14 @@ class GeolocationPipeline:
             strict_bound=self._config.strict_destination_bound,
         )
         self._rdns = ReverseDNSConstraint()
+        self._columnar = None
+        if self._config.engine == "columnar":
+            from repro.core.geoloc.columnar import HAVE_NUMPY, ColumnarGeolocationEngine
+
+            if HAVE_NUMPY:
+                self._columnar = ColumnarGeolocationEngine(
+                    ipmap, atlas, stats, latency, self._config
+                )
 
     @classmethod
     def for_scenario(cls, scenario, config: Optional[PipelineConfig] = None) -> "GeolocationPipeline":
@@ -211,6 +164,11 @@ class GeolocationPipeline:
     def config(self) -> PipelineConfig:
         return self._config
 
+    @property
+    def engine_name(self) -> str:
+        """The engine actually evaluating constraints (after gating)."""
+        return "columnar" if self._columnar is not None else "scalar"
+
     def classify_dataset(
         self,
         dataset: VolunteerDataset,
@@ -223,7 +181,9 @@ class GeolocationPipeline:
         ``geoloc_decision`` event is emitted per unique address — which
         constraint fired and the evidence values — plus one closing
         ``country_funnel`` event, making every exclusion in the paper's
-        section-5 funnel auditable from the run journal.
+        section-5 funnel auditable from the run journal.  Accounting and
+        emission run below whichever engine produced the verdicts, so
+        the event contract is engine-invariant.
         """
         result = DatasetGeolocation(country_code=dataset.country_code)
         rdns_records: Dict[str, Optional[str]] = {}
@@ -242,23 +202,19 @@ class GeolocationPipeline:
         for host, address in result.host_to_address.items():
             addresses.setdefault(address, []).append(host)
 
-        for address, hosts in addresses.items():
-            verdict = self._classify_address(
-                address,
-                hosts,
-                dataset.country_code,
-                source_traces,
-                rdns_records.get(address),
-                result.funnel,
-            )
+        verdicts = self.classify_addresses(
+            addresses, dataset.country_code, source_traces, rdns_records,
+            result.funnel,
+        )
+        for address, verdict in verdicts.items():
             result.verdicts[address] = verdict
-            weight = sum(observation_counts.get(host, 1) for host in hosts)
+            weight = sum(observation_counts.get(host, 1) for host in verdict.hosts)
             self._account(verdict, weight, result.funnel)
             if tracer is not None:
                 tracer.event(
                     "geoloc_decision",
                     address=address,
-                    hosts=list(hosts),
+                    hosts=list(verdict.hosts),
                     weight=weight,
                     status=verdict.status,
                     claim_country=verdict.claimed_country,
@@ -269,8 +225,8 @@ class GeolocationPipeline:
                             "constraint": check.constraint,
                             "status": check.status,
                             "reason": check.reason,
-                            "observed_ms": _round_ms(check.observed_ms),
-                            "expected_ms": _round_ms(check.expected_ms),
+                            "observed_ms": round_evidence_ms(check.observed_ms),
+                            "expected_ms": round_evidence_ms(check.expected_ms),
                         }
                         for check in verdict.checks
                     ],
@@ -294,7 +250,35 @@ class GeolocationPipeline:
             )
         return result
 
-    # -- internals -----------------------------------------------------------
+    def classify_addresses(
+        self,
+        addresses: Dict[str, List[str]],
+        measurement_country: str,
+        source_traces: SourceTraces,
+        rdns_records: Dict[str, Optional[str]],
+        funnel: FunnelCounters,
+    ) -> Dict[str, ServerVerdict]:
+        """One verdict per address, in input order — the engine seam.
+
+        The scalar and columnar engines implement exactly this mapping;
+        the differential test harness calls it directly to compare them
+        field by field on adversarial batches.  Only
+        ``funnel.destination_traceroutes`` is touched here (the logical
+        launch counter); stage accounting happens in the caller.
+        """
+        if self._columnar is not None:
+            return self._columnar.classify_batch(
+                addresses, measurement_country, source_traces, rdns_records, funnel
+            )
+        return {
+            address: self._classify_address(
+                address, hosts, measurement_country, source_traces,
+                rdns_records.get(address), funnel,
+            )
+            for address, hosts in addresses.items()
+        }
+
+    # -- the scalar engine (the always-available oracle) ---------------------
     def _classify_address(
         self,
         address: str,

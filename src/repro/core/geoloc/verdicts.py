@@ -1,0 +1,111 @@
+"""Verdict and funnel records shared by both geolocation engines.
+
+The scalar pipeline (:mod:`repro.core.geoloc.pipeline`) and the batch
+columnar engine (:mod:`repro.core.geoloc.columnar`) must produce
+*exactly* the same artefacts — these dataclasses are that common
+currency.  They live in their own module so the columnar engine can
+build them without importing the pipeline (which imports the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.geoloc.constraints import ConstraintResult
+from repro.geodb.ipmap import GeoClaim
+
+__all__ = [
+    "ServerStatus",
+    "ServerVerdict",
+    "FunnelCounters",
+    "DatasetGeolocation",
+]
+
+
+class ServerStatus:
+    LOCAL = "local"
+    NONLOCAL_VERIFIED = "nonlocal_verified"
+    DISCARDED = "discarded"
+    UNLOCATED = "unlocated"
+
+
+@dataclass
+class ServerVerdict:
+    """Final ruling for one address."""
+
+    address: str
+    hosts: List[str]
+    status: str
+    claim: Optional[GeoClaim] = None
+    discarded_by: str = ""  # constraint name when status == DISCARDED
+    checks: List[ConstraintResult] = field(default_factory=list)
+
+    @property
+    def is_verified_nonlocal(self) -> bool:
+        return self.status == ServerStatus.NONLOCAL_VERIFIED
+
+    @property
+    def claimed_country(self) -> Optional[str]:
+        return self.claim.country_code if self.claim else None
+
+
+@dataclass
+class FunnelCounters:
+    """Section-5 accounting, at unique-host granularity per country."""
+
+    total_hosts: int = 0
+    unlocated: int = 0
+    local: int = 0
+    nonlocal_candidates: int = 0
+    discarded_source: int = 0
+    discarded_destination: int = 0
+    discarded_rdns: int = 0
+    verified_nonlocal: int = 0
+    destination_traceroutes: int = 0
+
+    @property
+    def after_latency_constraints(self) -> int:
+        """Candidates surviving source+destination (the paper's ~6.1 K stage)."""
+        return self.nonlocal_candidates - self.discarded_source - self.discarded_destination
+
+    @property
+    def after_rdns(self) -> int:
+        """...and surviving reverse DNS too (the paper's ~4.7 K stage)."""
+        return self.after_latency_constraints - self.discarded_rdns
+
+    def merged_with(self, other: "FunnelCounters") -> "FunnelCounters":
+        return FunnelCounters(
+            total_hosts=self.total_hosts + other.total_hosts,
+            unlocated=self.unlocated + other.unlocated,
+            local=self.local + other.local,
+            nonlocal_candidates=self.nonlocal_candidates + other.nonlocal_candidates,
+            discarded_source=self.discarded_source + other.discarded_source,
+            discarded_destination=self.discarded_destination + other.discarded_destination,
+            discarded_rdns=self.discarded_rdns + other.discarded_rdns,
+            verified_nonlocal=self.verified_nonlocal + other.verified_nonlocal,
+            destination_traceroutes=self.destination_traceroutes + other.destination_traceroutes,
+        )
+
+
+@dataclass
+class DatasetGeolocation:
+    """Pipeline output for one volunteer dataset."""
+
+    country_code: str
+    verdicts: Dict[str, ServerVerdict] = field(default_factory=dict)  # by address
+    host_to_address: Dict[str, str] = field(default_factory=dict)
+    funnel: FunnelCounters = field(default_factory=FunnelCounters)
+
+    def verdict_for_host(self, host: str) -> Optional[ServerVerdict]:
+        address = self.host_to_address.get(host)
+        if address is None:
+            return None
+        return self.verdicts.get(address)
+
+    def nonlocal_hosts(self) -> List[str]:
+        return [
+            host
+            for host, address in self.host_to_address.items()
+            if self.verdicts[address].is_verified_nonlocal
+        ]

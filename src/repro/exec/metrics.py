@@ -68,6 +68,9 @@ class ExecMetrics:
     jobs: int = 1
     #: End-to-end wall time of the country fan-out (submit to last merge).
     wall_seconds: float = 0.0
+    #: Constraint engine the geolocation phase ran with ("scalar" or
+    #: "columnar"); empty until the first country lands.
+    geoloc_engine: str = ""
     #: Sum of per-country wall times (what a serial run would pay).
     aggregate_seconds: float = 0.0
     #: Phase name -> seconds summed across countries.
@@ -128,6 +131,7 @@ class ExecMetrics:
         return {
             "backend": self.backend,
             "jobs": self.jobs,
+            "geoloc_engine": self.geoloc_engine,
             "wall_seconds": round(self.wall_seconds, 4),
             "aggregate_seconds": round(self.aggregate_seconds, 4),
             "speedup": round(self.speedup, 3),
@@ -141,8 +145,9 @@ class ExecMetrics:
 
     def render(self) -> str:
         """One human-readable block for the CLI study summary."""
+        engine = f" geoloc={self.geoloc_engine}" if self.geoloc_engine else ""
         lines = [
-            f"execution: backend={self.backend} jobs={self.jobs} "
+            f"execution: backend={self.backend} jobs={self.jobs}{engine} "
             f"wall={self.wall_seconds:.2f}s aggregate={self.aggregate_seconds:.2f}s "
             f"speedup={self.speedup:.2f}x"
         ]

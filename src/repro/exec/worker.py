@@ -77,6 +77,10 @@ class CountryRun:
     result: CountryStudyResult
     source_trace_origin: str
     timings: CountryTimings = field(default_factory=lambda: CountryTimings(""))
+    #: Which constraint engine geolocated this country ("scalar" or
+    #: "columnar", after numpy gating) — execution metadata, surfaced
+    #: via ``ExecMetrics`` so `gamma study` can report it.
+    geoloc_engine: str = ""
     #: Memo-cache counter deltas caused by this country (in the worker's
     #: own process — the coordinator merges these for the process backend).
     cache_deltas: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -179,6 +183,7 @@ class StudyWorker:
             result=result,
             source_trace_origin=source_traces.origin,
             timings=timings,
+            geoloc_engine=pipeline.engine_name,
             cache_deltas=cache_deltas,
             events=tracer.events() if tracer is not None else None,
         )

@@ -66,6 +66,9 @@ __all__ = ["StudyConfig", "StudyOutcome", "run_study", "build_source_traces"]
 class StudyConfig:
     """Knobs for a full study run."""
 
+    #: Geolocation tunables, including the constraint engine
+    #: (``pipeline.engine = "columnar"|"scalar"``, byte-identical outputs;
+    #: ``gamma study --geoloc-engine``).
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     visit_key: str = "visit-1"
     #: Anonymise volunteer IPs after analysis (section 3.5).
@@ -227,6 +230,8 @@ def _merge_run(outcome: StudyOutcome, run: CountryRun) -> None:
     outcome.geolocations[run.country_code] = run.geolocation
     outcome.results.append(run.result)
     outcome.metrics.record_country(run.timings)
+    if run.geoloc_engine:
+        outcome.metrics.geoloc_engine = run.geoloc_engine
 
 
 def run_study(

@@ -1,5 +1,7 @@
 """Geolocation constraints: SOL, the 80 % rule, destination, reverse DNS."""
 
+import math
+
 import pytest
 
 from repro.core.gamma.parsers import NormalizedHop, NormalizedTraceroute
@@ -9,6 +11,8 @@ from repro.core.geoloc.constraints import (
     ReverseDNSConstraint,
     SourceConstraint,
     adjusted_latency_ms,
+    round_evidence_ms,
+    source_latency_floor_ms,
 )
 from repro.core.geoloc.latency_stats import SyntheticStatsProvider
 from repro.netsim.distance import city_distance_km, min_rtt_ms
@@ -146,6 +150,119 @@ class TestDestinationConstraint:
             DestinationConstraint(MODEL, max_inflation=0.5)
         with pytest.raises(ValueError):
             DestinationConstraint(MODEL, slack_ms=-1)
+
+
+def timeout_trace(reached=True):
+    """Every hop timed out (address None): no responding hops at all."""
+    hops = [NormalizedHop(1, None, ()), NormalizedHop(2, None, ())]
+    return NormalizedTraceroute(target="5.0.0.1", reached=reached, hops=hops)
+
+
+class TestSharedRoundingHelpers:
+    """The single helpers both engines compare and report through."""
+
+    def test_round_evidence_ms_none_passthrough(self):
+        assert round_evidence_ms(None) is None
+
+    def test_round_evidence_ms_rounds_to_microseconds(self):
+        assert round_evidence_ms(12.3456789) == 12.345679
+        assert round_evidence_ms(12.0) == 12.0
+
+    def test_source_floor_is_the_exact_product(self):
+        # One multiplication, no rounding: the comparison boundary both
+        # engines share must be the bit-exact IEEE product.
+        assert source_latency_floor_ms(0.8, 103.7) == 0.8 * 103.7
+
+    def test_floor_scales_with_threshold(self):
+        assert source_latency_floor_ms(1.0, 50.0) == 50.0
+        assert source_latency_floor_ms(0.5, 50.0) == 25.0
+
+
+class TestConstraintEdgeCases:
+    """Degenerate traceroutes and exact threshold boundaries."""
+
+    def setup_method(self):
+        self.constraint = SourceConstraint(STATS, 0.8)
+        self.src = REG.city("London, GB")
+        self.claim = REG.city("Tokyo, JP")
+
+    def test_all_timeout_hops_fail_source(self):
+        result = self.constraint.check(timeout_trace(), self.src, self.claim)
+        assert result.failed
+        assert result.reason == "no responding hops"
+
+    def test_empty_reached_trace_fails_source(self):
+        empty = NormalizedTraceroute(target="5.0.0.1", reached=True, hops=[])
+        result = self.constraint.check(empty, self.src, self.claim)
+        assert result.failed
+        assert result.reason == "no responding hops"
+
+    def test_all_timeout_hops_fail_destination(self):
+        constraint = DestinationConstraint(MODEL)
+        result = constraint.check(timeout_trace(), self.src, self.claim)
+        assert result.failed
+        assert result.reason == "no responding hops"
+
+    def test_rtt_exactly_at_eighty_percent_floor_passes(self):
+        # The rule is strict-less-than: equality is (just) believable.
+        floor = source_latency_floor_ms(
+            0.8, STATS.published_rtt_ms(self.src, self.claim)
+        )
+        result = self.constraint.check(trace(floor, first_rtt=None), self.src, self.claim)
+        assert result.passed
+        assert result.observed_ms == floor
+
+    def test_rtt_one_ulp_below_floor_fails(self):
+        floor = source_latency_floor_ms(
+            0.8, STATS.published_rtt_ms(self.src, self.claim)
+        )
+        below = math.nextafter(floor, 0.0)
+        result = self.constraint.check(trace(below, first_rtt=None), self.src, self.claim)
+        assert result.failed
+        assert "80%" in result.reason
+
+    def test_rtt_exactly_at_sol_floor_passes_sol(self):
+        # Sparse statistics isolate the SOL rule: equality at the
+        # physical floor is not a violation.
+        sparse = SourceConstraint(SyntheticStatsProvider("sparse", MODEL, covered_cities=[]), 0.8)
+        sol = min_rtt_ms(city_distance_km(self.src, self.claim))
+        result = sparse.check(trace(sol, first_rtt=None), self.src, self.claim)
+        assert result.passed
+        assert "no published statistics" in result.reason
+
+    def test_rtt_one_ulp_below_sol_floor_fails(self):
+        sol = min_rtt_ms(city_distance_km(self.src, self.claim))
+        below = math.nextafter(sol, 0.0)
+        result = self.constraint.check(trace(below, first_rtt=None), self.src, self.claim)
+        assert result.failed
+        assert "speed-of-light" in result.reason
+
+    def test_antipodal_claim_saturates_sol_floor(self):
+        # London vs Auckland is nearly antipodal: the SOL floor
+        # approaches its planetary maximum, so any ordinary RTT is a
+        # violation — the constraint's strongest discard regime.
+        auckland = REG.city("Auckland, NZ")
+        sol = min_rtt_ms(city_distance_km(self.src, auckland))
+        half_circumference_ms = min_rtt_ms(math.pi * 6371.0)
+        assert sol > 0.9 * half_circumference_ms
+        sparse = SourceConstraint(SyntheticStatsProvider("sparse", MODEL, covered_cities=[]), 0.8)
+        assert sparse.check(trace(50.0, first_rtt=None), self.src, auckland).failed
+        assert sparse.check(trace(sol, first_rtt=None), self.src, auckland).passed
+
+    def test_equal_first_and_last_hop_keeps_raw_rtt(self):
+        # first == last: the subtraction branch must NOT fire (it would
+        # yield a zero-latency server); the raw last-hop RTT stands.
+        t = trace(30.0, first_rtt=30.0)
+        assert adjusted_latency_ms(t) == 30.0
+
+    def test_destination_rtt_exactly_at_sol_floor_passes(self):
+        constraint = DestinationConstraint(MODEL)
+        paris = REG.city("Paris, FR")
+        tokyo = REG.city("Tokyo, JP")
+        sol = min_rtt_ms(city_distance_km(paris, tokyo))
+        assert constraint.check(trace(sol, first_rtt=None), paris, tokyo).passed
+        below = math.nextafter(sol, 0.0)
+        assert constraint.check(trace(below, first_rtt=None), paris, tokyo).failed
 
 
 class TestReverseDNSConstraint:
