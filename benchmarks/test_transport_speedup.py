@@ -1,0 +1,287 @@
+"""Result transport: object-graph pickle vs columnar frames.
+
+The process backend historically shipped each country's ``CountryRun``
+back to the coordinator as a deep object-graph pickle.  The columnar
+transport (:mod:`repro.exec.transport`) flattens the run into primitive
+arrays plus an interned string table, encodes once in the worker, and
+decodes in the coordinator with collection paused — byte-identical
+artefacts (the contract ``tests/test_transport_codec.py`` and
+``tests/test_transport_equivalence.py`` lock down differentially).
+
+Measurements, all against the pickle path:
+
+* **Payload** — encoded bytes for a real single-country run crossing
+  the pool boundary.
+* **Throughput** — raw ``encode_run``/``decode_run`` wall at study
+  scale, next to ``pickle.dumps``/``pickle.loads``.
+* **Study transport** — wall clock of the single-country result ship
+  through a real fork process pool (submit → decoded run in the
+  coordinator), the study phase this transport targets, across site
+  counts.
+* **Memory** — peak traced allocation of materialising the run from
+  its wire form, across site counts (tracemalloc: deterministic,
+  immune to fork copy-on-write noise that distorts child RSS).
+
+Scale model: the shipped scenario measures 100 sites per country, so
+larger site counts are produced by replicating the real CA run's
+measurements under fresh value-equal strings — exactly what a larger
+independently-parsed target list yields, where nothing is interned
+across records.  The pickle path's memo deduplicates by identity only,
+so duplicated values cost it full bytes; the columnar string table
+interns by value and does not care.
+
+Emits ``BENCH_transport.json`` at the repo root (uploaded as a CI
+artifact).  Set ``BENCH_REPORT_ONLY=1`` to record numbers without
+asserting the floors (CI does, to stay robust on noisy shared
+runners).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import pickle
+import time
+import tracemalloc
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro import run_study
+from repro.exec.transport import EncodedCountryRun, decode_run, encode_run
+from repro.exec.worker import StudyWorker
+from repro.study import StudyConfig
+from benchmarks.conftest import emit
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_transport.json"
+
+#: Site-count multipliers over the real 100-site single-country run.
+SCALE_FACTORS = (1, 4, 12)
+CODEC_REPEATS = 5
+POOL_REPEATS = 4
+STUDY_REPEATS = 3
+
+#: Floors (skipped under BENCH_REPORT_ONLY=1).
+PAYLOAD_RATIO_FLOOR = 5.0
+STUDY_SPEEDUP_FLOOR = 1.5
+
+
+def _fresh(value):
+    """A value-equal but distinct string, as independent parsing yields."""
+    return value.encode("utf-8").decode("utf-8") if isinstance(value, str) else value
+
+
+def _fresh_trace(trace):
+    hops = [dataclasses.replace(h, address=_fresh(h.address)) for h in trace.hops]
+    return dataclasses.replace(
+        trace, target=_fresh(trace.target), hops=hops, tool=_fresh(trace.tool)
+    )
+
+
+def _inflate(run, factor: int):
+    """A study-shaped ``CountryRun`` with ``factor``x the site count."""
+    websites = {}
+    sites = []
+    site_by_url = {record.url: record for record in run.result.sites}
+    for k in range(factor):
+        for url, m in run.dataset.websites.items():
+            new_url = _fresh(url) if k == 0 else f"v{k}.{url}"
+            websites[new_url] = dataclasses.replace(
+                m, url=new_url,
+                requested_hosts=[_fresh(h) for h in m.requested_hosts],
+                background_hosts=[_fresh(h) for h in m.background_hosts],
+                dns={_fresh(h): _fresh(a) for h, a in m.dns.items()},
+                rdns={_fresh(a): _fresh(r) for a, r in m.rdns.items()},
+                traceroutes={
+                    _fresh(a): _fresh_trace(t) for a, t in m.traceroutes.items()
+                },
+            )
+            record = site_by_url.get(url)
+            if record is not None:
+                sites.append(dataclasses.replace(record, url=new_url))
+    dataset = dataclasses.replace(run.dataset, websites=websites)
+    result = dataclasses.replace(run.result, dataset=dataset, sites=sites)
+    return dataclasses.replace(run, dataset=dataset, result=result)
+
+
+#: Populated before the fork pool is created; workers inherit it.
+_RUNS = {}
+
+
+def _ship_pickle(factor: int):
+    return _RUNS[factor]  # the pool pickles the whole object graph
+
+
+def _ship_columnar(factor: int):
+    started = time.perf_counter()
+    payload = encode_run(_RUNS[factor])
+    return EncodedCountryRun.ship(
+        "CA", payload, time.perf_counter() - started, 1 << 20
+    )
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _pool_roundtrip(pool, fn, factor: int) -> float:
+    def once():
+        out = pool.submit(fn, factor).result()
+        if isinstance(out, EncodedCountryRun):
+            out = out.load()
+        assert out.country_code == "CA"
+
+    return _best(once, POOL_REPEATS)
+
+
+def _peak_alloc(fn) -> int:
+    tracemalloc.start()
+    try:
+        fn()
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def _study_wall(scenario, transport: str) -> float:
+    def once():
+        run_study(
+            scenario, countries=["CA"], backend="process", jobs=1,
+            transport=transport,
+        )
+
+    return _best(once, STUDY_REPEATS)
+
+
+def test_transport_speedup(scenario):
+    run = StudyWorker(scenario, StudyConfig())("CA")
+
+    # Correctness before speed: the differential contract on the real
+    # run — equal graph, byte-identical re-encode.  (A re-pickle is
+    # *smaller* than the original's: value-interning merges strings the
+    # measurement stack built as equal-but-distinct objects.)
+    decoded = decode_run(encode_run(run))
+    assert decoded == run
+    assert encode_run(decoded) == encode_run(run)
+
+    # Payload: the real run's bytes across the pool boundary.
+    real_pickle = len(pickle.dumps(run, protocol=pickle.HIGHEST_PROTOCOL))
+    real_columnar = len(encode_run(run))
+    payload_ratio = real_pickle / real_columnar
+
+    for factor in SCALE_FACTORS:
+        _RUNS[factor] = _inflate(run, factor)
+
+    # Throughput at study scale (largest factor).
+    big = _RUNS[SCALE_FACTORS[-1]]
+    big_pickle = pickle.dumps(big, protocol=pickle.HIGHEST_PROTOCOL)
+    big_frame = encode_run(big)
+    dumps_s = _best(
+        lambda: pickle.dumps(big, protocol=pickle.HIGHEST_PROTOCOL), CODEC_REPEATS
+    )
+    loads_s = _best(lambda: pickle.loads(big_pickle), CODEC_REPEATS)
+    encode_s = _best(lambda: encode_run(big), CODEC_REPEATS)
+    decode_s = _best(lambda: decode_run(big_frame), CODEC_REPEATS)
+
+    # Study transport: result ship through a real fork pool.
+    scaling = []
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+        pool.submit(_ship_pickle, SCALE_FACTORS[0]).result()  # warm the worker
+        for factor in SCALE_FACTORS:
+            pickle_wall = _pool_roundtrip(pool, _ship_pickle, factor)
+            columnar_wall = _pool_roundtrip(pool, _ship_columnar, factor)
+            scaling.append({
+                "sites": len(_RUNS[factor].dataset.websites),
+                "pickle_wall_s": round(pickle_wall, 4),
+                "columnar_wall_s": round(columnar_wall, 4),
+                "speedup": round(pickle_wall / columnar_wall, 2),
+            })
+    study_speedup = scaling[-1]["speedup"]
+
+    # End-to-end single-country study at the shipped 100-site scale:
+    # measurement dominates there, so this is context, not the claim.
+    end_to_end = {
+        transport: round(_study_wall(scenario, transport), 3)
+        for transport in ("pickle", "columnar")
+    }
+
+    # Memory: materialising the run from its wire form.
+    memory = []
+    for factor in SCALE_FACTORS:
+        frame = encode_run(_RUNS[factor])
+        blob = pickle.dumps(_RUNS[factor], protocol=pickle.HIGHEST_PROTOCOL)
+        memory.append({
+            "sites": len(_RUNS[factor].dataset.websites),
+            "pickle_peak_kb": _peak_alloc(lambda: pickle.loads(blob)) // 1024,
+            "columnar_peak_kb": _peak_alloc(lambda: decode_run(frame)) // 1024,
+        })
+
+    payload = {
+        "bench": "transport",
+        "payload": {
+            "sites": len(run.dataset.websites),
+            "pickle_bytes": real_pickle,
+            "columnar_bytes": real_columnar,
+            "ratio": round(payload_ratio, 2),
+            "floor": PAYLOAD_RATIO_FLOOR,
+        },
+        "throughput": {
+            "sites": len(big.dataset.websites),
+            "pickle_dumps_s": round(dumps_s, 4),
+            "pickle_loads_s": round(loads_s, 4),
+            "encode_s": round(encode_s, 4),
+            "decode_s": round(decode_s, 4),
+            "encode_mb_s": round(len(big_pickle) / 1e6 / encode_s, 1),
+            "decode_mb_s": round(len(big_pickle) / 1e6 / decode_s, 1),
+        },
+        "study": {
+            "sites": scaling[-1]["sites"],
+            "pickle_wall_s": scaling[-1]["pickle_wall_s"],
+            "columnar_wall_s": scaling[-1]["columnar_wall_s"],
+            "speedup": study_speedup,
+            "floor": STUDY_SPEEDUP_FLOOR,
+            "scaling": scaling,
+            "end_to_end_100_sites": end_to_end,
+        },
+        "memory": memory,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        f"{'sites':>6} {'pickle ship':>12} {'columnar ship':>14} {'speedup':>8}",
+    ]
+    for row in scaling:
+        rows.append(
+            f"{row['sites']:>6} {1000 * row['pickle_wall_s']:>10.1f}ms "
+            f"{1000 * row['columnar_wall_s']:>12.1f}ms {row['speedup']:>7.2f}x"
+        )
+    rows += [
+        "",
+        f"payload: {real_pickle:,}B pickle vs {real_columnar:,}B columnar "
+        f"({payload_ratio:.2f}x smaller, floor {PAYLOAD_RATIO_FLOOR}x)",
+        f"study-scale ship speedup: {study_speedup:.2f}x "
+        f"(floor {STUDY_SPEEDUP_FLOOR}x)",
+        f"memory at {memory[-1]['sites']} sites: "
+        f"{memory[-1]['pickle_peak_kb']:,}KB unpickled vs "
+        f"{memory[-1]['columnar_peak_kb']:,}KB decoded",
+        f"written: {BENCH_PATH.name}",
+    ]
+    emit("Result transport: object-graph pickle vs columnar frames", "\n".join(rows))
+
+    assert BENCH_PATH.exists()
+    if os.environ.get("BENCH_REPORT_ONLY") != "1":
+        assert payload_ratio >= PAYLOAD_RATIO_FLOOR, (
+            f"columnar payload only {payload_ratio:.2f}x smaller than pickle "
+            f"(floor {PAYLOAD_RATIO_FLOOR}x)"
+        )
+        assert study_speedup >= STUDY_SPEEDUP_FLOOR, (
+            f"columnar result ship only {study_speedup:.2f}x over pickle "
+            f"(floor {STUDY_SPEEDUP_FLOOR}x)"
+        )

@@ -31,6 +31,7 @@ from repro.artifacts import export_study
 from repro.core.geoloc.pipeline import GEOLOC_ENGINES, PipelineConfig
 from repro.exec.executor import BACKENDS
 from repro.exec.resilience import ON_ERROR_POLICIES, FaultInjector
+from repro.exec.transport import TRANSPORTS
 from repro.core.analysis.report import (
     render_fig3,
     render_fig4,
@@ -134,6 +135,13 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=["auto"] + list(BACKENDS), default="auto",
                         help="execution backend (default: auto — serial for "
                              "--jobs 1, process pool otherwise)")
+    parser.add_argument("--transport", choices=list(TRANSPORTS),
+                        default="columnar",
+                        help="how per-country results travel and join: "
+                             "columnar = compact interned frames + "
+                             "vectorised join/funnel (default), pickle = "
+                             "the object-graph oracle; outcomes are "
+                             "byte-identical (CI equivalence mode)")
     parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
                         help="write the structured run journal (JSONL) here; "
                              "summarize it with 'gamma trace FILE'")
@@ -203,6 +211,7 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         "max_retries": args.max_retries,
         "checkpoint_dir": args.checkpoint_dir,
         "resume": args.resume,
+        "transport": args.transport,
     }
 
 

@@ -19,6 +19,11 @@ from repro.core.trackers.identify import TrackerIdentifier, TrackerVerdict
 from repro.core.trackers.orgs import OrganizationDirectory
 from repro.web.website import CATEGORY_GOVERNMENT, CATEGORY_REGIONAL
 
+try:  # pragma: no cover - exercised via the scalar fallback test
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = ["NonLocalTracker", "SiteTrackerRecord", "CountryStudyResult", "build_country_result"]
 
 
@@ -95,14 +100,26 @@ def build_country_result(
     identifier: TrackerIdentifier,
     directory: Optional[OrganizationDirectory] = None,
     tracer=None,
+    engine: str = "scalar",
 ) -> CountryStudyResult:
     """Join dataset + geolocation + identification into analysis records.
 
     With a :class:`repro.obs.Tracer`, one ``tracker_match`` event is
     emitted per unique flagged host for this country (the first
     classification; repeats across sites reuse the local verdict map).
+
+    ``engine="columnar"`` interns hosts into integer codes, performs one
+    verdict lookup and one classification per *unique* host, and
+    materialises per-site tracker rows from numpy occurrence masks.
+    The output contract is identical to the scalar loop: same verdict
+    insertion order (first sight of each verified-nonlocal host), same
+    per-site tracker rows including within-site repeats, and the same
+    ``tracker_match`` journal events.  Falls back to the scalar join
+    when numpy is unavailable.
     """
     directory = directory or identifier.directory
+    if engine == "columnar" and _np is not None:
+        return _join_columnar(dataset, geolocation, identifier, directory, tracer)
     result = CountryStudyResult(
         country_code=dataset.country_code, dataset=dataset, geolocation=geolocation
     )
@@ -146,6 +163,92 @@ def build_country_result(
                     destination_country=server.claim.country_code,
                     destination_city_key=server.claim.city_key,
                     org_name=org_name,
+                )
+            )
+        result.sites.append(site)
+
+    result.tracker_verdicts = verdicts
+    return result
+
+
+def _join_columnar(
+    dataset: VolunteerDataset,
+    geolocation: DatasetGeolocation,
+    identifier: TrackerIdentifier,
+    directory: Optional[OrganizationDirectory],
+    tracer,
+) -> CountryStudyResult:
+    """Vectorised join: per-unique-host classification + masked gather."""
+    country_code = dataset.country_code
+    result = CountryStudyResult(
+        country_code=country_code, dataset=dataset, geolocation=geolocation
+    )
+
+    # Flatten every loaded site's foreground hosts into one integer code
+    # stream; ``host_index`` assigns codes in first-sight order, which is
+    # exactly the scalar loop's verdict-dict insertion order.
+    loaded = []
+    host_index: Dict[str, int] = {}
+    codes: List[int] = []
+    bounds: List[int] = [0]
+    for measurement in dataset.websites.values():
+        if not measurement.loaded:
+            continue
+        loaded.append(measurement)
+        background = set(measurement.background_hosts)
+        for host in measurement.requested_hosts:
+            if host not in background:
+                codes.append(host_index.setdefault(host, len(host_index)))
+        bounds.append(len(codes))
+
+    hosts = list(host_index)
+    count = len(hosts)
+    is_tracker = _np.zeros(count, dtype=bool)
+    dest_country: List[str] = [""] * count
+    dest_city: List[str] = [""] * count
+    org_names: List[Optional[str]] = [None] * count
+    verdicts: Dict[str, TrackerVerdict] = {}
+    for code, host in enumerate(hosts):
+        server = geolocation.verdict_for_host(host)
+        if server is None or not server.is_verified_nonlocal:
+            continue
+        # First-sight attribution events match the scalar loop because
+        # unique codes were assigned in first-sight order above.
+        verdict = identifier.classify(host, country_code, tracer=tracer)
+        verdicts[host] = verdict
+        if not verdict.is_tracker:
+            continue
+        org_name = verdict.org_name
+        if org_name is None and directory is not None:
+            entry = directory.org_for_host(host)
+            org_name = entry.name if entry else None
+        assert server.claim is not None  # verified non-local implies a claim
+        is_tracker[code] = True
+        dest_country[code] = server.claim.country_code
+        dest_city[code] = server.claim.city_key
+        org_names[code] = org_name
+
+    code_stream = _np.asarray(codes, dtype=_np.int64)
+    occurrence_mask = (
+        is_tracker[code_stream] if count else _np.zeros(0, dtype=bool)
+    )
+    for site_index, measurement in enumerate(loaded):
+        site = SiteTrackerRecord(
+            url=measurement.url,
+            country_code=country_code,
+            category=measurement.category,
+        )
+        start, end = bounds[site_index], bounds[site_index + 1]
+        for offset in _np.flatnonzero(occurrence_mask[start:end]).tolist():
+            code = codes[start + offset]
+            host = hosts[code]
+            site.trackers.append(
+                NonLocalTracker(
+                    host=host,
+                    address=measurement.dns[host],
+                    destination_country=dest_country[code],
+                    destination_city_key=dest_city[code],
+                    org_name=org_names[code],
                 )
             )
         result.sites.append(site)

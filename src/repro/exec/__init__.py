@@ -11,8 +11,12 @@ the process backend) and, when tracing is on, the country's span/event
 buffer for the run journal (:mod:`repro.obs`).  The fan-out is fault
 tolerant: per-country retry/skip policies with deterministic backoff
 (:mod:`repro.exec.resilience`) and study-level checkpoint/resume
-(:mod:`repro.exec.checkpoint`).  See ``docs/parallel-execution.md``,
-``docs/observability.md``, and ``docs/robustness.md``.
+(:mod:`repro.exec.checkpoint`).  On the process backend, results can
+cross the pool boundary as compact columnar frames instead of deep
+object-graph pickles (:mod:`repro.exec.transport`,
+``StudyConfig.transport``).  See ``docs/parallel-execution.md``,
+``docs/observability.md``, ``docs/performance.md``, and
+``docs/robustness.md``.
 """
 
 from repro.exec.cache import CacheInfo, ReadThroughCache, cache_registry, register_cache
@@ -35,6 +39,16 @@ from repro.exec.executor import (
     create_executor,
 )
 from repro.exec.metrics import CountryTimings, ExecMetrics, PhaseTimer
+from repro.exec.transport import (
+    TRANSPORTS,
+    EncodedCountryRun,
+    TransportDecodeError,
+    TransportWorker,
+    checkpoint_format,
+    decode_run,
+    encode_run,
+    resolve_transport,
+)
 
 _LAZY = {"CountryRun", "StudyWorker"}
 
@@ -57,6 +71,7 @@ __all__ = [
     "CountryFailure",
     "CountryRun",
     "CountryTimings",
+    "EncodedCountryRun",
     "ExecMetrics",
     "FaultInjector",
     "InjectedFaultError",
@@ -68,9 +83,16 @@ __all__ = [
     "StudyCheckpoint",
     "StudyExecutor",
     "StudyWorker",
+    "TRANSPORTS",
     "ThreadPoolStudyExecutor",
+    "TransportDecodeError",
+    "TransportWorker",
     "backoff_delay",
     "cache_registry",
+    "checkpoint_format",
     "create_executor",
+    "decode_run",
+    "encode_run",
     "register_cache",
+    "resolve_transport",
 ]

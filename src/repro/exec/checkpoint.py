@@ -1,6 +1,6 @@
 """Study-level checkpoint/resume.
 
-A :class:`StudyCheckpoint` is a directory holding one pickled
+A :class:`StudyCheckpoint` is a directory holding one serialised
 :class:`~repro.exec.worker.CountryRun` per completed country, written
 atomically (temp file + ``os.replace``, the same pattern as the per-site
 :class:`repro.core.gamma.checkpoint.Checkpoint`) by the worker itself
@@ -9,12 +9,20 @@ resume=True)`` loads the persisted runs, skips their countries, and
 merges them with fresh runs in input country order — byte-identical to
 an uninterrupted study, whichever backend ran either half.
 
-Pickle is the natural format here: a ``CountryRun`` must already pickle
-to cross the process-pool boundary, so persisting it reuses exactly the
-round trip the backend-equivalence suite proves lossless.  A file that
-fails to load (truncated write on the old non-atomic path, version
-drift, disk corruption) is quarantined — renamed to ``*.corrupt`` — and
-its country is simply re-measured.
+Two on-disk formats share the directory, selected by the study's result
+transport (``StudyConfig.transport``, docs/performance.md):
+
+* ``<CC>.run.pkl`` — the pickled object graph (the historical format,
+  and the ``--transport pickle`` oracle).
+* ``<CC>.run.col`` — the columnar frame from
+  :mod:`repro.exec.transport`, typically ~5x smaller.
+
+Loading always accepts *both* formats regardless of the configured
+transport, so a study checkpointed under one transport resumes cleanly
+under the other (the CI fault/resume step crosses them on purpose).  A
+file that fails to load (truncated write on the old non-atomic path,
+version drift, disk corruption) is quarantined — renamed to
+``*.corrupt`` — and its country is simply re-measured.
 """
 
 from __future__ import annotations
@@ -25,32 +33,47 @@ import tempfile
 from pathlib import Path
 from typing import List, Optional, Union
 
-__all__ = ["StudyCheckpoint"]
+__all__ = ["StudyCheckpoint", "CHECKPOINT_FORMATS"]
 
-_SUFFIX = ".run.pkl"
+#: Run-file extension per format; order is the load preference when a
+#: country was somehow persisted in both.
+CHECKPOINT_FORMATS = ("pkl", "col")
 
 
 class StudyCheckpoint:
     """One-file-per-country persistence for completed country runs."""
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(self, directory: Union[str, Path], fmt: str = "pkl"):
+        if fmt not in CHECKPOINT_FORMATS:
+            raise ValueError(
+                f"unknown checkpoint format {fmt!r}; expected one of "
+                f"{CHECKPOINT_FORMATS}"
+            )
         self.directory = Path(directory)
+        self.fmt = fmt
 
-    def path_for(self, country_code: str) -> Path:
-        return self.directory / f"{country_code}{_SUFFIX}"
+    def path_for(self, country_code: str, fmt: Optional[str] = None) -> Path:
+        return self.directory / f"{country_code}.run.{fmt or self.fmt}"
 
     def completed_countries(self) -> List[str]:
-        """Country codes with a persisted run, sorted."""
+        """Country codes with a persisted run (either format), sorted."""
         if not self.directory.is_dir():
             return []
-        return sorted(
-            path.name[: -len(_SUFFIX)]
+        suffixes = tuple(f".run.{fmt}" for fmt in CHECKPOINT_FORMATS)
+        return sorted({
+            path.name[: -len(".run.xxx")]
             for path in self.directory.iterdir()
-            if path.name.endswith(_SUFFIX)
-        )
+            if path.name.endswith(suffixes)
+        })
 
     def store(self, run) -> Path:
         """Atomically persist one completed run (safe to call from workers)."""
+        if self.fmt == "col":
+            from repro.exec.transport import encode_run
+
+            payload = encode_run(run)
+        else:
+            payload = pickle.dumps(run)
         self.directory.mkdir(parents=True, exist_ok=True)
         target = self.path_for(run.country_code)
         fd, tmp_name = tempfile.mkstemp(
@@ -58,7 +81,7 @@ class StudyCheckpoint:
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(run, handle)
+                handle.write(payload)
             os.replace(tmp_name, str(target))
         except BaseException:
             if os.path.exists(tmp_name):
@@ -69,28 +92,44 @@ class StudyCheckpoint:
     def load(self, country_code: str):
         """The persisted run for one country, or None.
 
-        A file that cannot be unpickled — or that holds something other
-        than this country's :class:`CountryRun` — is quarantined as
-        ``<name>.corrupt`` and treated as absent, so a damaged
-        checkpoint degrades to re-measuring that country instead of
-        killing the resume.
+        Tries the configured format first, then the other, so resumes
+        cross transports transparently.  A file that cannot be decoded —
+        or that holds something other than this country's
+        :class:`CountryRun` — is quarantined as ``<name>.corrupt`` and
+        treated as absent, so a damaged checkpoint degrades to
+        re-measuring that country instead of killing the resume.
         """
+        formats = [self.fmt] + [f for f in CHECKPOINT_FORMATS if f != self.fmt]
+        for fmt in formats:
+            path = self.path_for(country_code, fmt)
+            if not path.exists():
+                continue
+            try:
+                run = self._decode(path, fmt)
+                if run.country_code != country_code:
+                    raise ValueError(
+                        f"checkpoint {path.name} does not hold a CountryRun "
+                        f"for {country_code}"
+                    )
+            except Exception:
+                self._quarantine(path)
+                continue
+            return run
+        return None
+
+    @staticmethod
+    def _decode(path: Path, fmt: str):
         from repro.exec.worker import CountryRun  # lazy: heavy import chain
 
-        path = self.path_for(country_code)
-        if not path.exists():
-            return None
-        try:
-            with open(path, "rb") as handle:
-                run = pickle.load(handle)
-            if not isinstance(run, CountryRun) or run.country_code != country_code:
-                raise ValueError(
-                    f"checkpoint {path.name} does not hold a CountryRun "
-                    f"for {country_code}"
-                )
-        except Exception:
-            self._quarantine(path)
-            return None
+        data = path.read_bytes()
+        if fmt == "col":
+            from repro.exec.transport import decode_run
+
+            run = decode_run(data)
+        else:
+            run = pickle.loads(data)
+        if not isinstance(run, CountryRun):
+            raise ValueError(f"checkpoint {path.name} does not hold a CountryRun")
         return run
 
     @staticmethod

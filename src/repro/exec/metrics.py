@@ -71,6 +71,26 @@ class ExecMetrics:
     #: Constraint engine the geolocation phase ran with ("scalar" or
     #: "columnar"); empty until the first country lands.
     geoloc_engine: str = ""
+    #: Result transport the fan-out ran with ("pickle" or "columnar");
+    #: empty for pre-transport metrics objects.
+    transport: str = ""
+    #: Country code -> encoded result payload bytes (columnar transport
+    #: on the process backend only; empty when results never crossed a
+    #: process boundary as frames).
+    transport_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Worker-side encode seconds, summed across countries.
+    transport_encode_seconds: float = 0.0
+    #: Coordinator-side decode seconds, summed across countries.
+    transport_decode_seconds: float = 0.0
+
+    def record_transport(
+        self, country_code: str, nbytes: int, encode_seconds: float,
+        decode_seconds: float,
+    ) -> None:
+        """Fold one country's encoded-frame accounting into the metrics."""
+        self.transport_bytes[country_code] = nbytes
+        self.transport_encode_seconds += encode_seconds
+        self.transport_decode_seconds += decode_seconds
     #: Sum of per-country wall times (what a serial run would pay).
     aggregate_seconds: float = 0.0
     #: Phase name -> seconds summed across countries.
@@ -128,10 +148,11 @@ class ExecMetrics:
         return self.aggregate_seconds / self.wall_seconds
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "backend": self.backend,
             "jobs": self.jobs,
             "geoloc_engine": self.geoloc_engine,
+            "transport": self.transport,
             "wall_seconds": round(self.wall_seconds, 4),
             "aggregate_seconds": round(self.aggregate_seconds, 4),
             "speedup": round(self.speedup, 3),
@@ -142,12 +163,18 @@ class ExecMetrics:
             "country_seconds": dict(sorted(self.country_seconds.items())),
             "caches": dict(sorted(self.cache_infos.items())),
         }
+        if self.transport_bytes:
+            payload["transport_bytes"] = dict(sorted(self.transport_bytes.items()))
+            payload["transport_encode_seconds"] = round(self.transport_encode_seconds, 4)
+            payload["transport_decode_seconds"] = round(self.transport_decode_seconds, 4)
+        return payload
 
     def render(self) -> str:
         """One human-readable block for the CLI study summary."""
         engine = f" geoloc={self.geoloc_engine}" if self.geoloc_engine else ""
+        transport = f" transport={self.transport}" if self.transport else ""
         lines = [
-            f"execution: backend={self.backend} jobs={self.jobs}{engine} "
+            f"execution: backend={self.backend} jobs={self.jobs}{engine}{transport} "
             f"wall={self.wall_seconds:.2f}s aggregate={self.aggregate_seconds:.2f}s "
             f"speedup={self.speedup:.2f}x"
         ]
@@ -162,6 +189,15 @@ class ExecMetrics:
                 lines.append(_phase_line(phase))
         for phase in sorted(set(self.phase_seconds) - set(PHASES)):
             lines.append(_phase_line(phase))
+        if self.transport_bytes:
+            total_bytes = sum(self.transport_bytes.values())
+            lines.append(
+                f"  {'transport':<14} {total_bytes:8,d}B "
+                f"(encode {self.transport_encode_seconds:.3f}s, "
+                f"decode {self.transport_decode_seconds:.3f}s)"
+            )
+            for country, nbytes in sorted(self.transport_bytes.items()):
+                lines.append(f"    {country:<12} {nbytes:8,d}B")
         for name, info in sorted(self.cache_infos.items()):
             lines.append(
                 f"  cache {name}: hits={info['hits']} misses={info['misses']} "

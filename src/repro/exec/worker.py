@@ -165,9 +165,16 @@ class StudyWorker:
                 )
 
             with timings.timer("join"), maybe_span(tracer, "phase", "join"):
+                # The join engine follows the result transport: a study
+                # shipping columnar frames also joins through the
+                # vectorised per-unique-host path (scalar stays the
+                # byte-identical oracle under --transport pickle).
                 result = build_country_result(
                     dataset, geolocation, scenario.identifier, scenario.directory,
                     tracer=tracer,
+                    engine="columnar"
+                    if getattr(config, "transport", "pickle") == "columnar"
+                    else "scalar",
                 )
                 if config.anonymize_ips:
                     anonymize(dataset)

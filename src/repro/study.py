@@ -26,7 +26,7 @@ resume from section 3.3 of the paper.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -50,11 +50,18 @@ from repro.core.geoloc.pipeline import (
     PipelineConfig,
     SourceTraces,
 )
+from repro.core.geoloc.verdicts import merge_funnels
 from repro.exec.cache import cache_registry
 from repro.exec.checkpoint import StudyCheckpoint
 from repro.exec.executor import create_executor
 from repro.exec.metrics import ExecMetrics
 from repro.exec.resilience import ON_ERROR_POLICIES, CountryFailure, ResilientWorker
+from repro.exec.transport import (
+    EncodedCountryRun,
+    TransportWorker,
+    checkpoint_format,
+    resolve_transport,
+)
 from repro.exec.worker import CountryRun, StudyWorker
 from repro.obs.journal import SCHEMA_VERSION, RunJournal
 from repro.worldgen.builder import Scenario
@@ -92,6 +99,17 @@ class StudyConfig:
     #: Base of the deterministic exponential backoff schedule, seconds.
     #: ``0`` disables sleeping while keeping the schedule observable.
     retry_base_delay: float = 0.1
+    #: How per-country results travel and join: "columnar" ships compact
+    #: interned frames across the process-pool boundary and joins/merges
+    #: through numpy (:mod:`repro.exec.transport`); "pickle" is the
+    #: object-graph oracle.  Byte-identical outcomes either way;
+    #: silently resolves to "pickle" when numpy is unavailable
+    #: (``gamma study --transport``, docs/performance.md).
+    transport: str = "columnar"
+    #: Encoded frames at least this large cross the process boundary via
+    #: ``multiprocessing.shared_memory`` instead of riding the result
+    #: pickle.  ``0`` disables the shared-memory path.
+    transport_shm_threshold: int = 1 << 20
 
 
 @dataclass
@@ -122,10 +140,9 @@ class StudyOutcome:
         return [failure.country_code for failure in self.failures]
 
     def funnel(self) -> FunnelCounters:
-        merged = FunnelCounters()
-        for geolocation in self.geolocations.values():
-            merged = merged.merged_with(geolocation.funnel)
-        return merged
+        return merge_funnels(
+            geolocation.funnel for geolocation in self.geolocations.values()
+        )
 
     # -- analysis accessors (one per paper artefact) -------------------------
     def prevalence(self) -> PrevalenceAnalysis:
@@ -246,6 +263,7 @@ def run_study(
     max_retries: Optional[int] = None,
     checkpoint_dir: Union[None, str, Path] = None,
     resume: bool = False,
+    transport: Optional[str] = None,
     fault_injector=None,
 ) -> StudyOutcome:
     """Run the full methodology over *countries* (default: all volunteers).
@@ -276,8 +294,18 @@ def run_study(
     persisted countries are loaded instead of re-measured and merge
     byte-identically with the fresh ones.  *fault_injector* is the
     deterministic test hook (:class:`repro.exec.FaultInjector`).
+
+    *transport* overrides :attr:`StudyConfig.transport` ("columnar" or
+    "pickle"): how results cross the process-pool boundary, which join
+    engine runs, and which checkpoint format is written — with every
+    study artefact byte-identical across the choice.
     """
     config = config or StudyConfig()
+    active_transport = resolve_transport(
+        config.transport if transport is None else transport
+    )
+    if active_transport != getattr(config, "transport", None):
+        config = replace(config, transport=active_transport)
     countries = countries or scenario.countries
     effective_jobs = config.jobs if jobs is None else jobs
     effective_backend = config.backend if backend is None else backend
@@ -289,7 +317,11 @@ def run_study(
     retries = config.max_retries if max_retries is None else max_retries
     executor = create_executor(backend=effective_backend, jobs=effective_jobs)
 
-    checkpoint = None if checkpoint_dir is None else StudyCheckpoint(checkpoint_dir)
+    checkpoint = (
+        None
+        if checkpoint_dir is None
+        else StudyCheckpoint(checkpoint_dir, fmt=checkpoint_format(active_transport))
+    )
     if resume and checkpoint is None:
         raise ValueError("resume=True requires checkpoint_dir")
 
@@ -305,6 +337,13 @@ def run_study(
         checkpoint=checkpoint,
         trace=tracing,
     )
+    if active_transport == "columnar" and executor.name == "process":
+        # Ship each country back as one compact columnar frame instead
+        # of the deep object-graph pickle (docs/performance.md); the
+        # coordinator decodes below, recording per-country bytes.
+        call = TransportWorker(
+            call, shm_threshold=config.transport_shm_threshold
+        )
 
     resumed: Dict[str, CountryRun] = {}
     if resume:
@@ -316,15 +355,32 @@ def run_study(
 
     started = time.perf_counter()
     produced = executor.map_countries(call, pending) if pending else []
-    wall_seconds = time.perf_counter() - started
     by_country = dict(zip(pending, produced))
+    # Decode pre-pass: materialise columnar frames shipped back by
+    # process-pool workers (inside the fan-out wall time — decoding is
+    # part of getting results across the boundary).
+    frame_stats = []
+    for country_code, item in by_country.items():
+        if isinstance(item, EncodedCountryRun):
+            decode_started = time.perf_counter()
+            by_country[country_code] = item.load()
+            decode_seconds = time.perf_counter() - decode_started
+            frame_stats.append(
+                (country_code, item.nbytes, item.encode_seconds, decode_seconds)
+            )
+    wall_seconds = time.perf_counter() - started
 
     outcome = StudyOutcome(
         scenario=scenario,
         metrics=ExecMetrics(
-            backend=executor.name, jobs=executor.jobs, wall_seconds=wall_seconds
+            backend=executor.name, jobs=executor.jobs, wall_seconds=wall_seconds,
+            transport=active_transport,
         ),
     )
+    for country_code, nbytes, encode_seconds, decode_seconds in frame_stats:
+        outcome.metrics.record_transport(
+            country_code, nbytes, encode_seconds, decode_seconds
+        )
     fresh_runs: List[CountryRun] = []
     buffers: List[List[dict]] = []  # input country order: deterministic merge
     for country_code in countries:

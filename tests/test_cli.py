@@ -110,13 +110,28 @@ class TestFaultToleranceCLI:
         assert main(["study", "--countries", "CA,NZ",
                      "--checkpoint-dir", str(checkpoint_dir)]) == 0
         capsys.readouterr()
+        # The default columnar transport writes compact .run.col frames.
         assert sorted(p.name for p in checkpoint_dir.iterdir()) == [
-            "CA.run.pkl", "NZ.run.pkl",
+            "CA.run.col", "NZ.run.col",
         ]
         assert main(["study", "--countries", "CA,NZ,RW",
                      "--checkpoint-dir", str(checkpoint_dir), "--resume"]) == 0
         out = capsys.readouterr().out
         assert "RW" in out
+
+    def test_checkpoint_format_follows_transport(self, tmp_path, capsys):
+        checkpoint_dir = tmp_path / "ckpt"
+        assert main(["study", "--countries", "CA", "--transport", "pickle",
+                     "--checkpoint-dir", str(checkpoint_dir)]) == 0
+        capsys.readouterr()
+        assert sorted(p.name for p in checkpoint_dir.iterdir()) == [
+            "CA.run.pkl",
+        ]
+        # Crossing transports on resume reads the pickle checkpoint.
+        assert main(["study", "--countries", "CA,NZ", "--transport", "columnar",
+                     "--checkpoint-dir", str(checkpoint_dir), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "NZ" in out
 
     def test_resume_requires_checkpoint_dir(self):
         with pytest.raises(SystemExit, match="--resume requires --checkpoint-dir"):

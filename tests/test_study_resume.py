@@ -105,9 +105,17 @@ class TestCheckpointStore:
         checkpoint_dir = tmp_path / "ckpt"
         run_study(scenario, countries=["CA", "NZ"], checkpoint_dir=checkpoint_dir)
         names = sorted(p.name for p in checkpoint_dir.iterdir())
-        assert names == ["CA.run.pkl", "NZ.run.pkl"]
+        # Columnar transport (the default) persists columnar frames.
+        assert names == ["CA.run.col", "NZ.run.col"]
         # No temp files left behind by the atomic writer.
         assert not [n for n in names if n.startswith(".")]
+
+    def test_pickle_transport_writes_pickle_files(self, scenario, tmp_path):
+        checkpoint_dir = tmp_path / "ckpt"
+        run_study(scenario, countries=["CA"], checkpoint_dir=checkpoint_dir,
+                  transport="pickle")
+        names = sorted(p.name for p in checkpoint_dir.iterdir())
+        assert names == ["CA.run.pkl"]
 
     def test_corrupt_run_file_is_quarantined_and_remeasured(
         self, scenario, uninterrupted, tmp_path
@@ -115,13 +123,13 @@ class TestCheckpointStore:
         checkpoint_dir = tmp_path / "ckpt"
         run_study(scenario, countries=SMALL_COUNTRIES,
                   checkpoint_dir=checkpoint_dir, trace=True)
-        (checkpoint_dir / "CA.run.pkl").write_bytes(b"\x80\x04 not a pickle")
+        (checkpoint_dir / "CA.run.col").write_bytes(b"CRUN not a frame")
         resumed = run_study(
             scenario, countries=SMALL_COUNTRIES, checkpoint_dir=checkpoint_dir,
             resume=True, trace=True,
         )
         assert_resume_equivalent(uninterrupted, resumed)
-        assert (checkpoint_dir / "CA.run.pkl.corrupt").exists()
+        assert (checkpoint_dir / "CA.run.col.corrupt").exists()
         # CA was re-measured, so it is absent from the resumed set.
         assert "CA" not in [
             r["country"] for r in resumed.journal.events("country_resumed")

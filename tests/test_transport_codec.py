@@ -1,0 +1,494 @@
+"""Columnar ``CountryRun`` codec: round-trip and framing contracts.
+
+The transport codec (:mod:`repro.exec.transport`) must be lossless in
+the strongest sense that matters for the study contract: the decoded
+graph equals the original field by field, preserves the object-graph
+*sharing topology* (memoised traces, the dataset/geolocation shared by
+run and result), and — on graphs whose equal strings are already shared
+by value, which is what the decoder's interning produces — pickles to
+the very same bytes.  Hypothesis drives the round trip over randomly
+shaped runs; a real single-country study run pins the production shape.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis.records import (
+    CountryStudyResult,
+    NonLocalTracker,
+    SiteTrackerRecord,
+)
+from repro.core.gamma.output import VolunteerDataset, WebsiteMeasurement
+from repro.core.gamma.parsers import NormalizedHop, NormalizedTraceroute
+from repro.core.geoloc.constraints import ConstraintResult
+from repro.core.geoloc.verdicts import (
+    DatasetGeolocation,
+    FunnelCounters,
+    ServerVerdict,
+)
+from repro.core.trackers.identify import TrackerVerdict
+from repro.exec.checkpoint import StudyCheckpoint
+from repro.exec.metrics import CountryTimings
+from repro.exec.transport import (
+    TRANSPORTS,
+    EncodedCountryRun,
+    TransportDecodeError,
+    checkpoint_format,
+    decode_run,
+    encode_run,
+    resolve_transport,
+)
+from repro.exec.worker import CountryRun, StudyWorker
+from repro.geodb.ipmap import GeoClaim
+from repro.netsim.geography import City
+
+# -- strategies --------------------------------------------------------------
+
+#: Drawing every string from this fixed pool makes equal strings the
+#: *same object* in the generated graph — the precondition for the
+#: pickle-byte-identity property (the decoder value-interns, so its
+#: output always has that shape).  Includes non-ASCII to exercise the
+#: per-string decode path.  No entry may equal a dataclass attribute
+#: name ("rdns", "dns", ...): those are compile-time-interned, so the
+#: original graph would memo-share them with the pickle's own field
+#: names — sharing with out-of-band strings that a value-interning
+#: codec cannot (and should not) reproduce.
+_STRINGS = [
+    "tracker.example", "cdn.example", "ads.example", "static.example",
+    "10.0.0.1", "10.0.0.2", "192.168.7.9", "site-a", "site-b",
+    "https://a.example", "https://b.example", "regional", "government",
+    "CA", "NZ", "RW", "toronto", "auckland", "kigali", "Montréal–Øst",
+    "ipmap", "rdns.example", "source_latency", "pass", "fail", "easylist", "",
+]
+
+#: Journal-event payload values come from a pool *disjoint* from
+#: ``_STRINGS``: events cross the codec as one nested pickle blob, so a
+#: string shared between an event and the outer graph would decode to
+#: two objects where the original had one.
+_EVENT_STRINGS = ["evt-started", "evt-finished", "evt-CA", "evt-NZ"]
+
+_pooled = st.sampled_from(_STRINGS)
+_opt_pooled = st.one_of(st.none(), _pooled)
+#: Finite floats; mixes exactly-milli values (scaled-int columns) with
+#: arbitrary doubles (raw f8 columns), plus signed zeros.
+_floats = st.one_of(
+    st.integers(min_value=0, max_value=10_000_000).map(lambda n: n / 1000.0),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+_counters = st.integers(min_value=0, max_value=2**40)
+
+
+@st.composite
+def _traceroutes(draw):
+    hops = [
+        NormalizedHop(
+            hop=draw(st.integers(min_value=0, max_value=64)),
+            address=draw(_opt_pooled),
+            rtts_ms=tuple(draw(st.lists(_floats, max_size=3))),
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=3)))
+    ]
+    return NormalizedTraceroute(
+        target=draw(_pooled), reached=draw(st.booleans()), hops=hops,
+        tool=draw(_pooled),
+    )
+
+
+@st.composite
+def _measurements(draw, traces):
+    hosts = draw(st.lists(_pooled, max_size=4))
+    addresses = draw(st.lists(_pooled, max_size=3, unique=True))
+    return WebsiteMeasurement(
+        url=draw(_pooled),
+        category=draw(st.sampled_from(["regional", "government"])),
+        loaded=draw(st.booleans()),
+        requested_hosts=hosts,
+        background_hosts=draw(st.lists(_pooled, max_size=2)),
+        dns={host: draw(_pooled) for host in set(hosts)},
+        rdns={address: draw(_opt_pooled) for address in addresses},
+        traceroutes=(
+            {address: draw(st.sampled_from(traces)) for address in addresses}
+            if traces else {}
+        ),
+        failure_reason=draw(_opt_pooled),
+        page_html=draw(_opt_pooled),
+        hardcoded_domains=draw(st.lists(_pooled, max_size=2)),
+    )
+
+
+@st.composite
+def _datasets(draw, traces):
+    dataset = VolunteerDataset(
+        country_code=draw(_pooled), city_key=draw(_pooled),
+        volunteer_ip=draw(_pooled), os_name=draw(_pooled),
+        browser=draw(_pooled),
+    )
+    for key in draw(st.lists(_pooled, max_size=3, unique=True)):
+        dataset.websites[key] = draw(_measurements(traces))
+    return dataset
+
+
+@st.composite
+def _verdicts(draw, claims):
+    checks = [
+        ConstraintResult(
+            constraint=draw(_pooled), status=draw(_pooled),
+            reason=draw(_pooled),
+            observed_ms=draw(st.one_of(st.none(), _floats)),
+            expected_ms=draw(st.one_of(st.none(), _floats)),
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=3)))
+    ]
+    return ServerVerdict(
+        address=draw(_pooled),
+        hosts=draw(st.lists(_pooled, max_size=3)),
+        status=draw(st.sampled_from(
+            ["local", "nonlocal_verified", "discarded", "unlocated"]
+        )),
+        claim=draw(st.one_of(st.none(), st.sampled_from(claims))) if claims else None,
+        discarded_by=draw(_pooled),
+        checks=checks,
+    )
+
+
+@st.composite
+def _geolocations(draw, claims):
+    geo = DatasetGeolocation(
+        country_code=draw(_pooled),
+        funnel=FunnelCounters(*(draw(_counters) for _ in range(9))),
+    )
+    geo.host_to_address = {
+        host: draw(_pooled)
+        for host in draw(st.lists(_pooled, max_size=3, unique=True))
+    }
+    for key in draw(st.lists(_pooled, max_size=3, unique=True)):
+        geo.verdicts[key] = draw(_verdicts(claims))
+    return geo
+
+
+@st.composite
+def country_runs(draw):
+    """A small, randomly shaped — but realistically shared — run graph."""
+    cities = [
+        City(name=draw(_pooled), country_code=draw(_pooled),
+             lat=draw(_floats), lon=draw(_floats))
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    ]
+    claims = [
+        GeoClaim(address=draw(_pooled), city=draw(st.sampled_from(cities)),
+                 source=draw(_pooled))
+        for _ in range(draw(st.integers(min_value=0, max_value=3)))
+    ]
+    traces = draw(st.lists(_traceroutes(), max_size=3))
+    dataset = draw(_datasets(traces))
+    geolocation = draw(_geolocations(claims))
+
+    result = CountryStudyResult(
+        country_code=draw(_pooled),
+        # Sometimes the run and its result share the dataset/geolocation
+        # objects (the production shape), sometimes not.
+        dataset=dataset if draw(st.booleans()) else draw(_datasets(traces)),
+        geolocation=(
+            geolocation if draw(st.booleans()) else draw(_geolocations(claims))
+        ),
+    )
+    for key in draw(st.lists(_pooled, max_size=3, unique=True)):
+        result.tracker_verdicts[key] = TrackerVerdict(
+            host=draw(_pooled), is_tracker=draw(st.booleans()),
+            method=draw(_opt_pooled), list_name=draw(_opt_pooled),
+            org_name=draw(_opt_pooled),
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        site = SiteTrackerRecord(
+            url=draw(_pooled), country_code=draw(_pooled),
+            category=draw(_pooled),
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            site.trackers.append(NonLocalTracker(
+                host=draw(_pooled), address=draw(_pooled),
+                destination_country=draw(_pooled),
+                destination_city_key=draw(_pooled),
+                org_name=draw(_opt_pooled),
+            ))
+        result.sites.append(site)
+
+    timings = CountryTimings(draw(_pooled))
+    for phase in draw(st.lists(_pooled, max_size=3, unique=True)):
+        timings.phase_seconds[phase] = draw(_floats)
+
+    return CountryRun(
+        country_code=draw(_pooled),
+        dataset=dataset,
+        geolocation=geolocation,
+        result=result,
+        source_trace_origin=draw(_pooled),
+        timings=timings,
+        geoloc_engine=draw(st.sampled_from(["", "scalar", "columnar"])),
+        cache_deltas={
+            name: {
+                "hits": draw(_counters), "misses": draw(_counters),
+                "size": draw(_counters),
+            }
+            for name in draw(st.lists(_pooled, max_size=2, unique=True))
+        },
+        events=draw(st.one_of(
+            st.none(),
+            st.lists(
+                st.fixed_dictionaries({
+                    "ev": st.sampled_from(_EVENT_STRINGS),
+                    "country": st.sampled_from(_EVENT_STRINGS),
+                }),
+                max_size=2,
+            ),
+        )),
+    )
+
+
+def assert_runs_equal(decoded: CountryRun, original: CountryRun) -> None:
+    assert decoded.country_code == original.country_code
+    assert decoded.dataset == original.dataset
+    assert decoded.geolocation == original.geolocation
+    assert decoded.result.country_code == original.result.country_code
+    assert decoded.result.dataset == original.result.dataset
+    assert decoded.result.geolocation == original.result.geolocation
+    assert decoded.result.tracker_verdicts == original.result.tracker_verdicts
+    assert decoded.result.sites == original.result.sites
+    assert decoded.source_trace_origin == original.source_trace_origin
+    assert decoded.timings == original.timings
+    assert decoded.geoloc_engine == original.geoloc_engine
+    assert decoded.cache_deltas == original.cache_deltas
+    assert decoded.events == original.events
+
+
+# -- property tests ----------------------------------------------------------
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(run=country_runs())
+    def test_decode_inverts_encode(self, run):
+        decoded = decode_run(encode_run(run))
+        assert_runs_equal(decoded, run)
+
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(run=country_runs())
+    def test_round_trip_is_pickle_identical(self, run):
+        # Equal strings in the generated graph are identical objects (the
+        # pool strategy guarantees it), so pickle's id()-memoisation sees
+        # the same structure before and after the columnar round trip.
+        decoded = decode_run(encode_run(run))
+        assert pickle.dumps(decoded) == pickle.dumps(run)
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(run=country_runs())
+    def test_canonical_re_encode(self, run):
+        encoded = encode_run(run)
+        assert encode_run(decode_run(encoded)) == encoded
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(run=country_runs())
+    def test_sharing_topology_preserved(self, run):
+        decoded = decode_run(encode_run(run))
+        assert (decoded.result.dataset is decoded.dataset) == (
+            run.result.dataset is run.dataset
+        )
+        assert (decoded.result.geolocation is decoded.geolocation) == (
+            run.result.geolocation is run.geolocation
+        )
+        originals = {
+            id(trace): trace
+            for measurement in run.dataset.websites.values()
+            for trace in measurement.traceroutes.values()
+        }
+        rebuilt = {
+            id(trace): trace
+            for measurement in decoded.dataset.websites.values()
+            for trace in measurement.traceroutes.values()
+        }
+        # Memo-shared traceroutes stay shared: same number of distinct
+        # trace objects on both sides of the round trip.
+        assert len(rebuilt) == len(originals)
+
+
+# -- the production shape ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def real_run(scenario):
+    from repro.study import StudyConfig
+
+    return StudyWorker(scenario, StudyConfig())("CA")
+
+
+class TestRealRun:
+    def test_round_trip_and_sharing(self, real_run):
+        decoded = decode_run(encode_run(real_run))
+        assert_runs_equal(decoded, real_run)
+        assert decoded.result.dataset is decoded.dataset
+        assert decoded.result.geolocation is decoded.geolocation
+        assert decoded.dataset.to_json() == real_run.dataset.to_json()
+
+    def test_canonical_and_compact(self, real_run):
+        encoded = encode_run(real_run)
+        assert encode_run(decode_run(encoded)) == encoded
+        # The ISSUE's headline: frames are much smaller than the pickle.
+        assert len(encoded) * 3 < len(pickle.dumps(real_run))
+
+    def test_compression_flag(self, real_run):
+        compressed = encode_run(real_run)
+        raw = encode_run(real_run, compress=False)
+        assert compressed[5] & 0x01
+        assert not raw[5] & 0x01
+        assert len(compressed) < len(raw)
+        assert_runs_equal(decode_run(raw), real_run)
+
+
+# -- framing and failure modes ----------------------------------------------
+
+
+class TestFraming:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TransportDecodeError, match="magic"):
+            decode_run(b"NOPE" + b"\x01\x00" + b"junk")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(TransportDecodeError, match="version"):
+            decode_run(b"CRUN" + bytes((99, 0)) + b"junk")
+
+    def test_corrupt_compressed_body_rejected(self):
+        with pytest.raises(TransportDecodeError, match="corrupt"):
+            decode_run(b"CRUN" + bytes((1, 1)) + b"not zlib at all")
+
+    def test_truncated_body_rejected(self, real_run):
+        encoded = encode_run(real_run, compress=False)
+        with pytest.raises(TransportDecodeError):
+            decode_run(encoded[: len(encoded) // 2])
+
+    def test_garbage_section_table_rejected(self):
+        body = zlib.compress(b"\xff" * 64)
+        with pytest.raises(TransportDecodeError):
+            decode_run(b"CRUN" + bytes((1, 1)) + body)
+
+
+class TestTransportSelection:
+    def test_transports_tuple(self):
+        assert TRANSPORTS == ("pickle", "columnar")
+
+    def test_resolve_passthrough(self):
+        assert resolve_transport("pickle") == "pickle"
+        assert resolve_transport("columnar") == "columnar"  # numpy present
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("arrow")
+
+    def test_resolve_falls_back_without_numpy(self, monkeypatch):
+        import repro.exec.transport as transport
+
+        monkeypatch.setattr(transport, "HAVE_NUMPY", False)
+        assert transport.resolve_transport("columnar") == "pickle"
+        assert transport.resolve_transport("pickle") == "pickle"
+
+    def test_checkpoint_format(self):
+        assert checkpoint_format("columnar") == "col"
+        assert checkpoint_format("pickle") == "pkl"
+
+
+# -- pool-boundary hand-off --------------------------------------------------
+
+
+class TestEncodedCountryRun:
+    def test_inline_ship_and_load(self, real_run):
+        payload = encode_run(real_run)
+        shipped = EncodedCountryRun.ship("CA", payload, 0.01, shm_threshold=0)
+        assert shipped.shm_name is None
+        assert shipped.nbytes == len(payload)
+        assert_runs_equal(shipped.load(), real_run)
+
+    def test_shared_memory_ship_and_load(self, real_run):
+        payload = encode_run(real_run)
+        shipped = EncodedCountryRun.ship(
+            "CA", payload, 0.01, shm_threshold=1
+        )
+        assert shipped.shm_name is not None
+        assert shipped.payload is None
+        # The descriptor that crosses the pool boundary is tiny.
+        assert len(pickle.dumps(shipped)) < 512
+        assert_runs_equal(shipped.load(), real_run)
+
+    def test_load_is_single_use(self, real_run):
+        payload = encode_run(real_run)
+        shipped = EncodedCountryRun.ship("CA", payload, 0.01, shm_threshold=0)
+        shipped.load()
+        with pytest.raises(ValueError, match="consumed"):
+            shipped.load()
+
+    def test_release_unlinks_shared_memory(self, real_run):
+        from multiprocessing import shared_memory
+
+        payload = encode_run(real_run)
+        shipped = EncodedCountryRun.ship("CA", payload, 0.01, shm_threshold=1)
+        name = shipped.shm_name
+        shipped.release()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        shipped.release()  # idempotent
+
+    def test_threshold_keeps_small_payloads_inline(self, real_run):
+        payload = encode_run(real_run)
+        shipped = EncodedCountryRun.ship(
+            "CA", payload, 0.01, shm_threshold=len(payload) + 1
+        )
+        assert shipped.shm_name is None
+        assert shipped.payload == payload
+
+
+# -- checkpoint reuse --------------------------------------------------------
+
+
+class TestColumnarCheckpoint:
+    def test_store_load_round_trip(self, real_run, tmp_path):
+        checkpoint = StudyCheckpoint(tmp_path, fmt="col")
+        path = checkpoint.store(real_run)
+        assert path.name == "CA.run.col"
+        assert path.read_bytes()[:4] == b"CRUN"
+        assert_runs_equal(checkpoint.load("CA"), real_run)
+        assert checkpoint.completed_countries() == ["CA"]
+
+    def test_cross_format_load(self, real_run, tmp_path):
+        # Written as pickle, read back by a columnar-configured store —
+        # and the other way around.
+        StudyCheckpoint(tmp_path, fmt="pkl").store(real_run)
+        assert_runs_equal(
+            StudyCheckpoint(tmp_path, fmt="col").load("CA"), real_run
+        )
+        StudyCheckpoint(tmp_path / "b", fmt="col").store(real_run)
+        assert_runs_equal(
+            StudyCheckpoint(tmp_path / "b", fmt="pkl").load("CA"), real_run
+        )
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown checkpoint format"):
+            StudyCheckpoint(tmp_path, fmt="parquet")
+
+    def test_corrupt_columnar_file_quarantined(self, real_run, tmp_path):
+        checkpoint = StudyCheckpoint(tmp_path, fmt="col")
+        checkpoint.store(real_run)
+        checkpoint.path_for("CA").write_bytes(b"CRUN\x01\x00garbage")
+        assert checkpoint.load("CA") is None
+        assert (tmp_path / "CA.run.col.corrupt").exists()
+
+    def test_columnar_checkpoint_is_smaller(self, real_run, tmp_path):
+        pkl = StudyCheckpoint(tmp_path / "pkl", fmt="pkl").store(real_run)
+        col = StudyCheckpoint(tmp_path / "col", fmt="col").store(real_run)
+        assert col.stat().st_size * 3 < pkl.stat().st_size

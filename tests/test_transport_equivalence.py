@@ -1,0 +1,141 @@
+"""Transport equivalence of ``run_study`` — the codec-unobservability proof.
+
+The columnar transport only changes *how* a ``CountryRun`` crosses the
+process-pool boundary (and how checkpoints are persisted), never *what*
+arrives.  These tests run the same study under ``--transport pickle``
+and ``--transport columnar`` across every backend and several worker
+counts and assert that all study artefacts — datasets, verdicts,
+funnels, joined records, summaries, and the timing-stripped journal —
+are byte-identical.  They also prove the resume crossover: a checkpoint
+written under one transport is readable by a study resumed under the
+other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_study
+from repro.core.geoloc import verdicts as verdicts_module
+from repro.core.geoloc.verdicts import FunnelCounters, merge_funnels
+from repro.exec import TRANSPORTS
+from tests.conftest import SMALL_COUNTRIES
+from tests.test_exec_equivalence import assert_outcomes_identical
+
+#: backend/jobs grid from the parallel-equivalence suite, kept in sync.
+BACKEND_GRID = [("serial", 1), ("thread", 4), ("process", 1), ("process", 4)]
+
+
+@pytest.fixture(scope="module")
+def reference(scenario):
+    """Serial pickle-transport run: the pre-codec ground truth."""
+    return run_study(
+        scenario, countries=SMALL_COUNTRIES, trace=True, transport="pickle"
+    )
+
+
+def assert_transport_equivalent(reference, other) -> None:
+    assert_outcomes_identical(reference, other)
+    assert other.journal.dumps(timings=False) == reference.journal.dumps(
+        timings=False
+    )
+
+
+class TestTransportEquivalence:
+    @pytest.mark.parametrize("backend,jobs", BACKEND_GRID)
+    @pytest.mark.parametrize("transport", list(TRANSPORTS))
+    def test_all_transports_backends_and_job_counts_byte_identical(
+        self, scenario, reference, transport, backend, jobs
+    ):
+        outcome = run_study(
+            scenario, countries=SMALL_COUNTRIES, trace=True,
+            transport=transport, backend=backend, jobs=jobs,
+        )
+        assert outcome.metrics.transport == transport
+        assert_transport_equivalent(reference, outcome)
+
+    def test_columnar_process_metrics_account_every_country(self, scenario):
+        outcome = run_study(
+            scenario, countries=SMALL_COUNTRIES, transport="columnar",
+            backend="process", jobs=2,
+        )
+        metrics = outcome.metrics
+        assert metrics.transport == "columnar"
+        assert sorted(metrics.transport_bytes) == sorted(SMALL_COUNTRIES)
+        assert all(nbytes > 0 for nbytes in metrics.transport_bytes.values())
+        assert metrics.transport_encode_seconds >= 0
+        assert metrics.transport_decode_seconds >= 0
+        assert "transport_bytes" in metrics.to_dict()
+        rendered = metrics.render()
+        assert "transport" in rendered
+        for country in SMALL_COUNTRIES:
+            assert country in rendered
+
+    @pytest.mark.parametrize("backend,jobs", [("serial", 1), ("thread", 4)])
+    def test_frames_only_cross_the_process_boundary(
+        self, scenario, backend, jobs
+    ):
+        # In-process backends hand the object graph over directly; no
+        # frames are encoded, so the per-country ledger stays empty.
+        outcome = run_study(
+            scenario, countries=SMALL_COUNTRIES[:3], transport="columnar",
+            backend=backend, jobs=jobs,
+        )
+        assert outcome.metrics.transport == "columnar"
+        assert outcome.metrics.transport_bytes == {}
+        assert "transport_bytes" not in outcome.metrics.to_dict()
+
+    def test_pickle_transport_never_encodes_frames(self, scenario):
+        outcome = run_study(
+            scenario, countries=SMALL_COUNTRIES[:3], transport="pickle",
+            backend="process", jobs=2,
+        )
+        assert outcome.metrics.transport == "pickle"
+        assert outcome.metrics.transport_bytes == {}
+
+
+class TestResumeCrossover:
+    """Checkpoints written under one transport resume under the other."""
+
+    @pytest.mark.parametrize("first,second,suffix", [
+        ("pickle", "columnar", ".run.pkl"),
+        ("columnar", "pickle", ".run.col"),
+    ])
+    def test_checkpoint_crosses_transports(
+        self, scenario, reference, tmp_path, first, second, suffix
+    ):
+        checkpoint_dir = tmp_path / "ckpt"
+        partial = run_study(
+            scenario, countries=SMALL_COUNTRIES[:2], trace=True,
+            checkpoint_dir=checkpoint_dir, transport=first,
+        )
+        assert sorted(partial.datasets) == sorted(SMALL_COUNTRIES[:2])
+        assert sorted(p.name for p in checkpoint_dir.iterdir()) == sorted(
+            country + suffix for country in SMALL_COUNTRIES[:2]
+        )
+        resumed = run_study(
+            scenario, countries=SMALL_COUNTRIES, trace=True,
+            checkpoint_dir=checkpoint_dir, resume=True, transport=second,
+        )
+        assert_transport_equivalent(reference, resumed)
+        assert [r["country"] for r in resumed.journal.events("country_resumed")] \
+            == SMALL_COUNTRIES[:2]
+
+
+class TestMergeFunnels:
+    def test_matches_sequential_merge(self, study_small):
+        funnels = [g.funnel for g in study_small.geolocations.values()]
+        sequential = FunnelCounters()
+        for funnel in funnels:
+            sequential = sequential.merged_with(funnel)
+        assert merge_funnels(funnels) == sequential
+        assert merge_funnels(funnels) == study_small.funnel()
+
+    def test_empty_input_is_zero(self):
+        assert merge_funnels([]) == FunnelCounters()
+
+    def test_scalar_fallback_matches_vectorized(self, study_small, monkeypatch):
+        funnels = [g.funnel for g in study_small.geolocations.values()]
+        vectorized = merge_funnels(funnels)
+        monkeypatch.setattr(verdicts_module, "_np", None)
+        assert merge_funnels(funnels) == vectorized
