@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro import build_scenario, run_study
+from benchmarks._emit import emit  # noqa: F401  (historical import location)
 
 
 @pytest.fixture(scope="session")
@@ -20,9 +21,3 @@ def scenario():
 @pytest.fixture(scope="session")
 def study(scenario):
     return run_study(scenario)
-
-
-def emit(title: str, body: str) -> None:
-    """Print one benchmark's reproduction output."""
-    bar = "=" * 72
-    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -14,7 +14,7 @@ import os
 import time
 
 from repro import run_study
-from benchmarks.conftest import emit
+from benchmarks._emit import emit, record_history
 
 #: Eight countries spanning the interesting shapes: tracker-local,
 #: foreign-heavy, Atlas fallbacks, traceroute opt-out, Global South.
@@ -54,6 +54,15 @@ def test_exec_speedup(scenario):
     for name, jobs, seconds, speedup in rows:
         lines.append(f"{name:<18} {jobs:>4} {seconds:>8.2f} {speedup:>7.2f}x")
     emit("Parallel study execution: serial vs parallel wall-clock", "\n".join(lines))
+    record_history("exec", {
+        "countries": len(SPEEDUP_COUNTRIES),
+        "serial": {"wall_seconds": round(serial_seconds, 4),
+                   "speedup": serial.metrics.speedup},
+        "thread": {"wall_seconds": round(thread_seconds, 4),
+                   "speedup": threaded.metrics.speedup},
+        "process": {"wall_seconds": round(process_seconds, 4),
+                    "speedup": processed.metrics.speedup},
+    })
 
     # All backends produced the same study (spot-check the cheap artefacts).
     assert serial.funnel() == threaded.funnel() == processed.funnel()

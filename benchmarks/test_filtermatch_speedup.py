@@ -23,7 +23,7 @@ from pathlib import Path
 
 from repro.core.trackers.filterlist import FilterList, FilterSet
 from repro.core.trackers.identify import TrackerIdentifier
-from benchmarks.conftest import emit
+from benchmarks._emit import emit, record_history
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_filtermatch.json"
 
@@ -131,6 +131,7 @@ def test_filtermatch_speedup():
         },
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record_history("filtermatch", payload)
 
     emit(
         "Filter-list matching: naive scan vs indexed engine",

@@ -41,7 +41,7 @@ from repro.core.geoloc.pipeline import (
     PipelineConfig,
     SourceTraces,
 )
-from benchmarks.conftest import emit
+from benchmarks._emit import emit, record_history
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_geoloc.json"
 
@@ -154,6 +154,7 @@ def test_geoloc_speedup(scenario):
         },
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record_history("geoloc", payload)
 
     emit(
         "Geolocation constraints: scalar oracle vs columnar batch engine",

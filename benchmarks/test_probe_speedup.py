@@ -38,7 +38,7 @@ from repro.core.gamma.parsers import parse_traceroute_output
 from repro.core.gamma.probes import TRACE_CACHE_NAME
 from repro.exec.cache import cache_snapshot
 from repro.netsim.traceroute import render_linux, render_windows
-from benchmarks.conftest import emit
+from benchmarks._emit import emit, record_history
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_probe.json"
 
@@ -196,6 +196,7 @@ def test_probe_speedup(scenario):
         },
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record_history("probe", payload)
 
     rows = [
         f"{'format':<10} {'naive/s':>12} {'direct/s':>12} {'speedup':>9}",

@@ -52,7 +52,7 @@ from repro import run_study
 from repro.exec.transport import EncodedCountryRun, decode_run, encode_run
 from repro.exec.worker import StudyWorker
 from repro.study import StudyConfig
-from benchmarks.conftest import emit
+from benchmarks._emit import emit, record_history
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_transport.json"
 
@@ -253,6 +253,7 @@ def test_transport_speedup(scenario):
         "memory": memory,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record_history("transport", payload)
 
     rows = [
         f"{'sites':>6} {'pickle ship':>12} {'columnar ship':>14} {'speedup':>8}",

@@ -16,6 +16,8 @@ Subcommands mirror how the paper's artefacts are used:
 * ``gamma recruitment``   — the volunteer/consent ledger (§3.3-3.5).
 * ``gamma trace FILE``    — summarize a run journal written with
   ``--trace`` (span tree, funnel drill-down, slowest sites, caches).
+* ``gamma metrics ...``   — inspect run metric snapshots: render one,
+  diff two runs with regression verdicts, derive/check baselines.
 """
 
 from __future__ import annotations
@@ -108,6 +110,52 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("country", choices=sorted(MEASUREMENT_COUNTRIES))
     report.add_argument("--output", type=Path, default=None)
 
+    metrics = sub.add_parser(
+        "metrics", help="inspect, diff, and check run metric snapshots"
+    )
+    msub = metrics.add_subparsers(dest="metrics_command", required=True)
+    mshow = msub.add_parser("show", help="render a metrics.json snapshot")
+    mshow.add_argument("snapshot", type=Path)
+    mshow.add_argument("--runtime", action="store_true",
+                       help="include runtime-class families (timings, cache "
+                            "traffic) alongside the deterministic study series")
+    mvalidate = msub.add_parser(
+        "validate", help="validate a snapshot against the schema (exit 1 on problems)"
+    )
+    mvalidate.add_argument("snapshot", type=Path)
+    mdiff = msub.add_parser(
+        "diff", help="compare two run snapshots with regression verdicts"
+    )
+    mdiff.add_argument("old", type=Path, help="baseline run snapshot")
+    mdiff.add_argument("new", type=Path, help="candidate run snapshot")
+    mdiff.add_argument("--threshold", type=float, default=0.25, metavar="R",
+                       help="relative tolerance for runtime families "
+                            "(default 0.25); deterministic families must "
+                            "match exactly regardless")
+    mdiff.add_argument("--runtime", action="store_true",
+                       help="also compare runtime-class families "
+                            "(threshold-based, noisy across machines)")
+    mbaseline = msub.add_parser(
+        "baseline", help="derive a baseline from a reference snapshot + BENCH files"
+    )
+    mbaseline.add_argument("snapshot", type=Path, nargs="?", default=None)
+    mbaseline.add_argument("--bench", type=Path, action="append", default=[],
+                           metavar="FILE", help="BENCH_*.json file (repeatable)")
+    mbaseline.add_argument("--margin", type=float, default=0.5,
+                           help="slack below each BENCH number before the "
+                                "floor trips (default 0.5)")
+    mbaseline.add_argument("--output", type=Path, default=None,
+                           help="write the baseline JSON here (default: stdout)")
+    mcheck = msub.add_parser(
+        "check", help="check a run snapshot and/or BENCH files against a baseline"
+    )
+    mcheck.add_argument("baseline", type=Path)
+    mcheck.add_argument("--snapshot", type=Path, default=None)
+    mcheck.add_argument("--bench", type=Path, action="append", default=[],
+                        metavar="FILE", help="BENCH_*.json file (repeatable)")
+    mcheck.add_argument("--report-only", action="store_true",
+                        help="print findings but always exit 0 (CI advisory mode)")
+
     trace = sub.add_parser("trace", help="summarize a structured run journal")
     trace.add_argument("journal", type=Path, help="JSONL journal from --trace")
     trace.add_argument("--top", type=int, default=10,
@@ -164,6 +212,24 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="skip countries already persisted in "
                              "--checkpoint-dir and merge their stored runs")
+    progress = parser.add_mutually_exclusive_group()
+    progress.add_argument("--progress", dest="progress", action="store_true",
+                          default=None,
+                          help="stream per-country completion lines to stderr "
+                               "(default: only when stderr is a TTY)")
+    progress.add_argument("--no-progress", dest="progress", action="store_false",
+                          help="suppress the live progress line")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-country resource usage (CPU seconds "
+                             "per phase, GC collections, peak RSS) into the "
+                             "run snapshot")
+    parser.add_argument("--profile-mem", action="store_true",
+                        help="additionally track allocations with tracemalloc "
+                             "(slower; implies --profile)")
+    parser.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
+                        help="write the run metrics snapshot here: .prom "
+                             "suffix = Prometheus text exposition, anything "
+                             "else = metrics.json document")
 
 
 def _parse_countries(raw: Optional[str]) -> Optional[List[str]]:
@@ -202,6 +268,9 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
     """``run_study`` keyword arguments shared by study/figures/export."""
     if args.resume and args.checkpoint_dir is None:
         raise SystemExit("--resume requires --checkpoint-dir")
+    progress = args.progress
+    if progress is None:  # default: live line only on an interactive stderr
+        progress = sys.stderr.isatty()
     return {
         "jobs": args.jobs,
         "backend": args.backend,
@@ -212,6 +281,10 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         "checkpoint_dir": args.checkpoint_dir,
         "resume": args.resume,
         "transport": args.transport,
+        "progress": progress,
+        "profile": args.profile or args.profile_mem,
+        "profile_mem": args.profile_mem,
+        "metrics_out": args.metrics_out,
     }
 
 
@@ -273,6 +346,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if args.trace is not None:
         print(f"\nrun journal written to {args.trace} "
               f"(summarize with: gamma trace {args.trace})")
+    if args.metrics_out is not None:
+        hint = ("" if args.metrics_out.suffix == ".prom"
+                else f" (inspect with: gamma metrics show {args.metrics_out})")
+        print(f"metrics snapshot written to {args.metrics_out}{hint}")
     return 0
 
 
@@ -412,6 +489,131 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_bench_files(paths):
+    """``{stem: payload}`` for BENCH_*.json paths (stem keys the checks)."""
+    import json
+
+    return {path.stem: json.loads(path.read_text()) for path in paths}
+
+
+def _render_metric_families(snapshot, include_runtime: bool) -> str:
+    from repro.obs.metrics import _metric_families
+
+    lines = []
+    families = _metric_families(snapshot)
+    for name in sorted(families):
+        entry = families[name]
+        if entry.get("runtime", False) and not include_runtime:
+            continue
+        tag = " (runtime)" if entry.get("runtime", False) else ""
+        lines.append(f"{name} [{entry['type']}]{tag} — {entry.get('help', '')}")
+        for record in entry.get("series", []):
+            labels = record.get("labels", {})
+            label_str = ", ".join(f"{k}={v}" for k, v in labels.items())
+            prefix = f"  {{{label_str}}}" if label_str else "  (no labels)"
+            if entry["type"] == "histogram":
+                lines.append(
+                    f"{prefix}: count={record['count']} sum={record['sum']:g}"
+                )
+            else:
+                lines.append(f"{prefix}: {record['value']:g}")
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.metrics import (
+        check_baseline,
+        derive_baseline,
+        diff_snapshots,
+        load_snapshot,
+        validate_study_snapshot,
+    )
+
+    if args.metrics_command == "show":
+        snapshot = load_snapshot(args.snapshot)
+        meta = snapshot.get("meta", {})
+        if meta:
+            print(f"run: backend={meta.get('backend')} jobs={meta.get('jobs')} "
+                  f"transport={meta.get('transport')} "
+                  f"countries={len(meta.get('countries', []))}")
+        print(_render_metric_families(snapshot, include_runtime=args.runtime))
+        resources = snapshot.get("resources")
+        if resources:
+            print("\nresources (per country):")
+            for country, usage in sorted(resources.items()):
+                line = f"  {country}: cpu={usage.get('cpu_seconds', 0):g}s"
+                if "peak_rss_kb" in usage:
+                    line += f" peak_rss={usage['peak_rss_kb']}kB"
+                line += f" gc={usage.get('gc_collections', 0)}"
+                print(line)
+        return 0
+
+    if args.metrics_command == "validate":
+        path = Path(args.snapshot)
+        if path.suffix == ".prom":
+            from repro.obs.metrics import validate_exposition
+
+            problems = validate_exposition(path.read_text(encoding="utf-8"))
+            if problems:
+                for problem in problems:
+                    print(f"SCHEMA: {problem}")
+                return 1
+            print("exposition OK: Prometheus text format parses")
+            return 0
+        snapshot = load_snapshot(path)
+        problems = validate_study_snapshot(snapshot)
+        if problems:
+            for problem in problems:
+                print(f"SCHEMA: {problem}")
+            return 1
+        families = snapshot.get("metrics", {}).get("families", {})
+        print(f"snapshot OK: {len(families)} metric families conform to the schema")
+        return 0
+
+    if args.metrics_command == "diff":
+        findings = diff_snapshots(
+            load_snapshot(args.old), load_snapshot(args.new),
+            threshold=args.threshold, include_runtime=args.runtime,
+        )
+        for finding in findings:
+            print(finding.render())
+        bad = [f for f in findings if f.severity in ("regression", "drift")]
+        if bad:
+            print(f"\n{len(bad)} regression(s) out of {len(findings)} finding(s)")
+            return 1
+        print(f"no regressions ({len(findings)} informational finding(s))"
+              if findings else "no regressions (snapshots agree)")
+        return 0
+
+    if args.metrics_command == "baseline":
+        snapshot = None if args.snapshot is None else load_snapshot(args.snapshot)
+        baseline = derive_baseline(
+            snapshot, _load_bench_files(args.bench), margin=args.margin
+        )
+        text = json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        if args.output is not None:
+            args.output.write_text(text)
+            print(f"baseline with {len(baseline['checks'])} check(s) "
+                  f"written to {args.output}")
+        else:
+            print(text, end="")
+        return 0
+
+    # check
+    baseline = load_snapshot(args.baseline)
+    snapshot = None if args.snapshot is None else load_snapshot(args.snapshot)
+    findings = check_baseline(baseline, snapshot, _load_bench_files(args.bench))
+    for finding in findings:
+        print(finding.render())
+    failures = [f for f in findings if not f.ok]
+    print(f"{len(findings) - len(failures)}/{len(findings)} baseline check(s) passed")
+    if failures and not args.report_only:
+        return 1
+    return 0
+
+
 def _cmd_selfcheck(_args: argparse.Namespace) -> int:
     from repro.worldgen.selfcheck import check_scenario
 
@@ -438,6 +640,7 @@ _COMMANDS = {
     "recruitment": _cmd_recruitment,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "selfcheck": _cmd_selfcheck,
 }
 

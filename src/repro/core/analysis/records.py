@@ -101,6 +101,7 @@ def build_country_result(
     directory: Optional[OrganizationDirectory] = None,
     tracer=None,
     engine: str = "scalar",
+    metrics=None,
 ) -> CountryStudyResult:
     """Join dataset + geolocation + identification into analysis records.
 
@@ -119,7 +120,9 @@ def build_country_result(
     """
     directory = directory or identifier.directory
     if engine == "columnar" and _np is not None:
-        return _join_columnar(dataset, geolocation, identifier, directory, tracer)
+        return _join_columnar(
+            dataset, geolocation, identifier, directory, tracer, metrics
+        )
     result = CountryStudyResult(
         country_code=dataset.country_code, dataset=dataset, geolocation=geolocation
     )
@@ -147,6 +150,7 @@ def build_country_result(
             verdict = identifier.classify(
                 host, dataset.country_code,
                 tracer=tracer if host not in verdicts else None,
+                metrics=metrics,
             )
             verdicts[host] = verdict
             if not verdict.is_tracker:
@@ -177,6 +181,7 @@ def _join_columnar(
     identifier: TrackerIdentifier,
     directory: Optional[OrganizationDirectory],
     tracer,
+    metrics=None,
 ) -> CountryStudyResult:
     """Vectorised join: per-unique-host classification + masked gather."""
     country_code = dataset.country_code
@@ -214,7 +219,7 @@ def _join_columnar(
             continue
         # First-sight attribution events match the scalar loop because
         # unique codes were assigned in first-sight order above.
-        verdict = identifier.classify(host, country_code, tracer=tracer)
+        verdict = identifier.classify(host, country_code, tracer=tracer, metrics=metrics)
         verdicts[host] = verdict
         if not verdict.is_tracker:
             continue

@@ -57,6 +57,7 @@ from repro.core.geoloc.verdicts import (
 from repro.geodb.ipmap import IPMapService
 from repro.netsim.geography import City
 from repro.netsim.latency import LatencyModel
+from repro.obs.metrics import MS_BUCKETS
 
 __all__ = [
     "GEOLOC_ENGINES",
@@ -174,6 +175,7 @@ class GeolocationPipeline:
         dataset: VolunteerDataset,
         source_traces: SourceTraces,
         tracer=None,
+        metrics=None,
     ) -> DatasetGeolocation:
         """Classify every contacted host; funnel-account the verdicts.
 
@@ -184,6 +186,13 @@ class GeolocationPipeline:
         section-5 funnel auditable from the run journal.  Accounting and
         emission run below whichever engine produced the verdicts, so
         the event contract is engine-invariant.
+
+        With a :class:`repro.obs.MetricsRegistry` the same loop counts
+        verdict statuses, constraint outcomes and evidence latencies
+        into labeled series.  These are **study** metrics (deterministic
+        functions of the scenario, like the events): the engine
+        invariance contract makes them identical under either engine,
+        and the simulated network makes the latency histograms exact.
         """
         result = DatasetGeolocation(country_code=dataset.country_code)
         rdns_records: Dict[str, Optional[str]] = {}
@@ -210,6 +219,29 @@ class GeolocationPipeline:
             result.verdicts[address] = verdict
             weight = sum(observation_counts.get(host, 1) for host in verdict.hosts)
             self._account(verdict, weight, result.funnel)
+            if metrics is not None:
+                metrics.counter(
+                    "geoloc_verdicts_total", {"status": verdict.status},
+                    help="server verdicts by final status",
+                ).inc()
+                if verdict.discarded_by:
+                    metrics.counter(
+                        "geoloc_discards_total", {"constraint": verdict.discarded_by},
+                        help="servers discarded, by the constraint that fired",
+                    ).inc()
+                for check in verdict.checks:
+                    metrics.counter(
+                        "geoloc_constraint_checks_total",
+                        {"constraint": check.constraint, "status": check.status},
+                        help="constraint evaluations by outcome",
+                    ).inc()
+                    observed = round_evidence_ms(check.observed_ms)
+                    if observed is not None:
+                        metrics.histogram(
+                            "geoloc_evidence_ms", {"constraint": check.constraint},
+                            buckets=MS_BUCKETS, unit="ms",
+                            help="constraint evidence latencies (simulated, deterministic)",
+                        ).observe(observed)
             if tracer is not None:
                 tracer.event(
                     "geoloc_decision",
@@ -231,22 +263,33 @@ class GeolocationPipeline:
                         for check in verdict.checks
                     ],
                 )
+        funnel = result.funnel
+        funnel_stages = {
+            "total_hosts": funnel.total_hosts,
+            "unlocated": funnel.unlocated,
+            "local": funnel.local,
+            "nonlocal_candidates": funnel.nonlocal_candidates,
+            "discarded_source": funnel.discarded_source,
+            "discarded_destination": funnel.discarded_destination,
+            "discarded_rdns": funnel.discarded_rdns,
+            "verified_nonlocal": funnel.verified_nonlocal,
+            "destination_traceroutes": funnel.destination_traceroutes,
+        }
+        if metrics is not None:
+            metrics.counter(
+                "geoloc_countries_total", {"engine": self.engine_name},
+                help="datasets classified, by constraint engine",
+            ).inc()
+            for stage, count in funnel_stages.items():
+                metrics.counter(
+                    "geoloc_funnel_total", {"stage": stage},
+                    help="section-5 funnel, host observations per stage",
+                ).inc(count)
         if tracer is not None:
-            funnel = result.funnel
             tracer.event(
                 "country_funnel",
                 country=dataset.country_code,
-                funnel={
-                    "total_hosts": funnel.total_hosts,
-                    "unlocated": funnel.unlocated,
-                    "local": funnel.local,
-                    "nonlocal_candidates": funnel.nonlocal_candidates,
-                    "discarded_source": funnel.discarded_source,
-                    "discarded_destination": funnel.discarded_destination,
-                    "discarded_rdns": funnel.discarded_rdns,
-                    "verified_nonlocal": funnel.verified_nonlocal,
-                    "destination_traceroutes": funnel.destination_traceroutes,
-                },
+                funnel=funnel_stages,
             )
         return result
 

@@ -94,6 +94,7 @@ class TrackerIdentifier:
         host: str,
         country_code: Optional[str] = None,
         tracer=None,
+        metrics=None,
     ) -> TrackerVerdict:
         """Classify one requested host observed in *country_code* (memoised).
 
@@ -102,14 +103,42 @@ class TrackerIdentifier:
         directory entry) that flagged it.  The verdict — and hence the
         event — is identical whether it came from the cache or a fresh
         classification, so journals stay backend-independent.
+
+        With a :class:`repro.obs.MetricsRegistry`, lookups are counted
+        by outcome (``memoised`` vs ``fresh``) and fresh classifications
+        count one filter-index consultation.  Both series are
+        **runtime** class: how many lookups the memo absorbs depends on
+        cache state and scheduling, and the join engine controls how
+        often repeats reach this method at all — only the verdicts
+        themselves are deterministic.
         """
         host = validate_hostname(host)
         # Regional lists are the only country-dependent layer, so countries
         # without one share a single country-independent cache entry.
         key_country = country_code if country_code in self._regional else None
-        verdict = self._cache.get(
-            (host, key_country), lambda: self.classify_uncached(host, country_code)
-        )
+        if metrics is None:
+            verdict = self._cache.get(
+                (host, key_country), lambda: self.classify_uncached(host, country_code)
+            )
+        else:
+            computed = []
+
+            def _compute() -> TrackerVerdict:
+                computed.append(True)
+                metrics.counter(
+                    "tracker_index_lookups_total",
+                    help="filter-index consultations (uncached classifications)",
+                    runtime=True,
+                ).inc()
+                return self.classify_uncached(host, country_code)
+
+            verdict = self._cache.get((host, key_country), _compute)
+            metrics.counter(
+                "tracker_verdict_lookups_total",
+                {"outcome": "fresh" if computed else "memoised"},
+                help="verdict-cache lookups by outcome",
+                runtime=True,
+            ).inc()
         if tracer is not None and verdict.is_tracker:
             tracer.event(
                 "tracker_match",

@@ -3,7 +3,10 @@
 All backends satisfy one contract: ``map_countries(worker, countries)``
 returns the worker's results **in input country order**, regardless of
 completion order — merging is therefore byte-identical across backends
-and worker counts.  A worker failure raises
+and worker counts.  An optional ``on_result`` callback observes results
+in *completion* order (live progress reporting); it runs outside the
+result path, its exceptions are swallowed, and nothing downstream may
+depend on its ordering.  A worker failure raises
 :class:`CountryExecutionError` naming the earliest (in input order)
 failing country; remaining work is cancelled and the pool is always
 shut down, so a faulting study can neither deadlock nor leak workers.
@@ -62,9 +65,37 @@ class StudyExecutor:
     jobs = 1
 
     def map_countries(
-        self, worker: Callable[[str], T], countries: Sequence[str]
+        self,
+        worker: Callable[[str], T],
+        countries: Sequence[str],
+        on_result: Optional[Callable[[str, T], None]] = None,
     ) -> List[T]:
         raise NotImplementedError
+
+
+def _notify(
+    on_result: Optional[Callable[[str, T], None]], country_code: str, result: T
+) -> None:
+    """Invoke a completion callback; a broken observer never fails the study."""
+    if on_result is None:
+        return
+    try:
+        on_result(country_code, result)
+    except Exception:  # pragma: no cover - observer bugs must stay silent
+        pass
+
+
+def _done_notifier(
+    on_result: Callable[[str, T], None], country_code: str
+) -> Callable[["concurrent.futures.Future"], None]:
+    """add_done_callback adapter: fires on success only, in completion order."""
+
+    def _callback(future: "concurrent.futures.Future") -> None:
+        if future.cancelled() or future.exception() is not None:
+            return
+        _notify(on_result, country_code, future.result())
+
+    return _callback
 
 
 class SerialStudyExecutor(StudyExecutor):
@@ -74,14 +105,19 @@ class SerialStudyExecutor(StudyExecutor):
     jobs = 1
 
     def map_countries(
-        self, worker: Callable[[str], T], countries: Sequence[str]
+        self,
+        worker: Callable[[str], T],
+        countries: Sequence[str],
+        on_result: Optional[Callable[[str, T], None]] = None,
     ) -> List[T]:
         results: List[T] = []
         for country_code in countries:
             try:
-                results.append(worker(country_code))
+                result = worker(country_code)
             except Exception as error:
                 raise CountryExecutionError(country_code, error) from error
+            _notify(on_result, country_code, result)
+            results.append(result)
         return results
 
 
@@ -140,12 +176,20 @@ class ThreadPoolStudyExecutor(StudyExecutor):
         self.jobs = jobs
 
     def map_countries(
-        self, worker: Callable[[str], T], countries: Sequence[str]
+        self,
+        worker: Callable[[str], T],
+        countries: Sequence[str],
+        on_result: Optional[Callable[[str, T], None]] = None,
     ) -> List[T]:
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=self.jobs, thread_name_prefix="study"
         ) as pool:
-            futures = {cc: pool.submit(worker, cc) for cc in countries}
+            futures = {}
+            for cc in countries:
+                future = pool.submit(worker, cc)
+                if on_result is not None:
+                    future.add_done_callback(_done_notifier(on_result, cc))
+                futures[cc] = future
             return _collect_in_order(pool, futures, countries)
 
 
@@ -180,7 +224,10 @@ class ProcessPoolStudyExecutor(StudyExecutor):
         self.start_method = start_method
 
     def map_countries(
-        self, worker: Callable[[str], T], countries: Sequence[str]
+        self,
+        worker: Callable[[str], T],
+        countries: Sequence[str],
+        on_result: Optional[Callable[[str, T], None]] = None,
     ) -> List[T]:
         context = multiprocessing.get_context(self.start_method)
         with concurrent.futures.ProcessPoolExecutor(
@@ -189,9 +236,12 @@ class ProcessPoolStudyExecutor(StudyExecutor):
             initializer=_install_process_worker,
             initargs=(worker,),
         ) as pool:
-            futures = {
-                cc: pool.submit(_invoke_process_worker, cc) for cc in countries
-            }
+            futures = {}
+            for cc in countries:
+                future = pool.submit(_invoke_process_worker, cc)
+                if on_result is not None:
+                    future.add_done_callback(_done_notifier(on_result, cc))
+                futures[cc] = future
             return _collect_in_order(pool, futures, countries)
 
 

@@ -73,7 +73,11 @@ __all__ = [
 TRANSPORTS = ("pickle", "columnar")
 
 _MAGIC = b"CRUN"
-_VERSION = 1
+#: Version 2 appended the extras section (metrics delta + resource
+#: profile, PR 8); version-1 payloads (pre-telemetry checkpoints) still
+#: decode, with the new fields defaulting to ``None``.
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _FLAG_ZLIB = 0x01
 #: Bodies below this stay uncompressed (zlib overhead beats the gain).
 _COMPRESS_MIN_BYTES = 4096
@@ -349,10 +353,14 @@ class _Encoder:
         ]
 
         events = run.events
+        extras = None
+        if run.metrics_delta is not None or run.resources is not None:
+            extras = (run.metrics_delta, run.resources)
         run_cols = [
             sid(run.country_code), run_ds, run_geo,
             sid(run.source_trace_origin), sid(run.geoloc_engine),
             0 if events is None else 1,
+            0 if extras is None else 1,
         ]
 
         # String table and all columns are complete: render in schema
@@ -375,6 +383,7 @@ class _Encoder:
         writer.ints(cache_name_ids)
         writer.ints(cache_ints)
         writer.blob(b"" if events is None else pickle.dumps(events))
+        writer.blob(b"" if extras is None else pickle.dumps(extras))
         return writer.render()
 
     def _trace_columns(self):
@@ -609,8 +618,9 @@ def _decode_graph(payload: bytes):
 
     if payload[:4] != _MAGIC:
         raise TransportDecodeError("bad magic: not a columnar CountryRun")
-    if payload[4] != _VERSION:
-        raise TransportDecodeError(f"unsupported version {payload[4]}")
+    version = payload[4]
+    if version not in _SUPPORTED_VERSIONS:
+        raise TransportDecodeError(f"unsupported version {version}")
     body = payload[6:]
     if payload[5] & _FLAG_ZLIB:
         try:
@@ -854,6 +864,12 @@ def _decode_graph(payload: bytes):
     events_blob = reader.blob()
     events = None if run_cols[5] == 0 else pickle.loads(events_blob)
 
+    metrics_delta = resources = None
+    if version >= 2:
+        extras_blob = reader.blob()
+        if run_cols[6]:
+            metrics_delta, resources = pickle.loads(extras_blob)
+
     return CountryRun(
         country_code=s(run_cols[0]),
         dataset=datasets[run_cols[1]],
@@ -864,6 +880,8 @@ def _decode_graph(payload: bytes):
         geoloc_engine=s(run_cols[4]) or "",
         cache_deltas=cache_deltas,
         events=events,
+        metrics_delta=metrics_delta,
+        resources=resources,
     )
 
 
@@ -905,11 +923,15 @@ class EncodedCountryRun:
     encode_seconds: float
     payload: Optional[bytes] = None
     shm_name: Optional[str] = None
+    #: Site-visit count carried outside the payload so live progress can
+    #: report sites/sec without decoding (``load()`` is single-use and
+    #: belongs to the merge path, not to observers).
+    sites: int = 0
 
     @classmethod
     def ship(
         cls, country_code: str, payload: bytes, encode_seconds: float,
-        shm_threshold: int = 0,
+        shm_threshold: int = 0, sites: int = 0,
     ) -> "EncodedCountryRun":
         """Wrap an encoded payload, spilling to shared memory when big."""
         nbytes = len(payload)
@@ -925,8 +947,10 @@ class EncodedCountryRun:
                 name = segment.name
                 segment.close()
                 _unregister_shm(name)
-                return cls(country_code, nbytes, encode_seconds, shm_name=name)
-        return cls(country_code, nbytes, encode_seconds, payload=payload)
+                return cls(
+                    country_code, nbytes, encode_seconds, shm_name=name, sites=sites
+                )
+        return cls(country_code, nbytes, encode_seconds, payload=payload, sites=sites)
 
     def _take(self) -> bytes:
         if self.shm_name is not None:
@@ -989,5 +1013,6 @@ class TransportWorker:
         payload = encode_run(result)
         encode_seconds = time.perf_counter() - started
         return EncodedCountryRun.ship(
-            result.country_code, payload, encode_seconds, self._shm_threshold
+            result.country_code, payload, encode_seconds, self._shm_threshold,
+            sites=len(result.dataset.websites),
         )

@@ -28,22 +28,47 @@ from repro.obs.journal import (
     RunJournal,
     strip_timings,
 )
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    merge_snapshots,
+    strip_runtime,
+    to_prometheus,
+    validate_exposition,
+)
+from repro.obs.profiling import ResourceProfiler, maybe_phase
+from repro.obs.progress import ProgressReporter
 from repro.obs.render import funnel_from_journal, render_faults, render_journal
 from repro.obs.schema import validate_journal, validate_record
 from repro.obs.tracer import Tracer, maybe_span
 
 __all__ = [
+    "Counter",
     "DIAGNOSTIC_EVENTS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressReporter",
     "RUN_ENV_FIELDS",
+    "ResourceProfiler",
     "RunJournal",
     "SCHEMA_VERSION",
     "TIMING_FIELDS",
     "Tracer",
+    "exponential_buckets",
     "funnel_from_journal",
+    "maybe_phase",
     "maybe_span",
+    "merge_snapshots",
     "render_faults",
     "render_journal",
+    "strip_runtime",
     "strip_timings",
+    "to_prometheus",
+    "validate_exposition",
     "validate_journal",
     "validate_record",
 ]

@@ -55,7 +55,18 @@ RUN_ENV_FIELDS = frozenset({"backend", "jobs", "wall_seconds", "resumed", "faile
 #: that leave the artefacts untouched — so the strip operation removes
 #: the whole record.  ``country_failed`` is *not* here: a country that
 #: stayed down changes what the run produced, so it survives stripping.
-DIAGNOSTIC_EVENTS = frozenset({"country_caches", "country_retry", "country_resumed"})
+DIAGNOSTIC_EVENTS = frozenset(
+    {
+        "country_caches",
+        "country_retry",
+        "country_resumed",
+        # live progress and resource profiling (PR 8): completion order,
+        # rates, CPU seconds, and RSS all describe the execution, never
+        # the study — see docs/observability.md "Metrics".
+        "progress",
+        "country_resources",
+    }
+)
 
 
 def strip_timings(records: Iterable[dict]) -> List[dict]:

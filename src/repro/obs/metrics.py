@@ -1,0 +1,901 @@
+"""Labeled runtime metrics: registry, exact delta merge, snapshots.
+
+This module generalizes the worker-side *delta* pattern used for cache
+accounting since PR 1: every worker records into a **fresh**
+:class:`MetricsRegistry` local to its country, ships the registry's
+:meth:`~MetricsRegistry.snapshot` back on the ``CountryRun``, and the
+coordinator folds the snapshots together in **input country order** via
+:meth:`~MetricsRegistry.merge_snapshot`.  Because each delta is private
+to one country, nothing interleaves under the thread backend, and
+because the merge order is fixed, float accumulation is reproducible —
+the merged totals are *byte-identical* across the serial, thread, and
+process backends and across both result transports.
+
+Two classes of series coexist in one registry:
+
+* **study metrics** (``runtime=False``, the default) are deterministic
+  functions of the study inputs — verdict statuses, funnel stages,
+  constraint outcomes, tracker attributions, simulated evidence
+  latencies.  These must match exactly between equivalent runs and are
+  what ``gamma metrics diff`` compares strictly.
+* **runtime metrics** (``runtime=True``) measure *how* the run was
+  obtained — wall/CPU seconds, cache hits, transport bytes.  They vary
+  with scheduling and are excluded from determinism contracts
+  (:func:`strip_runtime`) and compared only with thresholds.
+
+Everything here is dependency-free stdlib so that workers can pickle
+registries and snapshots across the process-pool boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "BASELINE_SCHEMA_VERSION",
+    "SECONDS_BUCKETS",
+    "MS_BUCKETS",
+    "BYTES_BUCKETS",
+    "exponential_buckets",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "strip_runtime",
+    "validate_metrics_snapshot",
+    "to_prometheus",
+    "validate_exposition",
+    "build_study_snapshot",
+    "validate_study_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "diff_snapshots",
+    "DiffFinding",
+    "derive_baseline",
+    "check_baseline",
+    "CheckFinding",
+]
+
+METRICS_SCHEMA_VERSION = 1
+SNAPSHOT_SCHEMA_VERSION = 1
+BASELINE_SCHEMA_VERSION = 1
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` upper bounds growing geometrically from ``start``.
+
+    Bounds are rounded to 9 significant decimals so the same call always
+    produces the same floats regardless of platform printf quirks.
+    """
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ValueError("exponential_buckets requires start>0, factor>1, count>=1")
+    bounds = []
+    value = float(start)
+    for _ in range(count):
+        bounds.append(float(f"{value:.9g}"))
+        value *= factor
+    return tuple(bounds)
+
+
+#: Default bucket ladders.  Fixed (never derived from observed data) so
+#: histograms from different runs always merge and diff cleanly.
+SECONDS_BUCKETS = exponential_buckets(0.001, 2.0, 18)  # 1ms .. ~131s
+MS_BUCKETS = exponential_buckets(1.0, 2.0, 14)  # 1ms .. ~8.2s
+BYTES_BUCKETS = exponential_buckets(1024.0, 4.0, 10)  # 1KiB .. 1GiB
+
+
+def _label_key(labels: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotone accumulator.  Stays ``int`` while fed ints."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value = self.value + amount
+
+    def reset_to(self, value: float) -> None:
+        """Overwrite semantics for absolute re-recording (coordinator caches)."""
+        self.value = value
+
+
+class Gauge:
+    """Point-in-time value.  Merges by ``max`` (peak semantics)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value = self.value + amount
+
+
+class Histogram:
+    """Fixed-bound histogram with per-bucket counts, sum and count.
+
+    ``bounds`` are *upper* bucket edges; ``counts`` has one extra slot
+    for the implicit ``+Inf`` bucket.  Counts are non-cumulative in
+    memory and in snapshots; the Prometheus writer cumulates on export.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += float(value)
+        self.count += 1
+
+
+class _Family:
+    __slots__ = ("name", "type", "help", "unit", "runtime", "buckets", "series")
+
+    def __init__(
+        self,
+        name: str,
+        type_: str,
+        help_: str,
+        unit: str,
+        runtime: bool,
+        buckets: Optional[Tuple[float, ...]],
+    ) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.unit = unit
+        self.runtime = runtime
+        self.buckets = buckets
+        self.series: Dict[Tuple[Tuple[str, str], ...], Any] = {}
+
+
+class MetricsRegistry:
+    """A process-local collection of labeled metric families.
+
+    Not thread-safe by design: the intended usage gives every unit of
+    concurrent work (a country, the coordinator) its **own** registry,
+    which is what makes merged totals deterministic in the first place.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # -- registration -------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        type_: str,
+        help_: str,
+        unit: str,
+        runtime: bool,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name: {name!r}")
+            family = _Family(
+                name, type_, help_, unit, runtime,
+                tuple(float(b) for b in buckets) if buckets else None,
+            )
+            self._families[name] = family
+        elif family.type != type_:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.type}, not {type_}"
+            )
+        return family
+
+    def _series(self, family: _Family, labels: Optional[Mapping[str, Any]], factory: Callable[[], Any]) -> Any:
+        key = _label_key(labels)
+        metric = family.series.get(key)
+        if metric is None:
+            for label_name, _ in key:
+                if not _LABEL_RE.match(label_name):
+                    raise ValueError(f"invalid label name: {label_name!r}")
+            metric = factory()
+            family.series[key] = metric
+        return metric
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help: str = "",
+        unit: str = "",
+        runtime: bool = False,
+    ) -> Counter:
+        family = self._family(name, "counter", help, unit, runtime)
+        return self._series(family, labels, Counter)
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        help: str = "",
+        unit: str = "",
+        runtime: bool = False,
+    ) -> Gauge:
+        family = self._family(name, "gauge", help, unit, runtime)
+        return self._series(family, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        buckets: Sequence[float] = SECONDS_BUCKETS,
+        help: str = "",
+        unit: str = "",
+        runtime: bool = False,
+    ) -> Histogram:
+        family = self._family(name, "histogram", help, unit, runtime, buckets)
+        if tuple(float(b) for b in buckets) != family.buckets:
+            raise ValueError(f"histogram {name!r} re-registered with different buckets")
+        return self._series(family, labels, lambda: Histogram(family.buckets))
+
+    # -- introspection ------------------------------------------------
+    def families(self) -> Iterator[str]:
+        return iter(self._families)
+
+    def series(self, name: str) -> Iterator[Tuple[Dict[str, str], Any]]:
+        """Yield ``(labels, metric)`` pairs in first-registration order."""
+        family = self._families.get(name)
+        if family is None:
+            return iter(())
+        return ((dict(key), metric) for key, metric in family.series.items())
+
+    def value(self, name: str, labels: Optional[Mapping[str, Any]] = None) -> Any:
+        """Convenience read: scalar value, or ``None`` when unregistered."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        metric = family.series.get(_label_key(labels))
+        if metric is None:
+            return None
+        if isinstance(metric, Histogram):
+            return metric.sum
+        return metric.value
+
+    # -- snapshot / merge ---------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data, JSON-safe, deterministically ordered export."""
+        families: Dict[str, Any] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            entry: Dict[str, Any] = {"type": family.type}
+            if family.help:
+                entry["help"] = family.help
+            if family.unit:
+                entry["unit"] = family.unit
+            if family.runtime:
+                entry["runtime"] = True
+            if family.type == "histogram":
+                entry["buckets"] = list(family.buckets or ())
+            series_out: List[Dict[str, Any]] = []
+            for key in sorted(family.series):
+                metric = family.series[key]
+                record: Dict[str, Any] = {}
+                if key:
+                    record["labels"] = dict(key)
+                if isinstance(metric, Histogram):
+                    record["counts"] = list(metric.counts)
+                    record["sum"] = metric.sum
+                    record["count"] = metric.count
+                else:
+                    record["value"] = metric.value
+                series_out.append(record)
+            entry["series"] = series_out
+            families[name] = entry
+        return {"schema": METRICS_SCHEMA_VERSION, "families": families}
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot in: counters add, gauges max, histograms add.
+
+        Addition order is fixed — families in sorted-name order, series
+        in sorted-label order — so merging the same snapshots in the
+        same sequence always lands on bit-identical floats.
+        """
+        families = snapshot.get("families", {})
+        for name in sorted(families):
+            entry = families[name]
+            type_ = entry["type"]
+            help_ = entry.get("help", "")
+            unit = entry.get("unit", "")
+            runtime = bool(entry.get("runtime", False))
+            buckets = entry.get("buckets")
+            for record in entry["series"]:
+                labels = record.get("labels")
+                if type_ == "counter":
+                    self.counter(name, labels, help=help_, unit=unit, runtime=runtime).inc(
+                        record["value"]
+                    )
+                elif type_ == "gauge":
+                    gauge = self.gauge(name, labels, help=help_, unit=unit, runtime=runtime)
+                    gauge.set(max(gauge.value, record["value"]))
+                elif type_ == "histogram":
+                    histogram = self.histogram(
+                        name, labels, buckets=buckets, help=help_, unit=unit, runtime=runtime
+                    )
+                    counts = record["counts"]
+                    if len(counts) != len(histogram.counts):
+                        raise ValueError(f"histogram {name!r} bucket count mismatch")
+                    for i, c in enumerate(counts):
+                        histogram.counts[i] += c
+                    histogram.sum += record["sum"]
+                    histogram.count += record["count"]
+                else:  # pragma: no cover - schema guards upstream
+                    raise ValueError(f"unknown metric type {type_!r}")
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Merge many snapshots (in the given order) into one."""
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot:
+            registry.merge_snapshot(snapshot)
+    return registry.snapshot()
+
+
+def strip_runtime(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """Deterministic core of a metrics snapshot: runtime families removed.
+
+    This is the metrics analogue of :func:`repro.obs.strip_timings` —
+    what remains must be byte-identical across backends, jobs counts,
+    transports, and retry histories of the same study.
+    """
+    families = {
+        name: entry
+        for name, entry in snapshot.get("families", {}).items()
+        if not entry.get("runtime", False)
+    }
+    return {"schema": snapshot.get("schema", METRICS_SCHEMA_VERSION), "families": families}
+
+
+# ---------------------------------------------------------------------------
+# Validation
+
+
+def validate_metrics_snapshot(snapshot: Mapping[str, Any]) -> List[str]:
+    """Structural checks on a registry snapshot; returns problem strings."""
+    problems: List[str] = []
+    if not isinstance(snapshot, Mapping):
+        return ["snapshot is not an object"]
+    if snapshot.get("schema") != METRICS_SCHEMA_VERSION:
+        problems.append(f"schema must be {METRICS_SCHEMA_VERSION}")
+    families = snapshot.get("families")
+    if not isinstance(families, Mapping):
+        return problems + ["families must be an object"]
+    for name, entry in families.items():
+        where = f"family {name!r}"
+        if not _NAME_RE.match(str(name)):
+            problems.append(f"{where}: invalid metric name")
+        type_ = entry.get("type")
+        if type_ not in ("counter", "gauge", "histogram"):
+            problems.append(f"{where}: bad type {type_!r}")
+            continue
+        if type_ == "histogram":
+            buckets = entry.get("buckets")
+            if not isinstance(buckets, list) or sorted(set(buckets)) != buckets:
+                problems.append(f"{where}: buckets must be strictly increasing")
+                continue
+        series = entry.get("series")
+        if not isinstance(series, list):
+            problems.append(f"{where}: series must be a list")
+            continue
+        seen = set()
+        for record in series:
+            labels = record.get("labels", {})
+            if not all(_LABEL_RE.match(str(k)) for k in labels):
+                problems.append(f"{where}: invalid label name in {labels!r}")
+            key = _label_key(labels)
+            if key in seen:
+                problems.append(f"{where}: duplicate series {labels!r}")
+            seen.add(key)
+            if type_ == "histogram":
+                counts = record.get("counts")
+                if not isinstance(counts, list) or len(counts) != len(entry["buckets"]) + 1:
+                    problems.append(f"{where}: counts length != buckets+1")
+                elif record.get("count") != sum(counts):
+                    problems.append(f"{where}: count != sum(counts)")
+                if not isinstance(record.get("sum"), (int, float)):
+                    problems.append(f"{where}: histogram sum must be numeric")
+            else:
+                if not isinstance(record.get("value"), (int, float)):
+                    problems.append(f"{where}: value must be numeric")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):  # pragma: no cover - never produced here
+        return "NaN"
+    return repr(float(value))
+
+
+def _label_string(labels: Mapping[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(k, str(v)) for k, v in labels.items()]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a registry snapshot as Prometheus text exposition format.
+
+    Histograms export cumulative ``_bucket`` samples with ``le`` labels
+    plus ``_sum`` / ``_count``, exactly as the scrape format specifies.
+    """
+    lines: List[str] = []
+    families = snapshot.get("families", {})
+    for name in sorted(families):
+        entry = families[name]
+        type_ = entry["type"]
+        help_ = entry.get("help", "")
+        if help_:
+            lines.append(f"# HELP {name} {_escape_help(help_)}")
+        lines.append(f"# TYPE {name} {type_}")
+        for record in entry["series"]:
+            labels = record.get("labels", {})
+            if type_ == "histogram":
+                bounds = entry["buckets"]
+                cumulative = 0
+                for bound, count in zip(bounds, record["counts"]):
+                    cumulative += count
+                    label_str = _label_string(labels, ("le", _format_value(float(bound))))
+                    lines.append(f"{name}_bucket{label_str} {_format_value(cumulative)}")
+                cumulative += record["counts"][-1]
+                label_str = _label_string(labels, ("le", "+Inf"))
+                lines.append(f"{name}_bucket{label_str} {_format_value(cumulative)}")
+                lines.append(f"{name}_sum{_label_string(labels)} {_format_value(record['sum'])}")
+                lines.append(f"{name}_count{_label_string(labels)} {_format_value(record['count'])}")
+            else:
+                lines.append(f"{name}{_label_string(labels)} {_format_value(record['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+    r"(?: [-+]?[0-9]+)?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Line-level validation of Prometheus text format; returns problems."""
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    seen_samples = set()
+    if text and not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: malformed comment {line!r}")
+            elif parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    problems.append(f"line {lineno}: bad TYPE line {line!r}")
+                else:
+                    typed[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparsable sample {line!r}")
+            continue
+        name = match.group("name")
+        label_body = match.group("labels") or ""
+        if label_body:
+            inner = label_body[1:-1].rstrip(",")
+            if inner:
+                consumed = ",".join(
+                    f'{k}="{v}"' for k, v in _LABEL_PAIR_RE.findall(inner)
+                )
+                if consumed != inner:
+                    problems.append(f"line {lineno}: malformed labels {label_body!r}")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base not in typed and name not in typed:
+            problems.append(f"line {lineno}: sample {name!r} precedes its # TYPE line")
+        sample_key = (name, label_body)
+        if sample_key in seen_samples:
+            problems.append(f"line {lineno}: duplicate sample {name}{label_body}")
+        seen_samples.add(sample_key)
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Study snapshots (metrics.json)
+
+
+def build_study_snapshot(
+    meta: Mapping[str, Any],
+    exec_metrics: Mapping[str, Any],
+    metrics: Mapping[str, Any],
+    resources: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the persistent ``metrics.json`` document for one run."""
+    snapshot: Dict[str, Any] = {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "kind": "gamma-metrics",
+        "meta": dict(meta),
+        "exec": dict(exec_metrics),
+        "metrics": dict(metrics),
+    }
+    if resources:
+        snapshot["resources"] = dict(resources)
+    return snapshot
+
+
+def validate_study_snapshot(snapshot: Mapping[str, Any]) -> List[str]:
+    """Validate a ``metrics.json`` document; returns problem strings."""
+    problems: List[str] = []
+    if not isinstance(snapshot, Mapping):
+        return ["snapshot is not an object"]
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+        problems.append(f"schema must be {SNAPSHOT_SCHEMA_VERSION}")
+    if snapshot.get("kind") != "gamma-metrics":
+        problems.append("kind must be 'gamma-metrics'")
+    for section in ("meta", "exec", "metrics"):
+        if not isinstance(snapshot.get(section), Mapping):
+            problems.append(f"missing or non-object section {section!r}")
+    if isinstance(snapshot.get("metrics"), Mapping):
+        problems.extend(validate_metrics_snapshot(snapshot["metrics"]))
+    resources = snapshot.get("resources")
+    if resources is not None and not isinstance(resources, Mapping):
+        problems.append("resources must be an object when present")
+    return problems
+
+
+def write_snapshot(path, snapshot: Mapping[str, Any]) -> None:
+    """Write a snapshot: ``.prom`` suffix → exposition, else JSON."""
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".prom":
+        path.write_text(to_prometheus(snapshot.get("metrics", snapshot)), encoding="utf-8")
+    else:
+        path.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+
+def load_snapshot(path) -> Dict[str, Any]:
+    from pathlib import Path
+
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Run-over-run diff
+
+
+class DiffFinding:
+    """One diff line with a severity verdict."""
+
+    __slots__ = ("severity", "metric", "labels", "detail")
+
+    def __init__(self, severity: str, metric: str, labels: Mapping[str, str], detail: str) -> None:
+        self.severity = severity  # "regression" | "drift" | "change" | "improvement" | "info"
+        self.metric = metric
+        self.labels = dict(labels)
+        self.detail = detail
+
+    def render(self) -> str:
+        label_str = _label_string(self.labels)
+        return f"[{self.severity:<11}] {self.metric}{label_str}: {self.detail}"
+
+
+def _series_values(entry: Mapping[str, Any]) -> Dict[Tuple[Tuple[str, str], ...], Any]:
+    out = {}
+    for record in entry.get("series", []):
+        key = _label_key(record.get("labels"))
+        if entry.get("type") == "histogram":
+            out[key] = (record.get("sum", 0.0), record.get("count", 0), tuple(record.get("counts", ())))
+        else:
+            out[key] = record.get("value", 0)
+    return out
+
+
+def _metric_families(snapshot: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Accept either a bare registry snapshot or a full study snapshot."""
+    if "families" in snapshot:
+        return snapshot["families"]
+    metrics = snapshot.get("metrics", {})
+    return metrics.get("families", {})
+
+
+def diff_snapshots(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    threshold: float = 0.25,
+    include_runtime: bool = False,
+) -> List[DiffFinding]:
+    """Compare two snapshots of (nominally) the same study.
+
+    Deterministic (study) families must match **exactly** — any
+    difference is a ``drift`` regression, because the study itself
+    changed.  Runtime families are only compared when
+    ``include_runtime`` is set, using ``threshold`` as the relative
+    tolerance: increases beyond it are ``regression``, decreases beyond
+    it ``improvement``, anything inside it ``info``.
+    """
+    findings: List[DiffFinding] = []
+    old_families = _metric_families(old)
+    new_families = _metric_families(new)
+    for name in sorted(set(old_families) | set(new_families)):
+        old_entry = old_families.get(name)
+        new_entry = new_families.get(name)
+        runtime = bool((new_entry or old_entry or {}).get("runtime", False))
+        if runtime and not include_runtime:
+            continue
+        if old_entry is None or new_entry is None:
+            severity = "change" if runtime else "drift"
+            side = "baseline" if old_entry is None else "new run"
+            findings.append(DiffFinding(severity, name, {}, f"family missing from {side}"))
+            continue
+        old_series = _series_values(old_entry)
+        new_series = _series_values(new_entry)
+        for key in sorted(set(old_series) | set(new_series)):
+            labels = dict(key)
+            old_value = old_series.get(key)
+            new_value = new_series.get(key)
+            if not runtime:
+                if old_value != new_value:
+                    findings.append(
+                        DiffFinding("drift", name, labels, f"{old_value!r} -> {new_value!r}")
+                    )
+                continue
+            old_scalar = old_value[0] if isinstance(old_value, tuple) else old_value
+            new_scalar = new_value[0] if isinstance(new_value, tuple) else new_value
+            if old_scalar is None or new_scalar is None:
+                findings.append(DiffFinding("change", name, labels, "series appeared/vanished"))
+                continue
+            if old_scalar == new_scalar:
+                continue
+            base = abs(old_scalar) if old_scalar else 1.0
+            relative = (new_scalar - old_scalar) / base
+            detail = f"{old_scalar:g} -> {new_scalar:g} ({relative:+.1%})"
+            if relative > threshold:
+                findings.append(DiffFinding("regression", name, labels, detail))
+            elif relative < -threshold:
+                findings.append(DiffFinding("improvement", name, labels, detail))
+            else:
+                findings.append(DiffFinding("info", name, labels, detail))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Baselines derived from BENCH_*.json
+
+
+#: Numeric leaves in BENCH files worth guarding run-over-run, with the
+#: direction that counts as a regression.  ``min`` floors guard numbers
+#: that must stay high (speedups, hit rates); nothing currently needs a
+#: ceiling, but the op vocabulary supports it.
+_BENCH_GUARDS = (
+    ("speedup", "min"),
+    ("ratio", "min"),
+    ("ops_per_sec", "min"),
+    ("hit_rate", "min"),
+    ("per_second", "min"),
+)
+
+
+def _numeric_leaves(obj: Any, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    if isinstance(obj, Mapping):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _numeric_leaves(value, path)
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        yield prefix, float(obj)
+
+
+def _guard_for(path: str) -> Optional[str]:
+    leaf = path.rsplit(".", 1)[-1]
+    for suffix, op in _BENCH_GUARDS:
+        if leaf == suffix or leaf.endswith("_" + suffix) or leaf.endswith(suffix):
+            return op
+    return None
+
+
+def derive_baseline(
+    snapshot: Optional[Mapping[str, Any]] = None,
+    bench_files: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    margin: float = 0.5,
+) -> Dict[str, Any]:
+    """Build a baseline document from a reference run + BENCH_*.json files.
+
+    * From the run snapshot: exact-equality checks on every
+      deterministic (study) metric series — the study content contract.
+    * From each BENCH file: ``min`` floors at ``value * (1 - margin)``
+      for every recognised performance leaf (speedups, throughputs, hit
+      rates), so CI can flag a collapse without failing on noise.
+    """
+    checks: List[Dict[str, Any]] = []
+    if snapshot is not None:
+        families = _metric_families(snapshot)
+        for name in sorted(families):
+            entry = families[name]
+            if entry.get("runtime", False) or entry.get("type") == "histogram":
+                continue
+            for record in entry["series"]:
+                check: Dict[str, Any] = {
+                    "metric": name,
+                    "op": "eq",
+                    "value": record["value"],
+                    "source": "snapshot",
+                }
+                if record.get("labels"):
+                    check["labels"] = dict(record["labels"])
+                checks.append(check)
+    for bench_name in sorted(bench_files or {}):
+        payload = bench_files[bench_name]
+        for path, value in sorted(_numeric_leaves(payload)):
+            op = _guard_for(path)
+            if op is None or value <= 0:
+                continue
+            floor = float(f"{value * (1.0 - margin):.6g}")
+            checks.append(
+                {"bench": bench_name, "path": path, "op": "min", "value": floor, "source": bench_name}
+            )
+    return {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "kind": "gamma-metrics-baseline",
+        "margin": margin,
+        "checks": checks,
+    }
+
+
+class CheckFinding:
+    __slots__ = ("ok", "target", "detail")
+
+    def __init__(self, ok: bool, target: str, detail: str) -> None:
+        self.ok = ok
+        self.target = target
+        self.detail = detail
+
+    def render(self) -> str:
+        return f"[{'ok' if self.ok else 'FAIL'}] {self.target}: {self.detail}"
+
+
+def _lookup_path(obj: Any, path: str) -> Optional[float]:
+    # Keys may themselves contain dots (cache names like
+    # "atlas.dest_traces"), so resolve greedily: try the longest key
+    # prefix present at each level before splitting further.
+    if not isinstance(obj, Mapping):
+        return None
+    parts = path.split(".")
+    for take in range(len(parts), 0, -1):
+        key = ".".join(parts[:take])
+        if key not in obj:
+            continue
+        node = obj[key]
+        rest = ".".join(parts[take:])
+        if not rest:
+            if isinstance(node, (int, float)) and not isinstance(node, bool):
+                return float(node)
+            return None
+        found = _lookup_path(node, rest)
+        if found is not None:
+            return found
+    return None
+
+
+def _lookup_metric(snapshot: Mapping[str, Any], name: str, labels: Optional[Mapping[str, Any]]) -> Optional[float]:
+    entry = _metric_families(snapshot).get(name)
+    if entry is None:
+        return None
+    wanted = _label_key(labels)
+    for record in entry.get("series", []):
+        if _label_key(record.get("labels")) == wanted:
+            if entry.get("type") == "histogram":
+                return float(record.get("sum", 0.0))
+            return float(record.get("value", 0))
+    return None
+
+
+def _evaluate(op: str, actual: float, expected: float) -> bool:
+    if op == "min":
+        return actual >= expected
+    if op == "max":
+        return actual <= expected
+    if op == "eq":
+        return actual == expected
+    raise ValueError(f"unknown baseline op {op!r}")
+
+
+def check_baseline(
+    baseline: Mapping[str, Any],
+    snapshot: Optional[Mapping[str, Any]] = None,
+    bench_files: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> List[CheckFinding]:
+    """Evaluate every applicable baseline check against the given targets.
+
+    Checks whose target (run snapshot or a specific BENCH file) was not
+    supplied are skipped silently — CI can check benches and snapshots
+    in separate steps against one committed baseline.
+    """
+    findings: List[CheckFinding] = []
+    for check in baseline.get("checks", []):
+        op = check["op"]
+        expected = check["value"]
+        if "bench" in check:
+            payload = (bench_files or {}).get(check["bench"])
+            if payload is None:
+                continue
+            target = f"{check['bench']}:{check['path']}"
+            actual = _lookup_path(payload, check["path"])
+        elif "metric" in check:
+            if snapshot is None:
+                continue
+            target = check["metric"] + _label_string(check.get("labels", {}))
+            actual = _lookup_metric(snapshot, check["metric"], check.get("labels"))
+        else:
+            if snapshot is None:
+                continue
+            target = check.get("path", "?")
+            actual = _lookup_path(snapshot, check["path"])
+        if actual is None:
+            findings.append(CheckFinding(False, target, "missing from target"))
+            continue
+        ok = _evaluate(op, actual, expected)
+        findings.append(
+            CheckFinding(ok, target, f"{actual:g} {op} {expected:g}")
+        )
+    return findings

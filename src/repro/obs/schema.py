@@ -105,6 +105,23 @@ EVENT_FIELDS: Dict[str, Dict[str, Tuple[tuple, bool]]] = {
     "country_resumed": {
         "country": (_STR, True),
     },
+    # Telemetry diagnostics (docs/observability.md "Metrics"): live
+    # progress samples and per-country resource profiles are emitted in
+    # completion order and stripped with the other diagnostics.
+    "progress": {
+        "country": (_STR, True),
+        "done": (_INT, True),
+        "total": (_INT, True),
+        "sites": (_INT, False),
+        "failed": (_INT, False),
+        "sites_per_second": (_NUM, False),
+        "eta_seconds": (_NUM, False),
+        "resumed": (_BOOL, False),
+    },
+    "country_resources": {
+        "country": (_STR, True),
+        "resources": (_DICT, True),
+    },
 }
 
 #: Fields every record may carry in addition to its type's own.

@@ -64,6 +64,8 @@ from repro.exec.transport import (
 )
 from repro.exec.worker import CountryRun, StudyWorker
 from repro.obs.journal import SCHEMA_VERSION, RunJournal
+from repro.obs.metrics import build_study_snapshot, merge_snapshots, write_snapshot
+from repro.obs.progress import ProgressReporter
 from repro.worldgen.builder import Scenario
 
 __all__ = ["StudyConfig", "StudyOutcome", "run_study", "build_source_traces"]
@@ -110,6 +112,18 @@ class StudyConfig:
     #: ``multiprocessing.shared_memory`` instead of riding the result
     #: pickle.  ``0`` disables the shared-memory path.
     transport_shm_threshold: int = 1 << 20
+    #: Record the labelled metrics registry (:mod:`repro.obs.metrics`)
+    #: inside every worker and merge the per-country deltas at the
+    #: coordinator.  Purely a measurement side channel: summaries,
+    #: exports, and stripped journals are byte-identical either way.
+    collect_metrics: bool = True
+    #: Profile per-country resource usage (CPU seconds per phase, GC
+    #: collections, peak RSS) into ``CountryRun.resources`` and the
+    #: study snapshot (``gamma study --profile``).
+    profile: bool = False
+    #: Additionally track allocations with :mod:`tracemalloc` (slower;
+    #: ``gamma study --profile-mem``).  Implies ``profile``.
+    profile_mem: bool = False
 
 
 @dataclass
@@ -135,6 +149,12 @@ class StudyOutcome:
     #: the worker-side traceback.  Every analysis accessor degrades
     #: gracefully to the surviving countries in ``results``.
     failures: List[CountryFailure] = field(default_factory=list)
+    #: The persistent run snapshot (``metrics.json`` shape, see
+    #: docs/data-formats.md): merged per-country metric deltas plus the
+    #: exec accounting and any resource profiles.  None when
+    #: ``StudyConfig.collect_metrics`` is off.  A measurement artefact
+    #: like ``metrics``/``journal`` — never part of summaries or exports.
+    metrics_snapshot: Optional[dict] = None
 
     def failed_countries(self) -> List[str]:
         return [failure.country_code for failure in self.failures]
@@ -265,6 +285,11 @@ def run_study(
     resume: bool = False,
     transport: Optional[str] = None,
     fault_injector=None,
+    progress: Union[bool, ProgressReporter] = False,
+    profile: Optional[bool] = None,
+    profile_mem: Optional[bool] = None,
+    collect_metrics: Optional[bool] = None,
+    metrics_out: Union[None, str, Path] = None,
 ) -> StudyOutcome:
     """Run the full methodology over *countries* (default: all volunteers).
 
@@ -299,8 +324,29 @@ def run_study(
     "pickle"): how results cross the process-pool boundary, which join
     engine runs, and which checkpoint format is written — with every
     study artefact byte-identical across the choice.
+
+    *progress* streams one status line per completed country to stderr
+    (pass a preconfigured :class:`repro.obs.ProgressReporter` to control
+    the stream/clock); with tracing enabled the same completions land as
+    diagnostic ``progress`` journal events.  *profile*/*profile_mem*
+    and *collect_metrics* override the matching :class:`StudyConfig`
+    fields.  *metrics_out* writes the run snapshot to a path
+    (``.prom`` suffix → Prometheus text exposition, otherwise JSON);
+    with a *checkpoint_dir* the snapshot is also written there as
+    ``metrics.json``.  None of these change any study artefact.
     """
     config = config or StudyConfig()
+    overrides = {}
+    if profile is not None:
+        overrides["profile"] = profile
+    if profile_mem is not None:
+        overrides["profile_mem"] = profile_mem
+        if profile_mem:
+            overrides.setdefault("profile", True)
+    if collect_metrics is not None:
+        overrides["collect_metrics"] = collect_metrics
+    if overrides:
+        config = replace(config, **overrides)
     active_transport = resolve_transport(
         config.transport if transport is None else transport
     )
@@ -353,8 +399,41 @@ def run_study(
                 resumed[country_code] = run
     pending = [cc for cc in countries if cc not in resumed]
 
+    reporter: Optional[ProgressReporter] = None
+    if progress:
+        reporter = (
+            progress
+            if isinstance(progress, ProgressReporter)
+            else ProgressReporter(len(countries), record_events=tracing)
+        )
+        reporter.start()
+        for country_code in countries:
+            if country_code in resumed:
+                run = resumed[country_code]
+                reporter.country_done(
+                    country_code, sites=len(run.dataset.websites), resumed=True
+                )
+    on_result = None
+    if reporter is not None:
+        def on_result(country_code: str, item: object) -> None:
+            # Fires in completion order — observation only, the merge
+            # below still walks input country order.
+            sites, phase_seconds = 0, None
+            if isinstance(item, EncodedCountryRun):
+                sites = item.sites  # carried outside the single-use payload
+            elif isinstance(item, CountryRun):
+                sites = len(item.dataset.websites)
+                phase_seconds = item.timings.phase_seconds
+            reporter.country_done(
+                country_code, sites=sites, phase_seconds=phase_seconds,
+                failed=isinstance(item, CountryFailure),
+            )
+
     started = time.perf_counter()
-    produced = executor.map_countries(call, pending) if pending else []
+    produced = (
+        executor.map_countries(call, pending, on_result=on_result)
+        if pending else []
+    )
     by_country = dict(zip(pending, produced))
     # Decode pre-pass: materialise columnar frames shipped back by
     # process-pool workers (inside the fan-out wall time — decoding is
@@ -369,6 +448,8 @@ def run_study(
                 (country_code, item.nbytes, item.encode_seconds, decode_seconds)
             )
     wall_seconds = time.perf_counter() - started
+    if reporter is not None:
+        reporter.finish()
 
     outcome = StudyOutcome(
         scenario=scenario,
@@ -412,6 +493,46 @@ def run_study(
     if executor.name == "process":
         outcome.metrics.merge_worker_caches(run.cache_deltas for run in fresh_runs)
 
+    if getattr(config, "collect_metrics", True):
+        # Merge the per-country registry deltas in input country order —
+        # fixed order is what keeps float sums (histogram totals) exact
+        # across backends and worker counts.
+        deltas = []
+        resources_by_country: Dict[str, dict] = {}
+        for country_code in countries:
+            run = resumed.get(country_code)
+            if run is None:
+                item = by_country.get(country_code)
+                run = item if isinstance(item, CountryRun) else None
+            if run is None:
+                continue
+            if run.metrics_delta is not None:
+                deltas.append(run.metrics_delta)
+            if run.resources is not None:
+                resources_by_country[country_code] = run.resources
+        meta = {
+            "countries": list(countries),
+            "backend": executor.name,
+            "jobs": executor.jobs,
+            "transport": active_transport,
+        }
+        if resumed:
+            meta["resumed"] = [cc for cc in countries if cc in resumed]
+        if outcome.failures:
+            meta["failed"] = outcome.failed_countries()
+        outcome.metrics_snapshot = build_study_snapshot(
+            meta,
+            outcome.metrics.to_dict(),
+            merge_snapshots(deltas + [outcome.metrics.registry_snapshot()]),
+            resources_by_country or None,
+        )
+        if checkpoint is not None:
+            write_snapshot(
+                Path(checkpoint_dir) / "metrics.json", outcome.metrics_snapshot
+            )
+        if metrics_out is not None:
+            write_snapshot(metrics_out, outcome.metrics_snapshot)
+
     if tracing:
         run_record = {
             "ev": "run",
@@ -436,6 +557,10 @@ def run_study(
             "t": 0.0,
             "dur": round(wall_seconds, 6),
         }
+        if reporter is not None:
+            # Diagnostic tail before the study span; stripped with the
+            # timings, so journal byte-equality is progress-independent.
+            buffers.append(reporter.events())
         outcome.journal = RunJournal.assemble(
             run_record,
             buffers,

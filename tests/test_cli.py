@@ -110,9 +110,10 @@ class TestFaultToleranceCLI:
         assert main(["study", "--countries", "CA,NZ",
                      "--checkpoint-dir", str(checkpoint_dir)]) == 0
         capsys.readouterr()
-        # The default columnar transport writes compact .run.col frames.
+        # The default columnar transport writes compact .run.col frames;
+        # the run's metrics snapshot lands next to them.
         assert sorted(p.name for p in checkpoint_dir.iterdir()) == [
-            "CA.run.col", "NZ.run.col",
+            "CA.run.col", "NZ.run.col", "metrics.json",
         ]
         assert main(["study", "--countries", "CA,NZ,RW",
                      "--checkpoint-dir", str(checkpoint_dir), "--resume"]) == 0
@@ -125,7 +126,7 @@ class TestFaultToleranceCLI:
                      "--checkpoint-dir", str(checkpoint_dir)]) == 0
         capsys.readouterr()
         assert sorted(p.name for p in checkpoint_dir.iterdir()) == [
-            "CA.run.pkl",
+            "CA.run.pkl", "metrics.json",
         ]
         # Crossing transports on resume reads the pickle checkpoint.
         assert main(["study", "--countries", "CA,NZ", "--transport", "columnar",
@@ -140,3 +141,88 @@ class TestFaultToleranceCLI:
     def test_bad_fault_spec_rejected(self):
         with pytest.raises(SystemExit, match="attempt bound"):
             main(["study", "--countries", "CA", "--inject-fault", "CA:0"])
+
+
+class TestMetricsCommands:
+    @pytest.fixture(scope="class")
+    def snapshots(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("metrics")
+        first, second = root / "run1.json", root / "run2.json"
+        assert main(["study", "--countries", "CA,NZ", "--no-progress",
+                     "--profile", "--metrics-out", str(first)]) == 0
+        assert main(["study", "--countries", "CA,NZ", "--no-progress",
+                     "--jobs", "2", "--backend", "thread",
+                     "--metrics-out", str(second)]) == 0
+        return first, second
+
+    def test_study_announces_snapshot(self, snapshots, capsys):
+        capsys.readouterr()
+        assert main(["study", "--countries", "CA", "--no-progress",
+                     "--metrics-out", str(snapshots[0].parent / "ann.json")]) == 0
+        assert "metrics snapshot written to" in capsys.readouterr().out
+
+    def test_validate(self, snapshots, capsys):
+        assert main(["metrics", "validate", str(snapshots[0])]) == 0
+        assert "snapshot OK" in capsys.readouterr().out
+
+    def test_validate_rejects_corrupt(self, snapshots, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": 1, "kind": "other"}')
+        assert main(["metrics", "validate", str(bad)]) == 1
+        assert "SCHEMA:" in capsys.readouterr().out
+
+    def test_show(self, snapshots, capsys):
+        assert main(["metrics", "show", str(snapshots[0])]) == 0
+        out = capsys.readouterr().out
+        assert "study_sites_total" in out
+        assert "resources (per country):" in out
+        assert "cache_delta_operations_total" not in out  # runtime hidden
+
+    def test_show_runtime(self, snapshots, capsys):
+        assert main(["metrics", "show", str(snapshots[0]), "--runtime"]) == 0
+        assert "cache_delta_operations_total" in capsys.readouterr().out
+
+    def test_diff_same_study_reports_zero_regressions(self, snapshots, capsys):
+        first, second = snapshots
+        assert main(["metrics", "diff", str(first), str(second)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_diff_flags_drift(self, snapshots, tmp_path, capsys):
+        drifted = tmp_path / "drifted.json"
+        payload = json.loads(snapshots[0].read_text())
+        series = payload["metrics"]["families"]["study_sites_total"]["series"]
+        series[0]["value"] += 1
+        drifted.write_text(json.dumps(payload))
+        assert main(["metrics", "diff", str(snapshots[0]), str(drifted)]) == 1
+        out = capsys.readouterr().out
+        assert "drift" in out and "regression(s)" in out
+
+    def test_baseline_roundtrip(self, snapshots, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["metrics", "baseline", str(snapshots[0]),
+                     "--output", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "check", str(baseline),
+                     "--snapshot", str(snapshots[1])]) == 0
+        assert "baseline check(s) passed" in capsys.readouterr().out
+
+    def test_check_report_only_never_fails(self, snapshots, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text('{"speedup": 10.0}')
+        assert main(["metrics", "baseline", "--bench", str(bench),
+                     "--output", str(baseline)]) == 0
+        bench.write_text('{"speedup": 0.1}')  # collapse below the floor
+        capsys.readouterr()
+        assert main(["metrics", "check", str(baseline),
+                     "--bench", str(bench)]) == 1
+        assert main(["metrics", "check", str(baseline),
+                     "--bench", str(bench), "--report-only"]) == 0
+
+    def test_prom_output(self, tmp_path, capsys):
+        prom = tmp_path / "run.prom"
+        assert main(["study", "--countries", "CA", "--no-progress",
+                     "--metrics-out", str(prom)]) == 0
+        from repro.obs.metrics import validate_exposition
+
+        assert validate_exposition(prom.read_text()) == []

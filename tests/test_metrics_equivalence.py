@@ -1,0 +1,199 @@
+"""Telemetry must never change the study, and must not depend on how it ran.
+
+Two contracts, both locked down over the 5-country subset:
+
+* **Backend-independence of the metrics**: every deterministic
+  (non-runtime) metric family — verdict statuses, funnel stages,
+  constraint checks, evidence-latency histograms, tracker attributions,
+  site counts — lands on exactly equal values for the serial, thread,
+  and process backends at any worker count, across both transports, and
+  under a retried fault.  Runtime families (timings, cache traffic) are
+  excluded by classification, not by tolerance.
+* **Telemetry-independence of the study**: enabling progress streaming
+  and resource profiling changes no artefact — the stripped journal is
+  byte-identical and the study summary equal, which is what keeps
+  ``--progress``/``--profile`` safe to leave on.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import run_study
+from repro.exec.resilience import FaultInjector
+from repro.obs.metrics import (
+    diff_snapshots,
+    strip_runtime,
+    to_prometheus,
+    validate_exposition,
+    validate_study_snapshot,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.schema import validate_journal
+
+from tests.conftest import SMALL_COUNTRIES
+
+
+def _run(scenario, **kwargs):
+    kwargs.setdefault("countries", SMALL_COUNTRIES)
+    return run_study(scenario, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def backend_runs(scenario):
+    return {
+        "serial": _run(scenario),
+        "thread-1": _run(scenario, backend="thread", jobs=1),
+        "thread-4": _run(scenario, backend="thread", jobs=4),
+        "process-4": _run(scenario, backend="process", jobs=4),
+    }
+
+
+class TestBackendIndependence:
+    def test_snapshots_validate(self, backend_runs):
+        for name, outcome in backend_runs.items():
+            problems = validate_study_snapshot(outcome.metrics_snapshot)
+            assert problems == [], (name, problems)
+
+    def test_nonruntime_families_exact(self, backend_runs):
+        reference = strip_runtime(backend_runs["serial"].metrics_snapshot["metrics"])
+        assert reference["families"], "expected deterministic metric families"
+        for name, outcome in backend_runs.items():
+            stripped = strip_runtime(outcome.metrics_snapshot["metrics"])
+            assert stripped == reference, f"{name} diverged from serial"
+
+    def test_histogram_totals_exact(self, backend_runs):
+        # Float histogram sums (simulated evidence latencies) must match
+        # bit-for-bit: per-country registries merge in input country
+        # order, so scheduling cannot reorder the additions.
+        def evidence(outcome):
+            entry = outcome.metrics_snapshot["metrics"]["families"]["geoloc_evidence_ms"]
+            return [
+                (record["labels"], record["counts"], record["sum"], record["count"])
+                for record in entry["series"]
+            ]
+
+        reference = evidence(backend_runs["serial"])
+        assert sum(count for _, _, _, count in reference) > 0
+        for name, outcome in backend_runs.items():
+            assert evidence(outcome) == reference, name
+
+    def test_diff_between_backends_reports_no_regressions(self, backend_runs):
+        findings = diff_snapshots(
+            backend_runs["serial"].metrics_snapshot,
+            backend_runs["process-4"].metrics_snapshot,
+        )
+        assert findings == [], [f.render() for f in findings]
+
+    def test_exposition_renders_and_validates(self, backend_runs):
+        text = to_prometheus(backend_runs["serial"].metrics_snapshot["metrics"])
+        assert validate_exposition(text) == []
+        assert "study_sites_total" in text
+
+    def test_study_counts_match_artefacts(self, backend_runs):
+        outcome = backend_runs["serial"]
+        families = outcome.metrics_snapshot["metrics"]["families"]
+        countries = families["study_countries_total"]["series"][0]["value"]
+        assert countries == len(SMALL_COUNTRIES)
+        loaded = next(
+            record["value"]
+            for record in families["study_sites_total"]["series"]
+            if record["labels"] == {"outcome": "loaded"}
+        )
+        assert loaded == sum(d.loaded_count for d in outcome.datasets.values())
+        funnel = {
+            record["labels"]["stage"]: record["value"]
+            for record in families["geoloc_funnel_total"]["series"]
+        }
+        assert funnel["total_hosts"] == outcome.funnel().total_hosts
+        assert funnel["verified_nonlocal"] == outcome.funnel().verified_nonlocal
+
+
+class TestFaultAndTransportIndependence:
+    def test_retry_fault_leaves_totals_exact(self, scenario, backend_runs):
+        retried = _run(
+            scenario, backend="thread", jobs=4, on_error="retry",
+            fault_injector=FaultInjector({"NZ": 1}),
+        )
+        assert retried.failures == []
+        assert strip_runtime(retried.metrics_snapshot["metrics"]) == strip_runtime(
+            backend_runs["serial"].metrics_snapshot["metrics"]
+        )
+
+    def test_transports_agree(self, scenario, backend_runs):
+        pickled = _run(scenario, backend="process", jobs=2, transport="pickle")
+        assert strip_runtime(pickled.metrics_snapshot["metrics"]) == strip_runtime(
+            backend_runs["process-4"].metrics_snapshot["metrics"]
+        )
+
+    def test_skipped_country_drops_only_its_contribution(self, scenario):
+        clean = _run(scenario, countries=["CA", "RW"])
+        partial = _run(
+            scenario, countries=["CA", "NZ", "RW"], on_error="skip",
+            fault_injector=FaultInjector({"NZ": FaultInjector.ALWAYS}),
+        )
+        assert partial.failed_countries() == ["NZ"]
+        assert partial.metrics_snapshot["meta"]["failed"] == ["NZ"]
+        families = partial.metrics_snapshot["metrics"]["families"]
+        assert families["study_countries_total"]["series"][0]["value"] == 2
+        assert strip_runtime(partial.metrics_snapshot["metrics"]) == strip_runtime(
+            clean.metrics_snapshot["metrics"]
+        )
+
+
+class TestTelemetryInvariance:
+    """Satellite contract: progress + profiling change no artefact."""
+
+    @pytest.fixture(scope="class")
+    def plain_and_instrumented(self, scenario):
+        plain = _run(scenario, trace=True)
+        reporter = ProgressReporter(
+            len(SMALL_COUNTRIES), stream=io.StringIO(), record_events=True
+        )
+        instrumented = _run(
+            scenario, trace=True, progress=reporter, profile=True,
+        )
+        return plain, instrumented, reporter
+
+    def test_stripped_journal_bytes_identical(self, plain_and_instrumented):
+        plain, instrumented, _ = plain_and_instrumented
+        assert plain.journal.dumps(timings=False) == instrumented.journal.dumps(
+            timings=False
+        )
+
+    def test_instrumented_journal_has_diagnostics_and_validates(
+        self, plain_and_instrumented
+    ):
+        _, instrumented, reporter = plain_and_instrumented
+        events = {record.get("ev") for record in instrumented.journal.records}
+        assert "progress" in events
+        assert "country_resources" in events
+        assert validate_journal(instrumented.journal.records) == []
+        assert len(reporter.events()) == len(SMALL_COUNTRIES)
+
+    def test_progress_stream_saw_every_country(self, plain_and_instrumented):
+        _, _, reporter = plain_and_instrumented
+        events = reporter.events()
+        assert events[-1]["done"] == events[-1]["total"] == len(SMALL_COUNTRIES)
+        assert {event["country"] for event in events} == set(SMALL_COUNTRIES)
+
+    def test_summary_and_artefacts_equal(self, plain_and_instrumented):
+        plain, instrumented, _ = plain_and_instrumented
+        assert plain.summary() == instrumented.summary()
+        assert plain.source_trace_origins == instrumented.source_trace_origins
+        assert plain.funnel() == instrumented.funnel()
+
+    def test_resources_recorded_per_country(self, plain_and_instrumented):
+        _, instrumented, _ = plain_and_instrumented
+        resources = instrumented.metrics_snapshot["resources"]
+        assert sorted(resources) == sorted(SMALL_COUNTRIES)
+        for usage in resources.values():
+            assert usage["cpu_seconds"] >= 0.0
+            assert set(usage["phases"]) <= {"gamma", "source_traces", "geoloc", "join"}
+
+    def test_metrics_can_be_disabled(self, scenario):
+        outcome = _run(scenario, countries=["CA"], collect_metrics=False)
+        assert outcome.metrics_snapshot is None
+        assert outcome.results  # the study itself still ran

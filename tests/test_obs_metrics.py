@@ -1,0 +1,481 @@
+"""Unit coverage for :mod:`repro.obs.metrics` and its consumers.
+
+The registry's merge algebra is the load-bearing property: per-country
+worker deltas merge at the coordinator, so merging must be associative
+and commutative (completion order unobservable) — locked down here with
+hypothesis over dyadic-rational amounts (``k/1024``), which float
+addition handles exactly, so equality is exact rather than approximate.
+The progress reporter and resource profiler are exercised against fake
+clocks/streams; exposition and snapshot documents against their own
+validators.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    MS_BUCKETS,
+    SECONDS_BUCKETS,
+    MetricsRegistry,
+    check_baseline,
+    derive_baseline,
+    diff_snapshots,
+    exponential_buckets,
+    load_snapshot,
+    merge_snapshots,
+    strip_runtime,
+    to_prometheus,
+    validate_exposition,
+    validate_metrics_snapshot,
+    validate_study_snapshot,
+    write_snapshot,
+)
+from repro.obs.profiling import ResourceProfiler, maybe_phase
+from repro.obs.progress import ProgressReporter
+
+
+class TestBuckets:
+    def test_exponential_buckets_values(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_fixed_bucket_sets_are_deterministic(self):
+        # The shared bucket vocabularies are part of the snapshot schema:
+        # histograms only merge when bounds match exactly.
+        assert SECONDS_BUCKETS[0] == 0.001
+        assert len(SECONDS_BUCKETS) == 18
+        assert MS_BUCKETS[0] == 1.0
+        assert list(SECONDS_BUCKETS) == sorted(SECONDS_BUCKETS)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 2.0, 0)
+
+
+class TestRegistry:
+    def test_counter_get_or_create_and_int_preservation(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", {"cache": "x"})
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("hits_total", {"cache": "x"}) is counter
+        value = registry.value("hits_total", {"cache": "x"})
+        assert value == 5 and isinstance(value, int)
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("n_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("size")
+        gauge.set(7)
+        gauge.inc(3)
+        assert registry.value("size") == 10
+
+    def test_histogram_observe(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 1]  # one per bucket + overflow
+        assert hist.count == 4
+        assert hist.sum == 555.5
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_missing_series_reads_none(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", {"a": "1"})
+        assert registry.value("x_total", {"a": "2"}) is None
+        assert registry.value("unknown_total") is None
+
+    def test_snapshot_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", {"b": "2"}).inc()
+        registry.counter("z_total", {"a": "1"}).inc(2)
+        registry.counter("a_total", help="first", runtime=True).inc()
+        snapshot = registry.snapshot()
+        assert list(snapshot["families"]) == ["a_total", "z_total"]
+        assert snapshot["families"]["a_total"]["runtime"] is True
+        assert "runtime" not in snapshot["families"]["z_total"]
+        labels = [s["labels"] for s in snapshot["families"]["z_total"]["series"]]
+        assert labels == [{"a": "1"}, {"b": "2"}]
+        assert validate_metrics_snapshot(snapshot) == []
+
+    def test_merge_counters_gauges_histograms(self):
+        def build(counter, gauge, observations):
+            registry = MetricsRegistry()
+            registry.counter("c_total").inc(counter)
+            registry.gauge("g").set(gauge)
+            hist = registry.histogram("h", buckets=(1.0, 10.0))
+            for value in observations:
+                hist.observe(value)
+            return registry.snapshot()
+
+        merged = merge_snapshots(
+            [build(3, 5, [0.5, 20.0]), build(4, 2, [5.0])]
+        )
+        families = merged["families"]
+        assert families["c_total"]["series"][0]["value"] == 7
+        assert families["g"]["series"][0]["value"] == 5  # gauges merge by max
+        record = families["h"]["series"][0]
+        assert record["counts"] == [1, 1, 1]
+        assert record["count"] == 3
+        assert record["sum"] == 25.5
+
+    def test_strip_runtime(self):
+        registry = MetricsRegistry()
+        registry.counter("study_total").inc()
+        registry.counter("wall_total", runtime=True).inc()
+        stripped = strip_runtime(registry.snapshot())
+        assert list(stripped["families"]) == ["study_total"]
+
+    def test_validator_catches_corrupt_histogram(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        snapshot["families"]["h"]["series"][0]["count"] = 99
+        assert validate_metrics_snapshot(snapshot)
+
+
+# Dyadic rationals: exactly representable, and bounded sums of them are
+# too, so float addition is associative over this domain and merge
+# equality can be exact.
+dyadic = st.integers(min_value=0, max_value=1 << 20).map(lambda k: k / 1024)
+FAMILIES = ("alpha_total", "beta_total", "gamma_total")
+LABELS = ({"k": "a"}, {"k": "b"}, None)
+
+
+def _registry_from(entries) -> dict:
+    registry = MetricsRegistry()
+    for kind, family, label_index, amount in entries:
+        labels = LABELS[label_index]
+        if kind == 0:
+            registry.counter(family, labels).inc(amount)
+        elif kind == 1:
+            registry.gauge(family + "_g", labels).set(amount)
+        else:
+            registry.histogram(
+                family + "_h", labels, buckets=(1.0, 64.0, 512.0)
+            ).observe(amount)
+    return registry.snapshot()
+
+
+snapshots = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.sampled_from(FAMILIES),
+        st.integers(min_value=0, max_value=len(LABELS) - 1),
+        dyadic,
+    ),
+    max_size=12,
+).map(_registry_from)
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=100, deadline=None)
+    @given(a=snapshots, b=snapshots)
+    def test_merge_is_commutative(self, a, b):
+        assert merge_snapshots([a, b]) == merge_snapshots([b, a])
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=snapshots, b=snapshots, c=snapshots)
+    def test_merge_is_associative(self, a, b, c):
+        left = merge_snapshots([merge_snapshots([a, b]), c])
+        right = merge_snapshots([a, merge_snapshots([b, c])])
+        assert left == right
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=snapshots)
+    def test_empty_is_identity(self, a):
+        empty = MetricsRegistry().snapshot()
+        assert merge_snapshots([a, empty]) == merge_snapshots([a])
+        assert merge_snapshots([empty, a]) == merge_snapshots([a])
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=snapshots, b=snapshots)
+    def test_merge_never_mutates_inputs(self, a, b):
+        a_before = json.loads(json.dumps(a))
+        b_before = json.loads(json.dumps(b))
+        merge_snapshots([a, b])
+        assert a == a_before and b == b_before
+
+
+class TestPrometheus:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "verdicts_total", {"status": "ok\nline"}, help='say "hi" \\ there'
+        ).inc(3)
+        registry.gauge("size", unit="bytes").set(2.5)
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        return registry.snapshot()
+
+    def test_exposition_shape(self):
+        text = to_prometheus(self._snapshot())
+        assert '# TYPE verdicts_total counter' in text
+        assert 'verdicts_total{status="ok\\nline"} 3' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text  # cumulative
+        assert "lat_seconds_sum 5.05" in text
+        assert "lat_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_exposition_validates(self):
+        assert validate_exposition(to_prometheus(self._snapshot())) == []
+
+    def test_validator_rejects_garbage(self):
+        good = to_prometheus(self._snapshot())
+        assert validate_exposition(good + "not a sample line !\n")
+        assert validate_exposition("size 1\nsize 2\n")  # duplicate sample
+        assert validate_exposition(good.rstrip("\n"))  # no trailing newline
+
+
+class TestStudySnapshotDocument:
+    def _study_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("study_sites_total", {"outcome": "loaded"}).inc(100)
+        from repro.obs.metrics import build_study_snapshot
+
+        return build_study_snapshot(
+            {"countries": ["CA"], "backend": "serial", "jobs": 1},
+            {"wall_seconds": 1.25},
+            registry.snapshot(),
+            {"CA": {"cpu_seconds": 0.5, "gc_collections": 3}},
+        )
+
+    def test_document_validates(self):
+        assert validate_study_snapshot(self._study_snapshot()) == []
+
+    def test_document_rejects_wrong_kind(self):
+        document = self._study_snapshot()
+        document["kind"] = "other"
+        assert validate_study_snapshot(document)
+
+    def test_write_and_load_json(self, tmp_path):
+        document = self._study_snapshot()
+        path = tmp_path / "metrics.json"
+        write_snapshot(path, document)
+        assert load_snapshot(path) == document
+        # Deterministic serialization: same document -> same bytes.
+        text = path.read_text()
+        write_snapshot(path, json.loads(json.dumps(document)))
+        assert path.read_text() == text
+
+    def test_write_prom_variant(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_snapshot(path, self._study_snapshot())
+        assert validate_exposition(path.read_text()) == []
+
+
+class TestDiff:
+    def _snapshot(self, sites=100, wall=1.0):
+        registry = MetricsRegistry()
+        registry.counter("study_sites_total").inc(sites)
+        registry.counter("wall_seconds_total", runtime=True).inc(wall)
+        return registry.snapshot()
+
+    def test_identical_runs_have_no_findings(self):
+        assert diff_snapshots(self._snapshot(), self._snapshot()) == []
+
+    def test_deterministic_difference_is_drift(self):
+        findings = diff_snapshots(self._snapshot(100), self._snapshot(101))
+        assert [f.severity for f in findings] == ["drift"]
+        assert findings[0].metric == "study_sites_total"
+        assert "100" in findings[0].render()
+
+    def test_runtime_excluded_by_default(self):
+        assert diff_snapshots(self._snapshot(wall=1.0), self._snapshot(wall=9.0)) == []
+
+    def test_runtime_threshold_verdicts(self):
+        def sev(old, new):
+            findings = diff_snapshots(
+                self._snapshot(wall=old), self._snapshot(wall=new),
+                threshold=0.25, include_runtime=True,
+            )
+            return [f.severity for f in findings]
+
+        assert sev(1.0, 1.1) == ["info"]
+        assert sev(1.0, 2.0) == ["regression"]
+        assert sev(2.0, 1.0) == ["improvement"]
+
+    def test_missing_family_reported(self):
+        empty = MetricsRegistry().snapshot()
+        findings = diff_snapshots(self._snapshot(), empty)
+        assert any(f.severity == "drift" for f in findings)
+
+
+class TestBaseline:
+    BENCH = {"study": {"speedup": 2.0, "wall_seconds": 3.0}, "cache_hit_rate": 0.9}
+
+    def _snapshot(self, sites=100):
+        registry = MetricsRegistry()
+        registry.counter("study_sites_total").inc(sites)
+        registry.counter("phase_seconds_total", runtime=True).inc(5.0)
+        return registry.snapshot()
+
+    def test_derive_covers_metrics_and_bench_floors(self):
+        baseline = derive_baseline(
+            self._snapshot(), {"BENCH_x": self.BENCH}, margin=0.5
+        )
+        by_kind = {}
+        for check in baseline["checks"]:
+            by_kind.setdefault("bench" if "bench" in check else "metric", []).append(check)
+        # runtime families are never pinned; wall_seconds has no guard.
+        assert [c["metric"] for c in by_kind["metric"]] == ["study_sites_total"]
+        assert sorted(c["path"] for c in by_kind["bench"]) == [
+            "cache_hit_rate", "study.speedup",
+        ]
+        floor = next(c for c in by_kind["bench"] if c["path"] == "study.speedup")
+        assert floor["op"] == "min" and floor["value"] == 1.0
+
+    def test_check_passes_on_reference_inputs(self):
+        baseline = derive_baseline(self._snapshot(), {"BENCH_x": self.BENCH})
+        findings = check_baseline(
+            baseline, self._snapshot(), {"BENCH_x": self.BENCH}
+        )
+        assert findings and all(f.ok for f in findings)
+
+    def test_check_flags_drift_and_collapse(self):
+        baseline = derive_baseline(self._snapshot(100), {"BENCH_x": self.BENCH})
+        bad_bench = {"study": {"speedup": 0.4, "wall_seconds": 3.0}, "cache_hit_rate": 0.9}
+        findings = check_baseline(baseline, self._snapshot(101), {"BENCH_x": bad_bench})
+        failures = {f.target for f in findings if not f.ok}
+        assert failures == {"study_sites_total", "BENCH_x:study.speedup"}
+
+    def test_checks_without_target_are_skipped(self):
+        baseline = derive_baseline(self._snapshot(), {"BENCH_x": self.BENCH})
+        findings = check_baseline(baseline, snapshot=None, bench_files=None)
+        assert findings == []
+
+    def test_bench_keys_containing_dots_roundtrip(self):
+        # Real BENCH payloads key caches by dotted names ("atlas.dest_traces");
+        # derive/check must resolve those paths back despite the "." joiner.
+        bench = {"caches": {"atlas.dest_traces": {"hit_rate": 0.75}}}
+        baseline = derive_baseline(self._snapshot(), {"BENCH_p": bench})
+        floor = next(c for c in baseline["checks"] if "bench" in c)
+        assert floor["path"] == "caches.atlas.dest_traces.hit_rate"
+        findings = check_baseline(baseline, self._snapshot(), {"BENCH_p": bench})
+        dotted = next(f for f in findings if f.target == "BENCH_p:" + floor["path"])
+        assert dotted.ok, dotted.render()
+
+
+class _Tty(io.StringIO):
+    def isatty(self):  # pragma: no cover - trivial
+        return True
+
+
+class TestProgressReporter:
+    def _clock(self, step=1.0):
+        state = {"now": 0.0}
+
+        def clock():
+            state["now"] += step
+            return state["now"]
+
+        return clock
+
+    def test_nontty_appends_full_lines(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(3, stream=stream, clock=self._clock())
+        reporter.start()
+        reporter.country_done("CA", sites=100)
+        reporter.country_done("NZ", sites=50, failed=True)
+        reporter.finish()
+        lines = stream.getvalue().splitlines()
+        assert any("1/3" in line and "CA" in line for line in lines)
+        assert any("2/3" in line for line in lines)
+        assert lines[-1].startswith("progress: 2/3 countries, 150 sites")
+        assert "1 failed" in lines[-1]
+        assert "\r" not in stream.getvalue()
+
+    def test_tty_redraws_in_place(self):
+        stream = _Tty()
+        reporter = ProgressReporter(2, stream=stream, clock=self._clock())
+        reporter.start()
+        reporter.country_done("CA", sites=10)
+        reporter.country_done("NZ", sites=10)
+        reporter.finish()
+        assert stream.getvalue().count("\r") >= 2
+
+    def test_events_recorded_with_running_totals(self):
+        reporter = ProgressReporter(
+            2, stream=io.StringIO(), record_events=True, clock=self._clock()
+        )
+        reporter.start()
+        reporter.country_done("CA", sites=100, resumed=True)
+        reporter.country_done("NZ", sites=20, failed=True)
+        events = reporter.events()
+        assert [e["ev"] for e in events] == ["progress", "progress"]
+        assert events[0]["resumed"] is True
+        assert events[1] == {
+            "ev": "progress", "span": "study", "t": events[1]["t"],
+            "country": "NZ", "done": 2, "total": 2, "sites": 120,
+            "failed": 1, "sites_per_second": events[1]["sites_per_second"],
+            "eta_seconds": 0.0,
+        }
+
+    def test_broken_stream_never_raises(self):
+        class Broken(io.StringIO):
+            def write(self, text):
+                raise OSError("gone")
+
+        reporter = ProgressReporter(1, stream=Broken(), clock=self._clock())
+        reporter.start()
+        reporter.country_done("CA", sites=1)
+        reporter.finish()  # must not raise
+
+
+class TestResourceProfiler:
+    def test_phases_accumulate(self):
+        profiler = ResourceProfiler()
+        profiler.start()
+        with profiler.phase("gamma"):
+            sum(range(50_000))
+        with profiler.phase("join"):
+            pass
+        snapshot = profiler.snapshot()
+        assert set(snapshot["phases"]) == {"gamma", "join"}
+        assert snapshot["cpu_seconds"] >= 0.0
+        assert snapshot["gc_collections"] >= 0
+        for usage in snapshot["phases"].values():
+            assert usage["cpu_seconds"] >= 0.0
+
+    def test_tracemalloc_section(self):
+        profiler = ResourceProfiler(track_malloc=True)
+        profiler.start()
+        with profiler.phase("alloc"):
+            blob = [bytes(1000) for _ in range(100)]
+        snapshot = profiler.snapshot()
+        assert blob is not None
+        section = snapshot.get("tracemalloc")
+        assert section is not None
+        assert section["peak_kb"] >= 0
+        assert isinstance(section.get("top", []), list)
+
+    def test_maybe_phase_with_none_is_noop(self):
+        with maybe_phase(None, "gamma"):
+            pass

@@ -105,8 +105,9 @@ class TestCheckpointStore:
         checkpoint_dir = tmp_path / "ckpt"
         run_study(scenario, countries=["CA", "NZ"], checkpoint_dir=checkpoint_dir)
         names = sorted(p.name for p in checkpoint_dir.iterdir())
-        # Columnar transport (the default) persists columnar frames.
-        assert names == ["CA.run.col", "NZ.run.col"]
+        # Columnar transport (the default) persists columnar frames; the
+        # run's metrics snapshot lands beside the checkpoints.
+        assert names == ["CA.run.col", "NZ.run.col", "metrics.json"]
         # No temp files left behind by the atomic writer.
         assert not [n for n in names if n.startswith(".")]
 
@@ -115,7 +116,7 @@ class TestCheckpointStore:
         run_study(scenario, countries=["CA"], checkpoint_dir=checkpoint_dir,
                   transport="pickle")
         names = sorted(p.name for p in checkpoint_dir.iterdir())
-        assert names == ["CA.run.pkl"]
+        assert names == ["CA.run.pkl", "metrics.json"]
 
     def test_corrupt_run_file_is_quarantined_and_remeasured(
         self, scenario, uninterrupted, tmp_path

@@ -111,7 +111,8 @@ class TestResumeCrossover:
         )
         assert sorted(partial.datasets) == sorted(SMALL_COUNTRIES[:2])
         assert sorted(p.name for p in checkpoint_dir.iterdir()) == sorted(
-            country + suffix for country in SMALL_COUNTRIES[:2]
+            [country + suffix for country in SMALL_COUNTRIES[:2]]
+            + ["metrics.json"]
         )
         resumed = run_study(
             scenario, countries=SMALL_COUNTRIES, trace=True,
