@@ -1,0 +1,256 @@
+"""Analysis layer: per-record object walks vs columnar frame reductions.
+
+The analysis accessors historically answered every figure/table query by
+walking the joined object graph — per-site ``SiteTrackerRecord`` loops
+building sets and dicts.  The columnar engine
+(:mod:`repro.core.analysis.frames`) keeps the relation as numpy columns
+over one interned string pool and answers through masked reductions and
+``np.unique`` group-bys — byte-identical outputs (the contract
+``tests/test_analysis_columnar.py`` locks down differentially).
+
+Measurements, all against the objects engine:
+
+* **Analysis throughput** — wall clock of the figure-regeneration
+  workload: the battery of queries behind the paper's figures/tables
+  (flow edges and destination shares per category, per-country
+  single-source effects, per-website distributions and histograms,
+  hosting destinations and breakdowns, organization edges and
+  rollups), across site counts.  The columnar side pays for its own
+  ``StudyFrame.assemble`` and cold memoised pair tables inside the
+  timed region; the objects side keeps its warmed per-record memos —
+  a deliberately conservative comparison.
+* **Coordinator memory** — peak traced allocation of getting one
+  country's results coordinator-side from the wire: the full
+  object-graph decode (objects engine) vs the light frame decode
+  (columnar engine, ``decode_run_frame``), across site counts.  The
+  columnar peak is what stays sublinear as sites grow.
+
+Scale model matches BENCH_transport: the shipped scenario measures 100
+sites per country, so larger site counts replicate the real CA run's
+measurements under fresh value-equal strings.
+
+Emits ``BENCH_analysis.json`` at the repo root (uploaded as a CI
+artifact).  Floor: >= 5x battery speedup at the largest scale
+(documented target 10x, docs/performance.md).  Set
+``BENCH_REPORT_ONLY=1`` to record numbers without asserting (CI does,
+to stay robust on noisy shared runners).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.core.analysis.flows import FlowAnalysis
+from repro.core.analysis.frames import CountryFrame, StudyFrame
+from repro.core.analysis.hosting import HostingAnalysis
+from repro.core.analysis.organizations import OrganizationAnalysis
+from repro.core.analysis.perwebsite import PerWebsiteAnalysis
+from repro.core.analysis.prevalence import PrevalenceAnalysis
+from repro.exec.transport import decode_run, decode_run_frame, encode_run
+from repro.web.website import CATEGORY_GOVERNMENT, CATEGORY_REGIONAL
+from repro.exec.worker import StudyWorker
+from repro.study import StudyConfig
+from benchmarks._emit import emit, record_history
+from benchmarks.test_transport_speedup import _inflate
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_analysis.json"
+
+#: Site-count multipliers over the real 100-site single-country run.
+SCALE_FACTORS = (1, 4, 12)
+BATTERY_REPEATS = 5
+
+#: Floor (skipped under BENCH_REPORT_ONLY=1); documented target is 10x.
+ANALYSIS_SPEEDUP_FLOOR = 5.0
+
+
+#: The per-category views Figures 3-5 regenerate (None = combined).
+CATEGORIES = (None, CATEGORY_REGIONAL, CATEGORY_GOVERNMENT)
+
+
+def _battery(results, frame, directory, ipinfo):
+    """One figure-regeneration pass both engines must answer equally.
+
+    Modeled on what ``gamma figures`` asks of the analysis layer: the
+    combined and per-category flow/distribution views, per-country
+    drill-downs, and the hosting/organization rollups.
+    """
+    flows = FlowAnalysis(results, frame=frame)
+    prevalence = PrevalenceAnalysis(results, frame=frame)
+    per_site = PerWebsiteAnalysis(results, frame=frame)
+    hosting = HostingAnalysis(results, frame=frame)
+    organizations = OrganizationAnalysis(results, directory, ipinfo, frame=frame)
+    countries = [result.country_code for result in results]
+    out = []
+    for category in CATEGORIES:
+        out.append(flows.edges(category))
+        out.append(flows.destination_shares(category))
+        out.append(flows.sites_with_nonlocal(category))
+        out.append(flows.source_count_per_destination(category))
+        out.append(per_site.all_distributions(category))
+    destinations = sorted({edge.destination for edge in out[0]})
+    for destination in destinations:
+        out.append(flows.single_source_effect(destination))
+        out.append(hosting.breakdown_by_source(destination))
+    for country_code in countries:
+        out.append(flows.destinations_of(country_code))
+        out.append(per_site.histogram(country_code))
+        out.append(per_site.outlier_sites(country_code))
+    out.append(prevalence.per_country())
+    out.append(prevalence.combined_pct_by_country())
+    out.append(hosting.domains_per_destination())
+    out.append(hosting.top_destinations(5))
+    out.append(organizations.flow_edges())
+    out.append(organizations.top_organizations(5))
+    out.append(organizations.home_country_distribution())
+    out.append(organizations.country_exclusive_organizations())
+    return out
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _peak_alloc(fn) -> int:
+    tracemalloc.start()
+    try:
+        fn()
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def test_analysis_speedup(scenario):
+    run = StudyWorker(scenario, StudyConfig())("CA")
+    directory, ipinfo = scenario.directory, scenario.ipinfo
+
+    scaling = []
+    memory = []
+    for factor in SCALE_FACTORS:
+        scaled = _inflate(run, factor)
+        sites = len(scaled.result.sites)
+        results = [scaled.result]
+        # Pre-built per-country frame: in the real pipeline it arrives
+        # for free from the columnar join / light transport decode, so
+        # only the study-wide assemble is the analysis phase's cost.
+        country_frames = [
+            CountryFrame.from_result(scaled.result, dataset=scaled.dataset)
+        ]
+
+        def run_objects():
+            return _battery(results, None, directory, ipinfo)
+
+        def run_columnar():
+            frame = StudyFrame.assemble(country_frames)
+            return _battery(results, frame, directory, ipinfo)
+
+        # Correctness before speed: the full battery must agree exactly.
+        assert run_objects() == run_columnar()
+
+        objects_s = _best(run_objects, BATTERY_REPEATS)
+        columnar_s = _best(run_columnar, BATTERY_REPEATS)
+        scaling.append({
+            "sites": sites,
+            "objects_s": round(objects_s, 4),
+            "columnar_s": round(columnar_s, 4),
+            "objects_sites_per_sec": round(sites / objects_s, 1),
+            "columnar_sites_per_sec": round(sites / columnar_s, 1),
+            "speedup": round(objects_s / columnar_s, 2),
+        })
+
+        # Coordinator memory: wire form -> analysable representation.
+        payload = encode_run(scaled)
+        memory.append({
+            "sites": sites,
+            "objects_peak_kb": _peak_alloc(lambda: decode_run(payload)) // 1024,
+            "columnar_peak_kb": _peak_alloc(
+                lambda: decode_run_frame(payload)
+            ) // 1024,
+        })
+
+    speedup = scaling[-1]["speedup"]
+    # Sublinearity witness: the marginal cost of each extra site at the
+    # coordinator — how many KB each engine's peak grows per added site
+    # going from the smallest to the largest scale.
+    added_sites = memory[-1]["sites"] - memory[0]["sites"]
+    objects_kb_per_site = (
+        memory[-1]["objects_peak_kb"] - memory[0]["objects_peak_kb"]
+    ) / added_sites
+    columnar_kb_per_site = (
+        memory[-1]["columnar_peak_kb"] - memory[0]["columnar_peak_kb"]
+    ) / added_sites
+
+    payload = {
+        "bench": "analysis",
+        "battery": [
+            "flows.edges x categories", "flows.destination_shares x categories",
+            "flows.sites_with_nonlocal x categories",
+            "flows.source_count_per_destination x categories",
+            "flows.single_source_effect x destinations",
+            "flows.destinations_of x countries",
+            "per_website.all_distributions x categories",
+            "per_website.histogram x countries",
+            "per_website.outlier_sites x countries",
+            "prevalence.per_country", "prevalence.combined_pct_by_country",
+            "hosting.domains_per_destination", "hosting.top_destinations",
+            "hosting.breakdown_by_source x destinations",
+            "organizations.flow_edges", "organizations.top_organizations",
+            "organizations.home_country_distribution",
+            "organizations.country_exclusive_organizations",
+        ],
+        "analysis": {
+            "sites": scaling[-1]["sites"],
+            "objects_s": scaling[-1]["objects_s"],
+            "columnar_s": scaling[-1]["columnar_s"],
+            "speedup": speedup,
+            "floor": ANALYSIS_SPEEDUP_FLOOR,
+            "target": 10.0,
+            "scaling": scaling,
+        },
+        "memory": {
+            "per_scale": memory,
+            "objects_kb_per_site": round(objects_kb_per_site, 2),
+            "columnar_kb_per_site": round(columnar_kb_per_site, 2),
+            "marginal_ratio": round(
+                objects_kb_per_site / max(columnar_kb_per_site, 1e-9), 2
+            ),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record_history("analysis", payload)
+
+    rows = [
+        f"{'sites':>6} {'objects':>10} {'columnar':>10} {'speedup':>8}",
+    ]
+    for row in scaling:
+        rows.append(
+            f"{row['sites']:>6} {1000 * row['objects_s']:>8.1f}ms "
+            f"{1000 * row['columnar_s']:>8.1f}ms {row['speedup']:>7.2f}x"
+        )
+    rows += [
+        "",
+        f"analysis battery speedup at {scaling[-1]['sites']} sites: "
+        f"{speedup:.2f}x (floor {ANALYSIS_SPEEDUP_FLOOR}x, target 10x)",
+        f"coordinator peak at {memory[-1]['sites']} sites: "
+        f"{memory[-1]['objects_peak_kb']:,}KB objects vs "
+        f"{memory[-1]['columnar_peak_kb']:,}KB columnar "
+        f"({objects_kb_per_site:.1f} vs {columnar_kb_per_site:.1f} "
+        f"KB per added site)",
+        f"written: {BENCH_PATH.name}",
+    ]
+    emit("Analysis layer: object walks vs columnar frame reductions", "\n".join(rows))
+
+    assert BENCH_PATH.exists()
+    if os.environ.get("BENCH_REPORT_ONLY") != "1":
+        assert speedup >= ANALYSIS_SPEEDUP_FLOOR, (
+            f"columnar analysis battery only {speedup:.2f}x over objects "
+            f"(floor {ANALYSIS_SPEEDUP_FLOOR}x)"
+        )

@@ -30,6 +30,7 @@ from typing import List, Optional
 
 from repro import GammaConfig, GammaSuite, StudyConfig, build_scenario, run_study
 from repro.artifacts import export_study
+from repro.core.analysis.frames import ANALYSIS_ENGINES
 from repro.core.geoloc.pipeline import GEOLOC_ENGINES, PipelineConfig
 from repro.exec.executor import BACKENDS
 from repro.exec.resilience import ON_ERROR_POLICIES, FaultInjector
@@ -190,6 +191,13 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
                              "vectorised join/funnel (default), pickle = "
                              "the object-graph oracle; outcomes are "
                              "byte-identical (CI equivalence mode)")
+    parser.add_argument("--analysis-engine", choices=list(ANALYSIS_ENGINES),
+                        default="columnar",
+                        help="how the analyses answer: columnar = one "
+                             "study-wide frame + vectorised reductions "
+                             "(default), objects = the per-record object "
+                             "graph; outputs are byte-identical "
+                             "(CI equivalence mode)")
     parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
                         help="write the structured run journal (JSONL) here; "
                              "summarize it with 'gamma trace FILE'")
@@ -281,6 +289,7 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         "checkpoint_dir": args.checkpoint_dir,
         "resume": args.resume,
         "transport": args.transport,
+        "analysis_engine": args.analysis_engine,
         "progress": progress,
         "profile": args.profile or args.profile_mem,
         "profile_mem": args.profile_mem,
@@ -535,9 +544,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         snapshot = load_snapshot(args.snapshot)
         meta = snapshot.get("meta", {})
         if meta:
-            print(f"run: backend={meta.get('backend')} jobs={meta.get('jobs')} "
-                  f"transport={meta.get('transport')} "
-                  f"countries={len(meta.get('countries', []))}")
+            line = (f"run: backend={meta.get('backend')} jobs={meta.get('jobs')} "
+                    f"transport={meta.get('transport')} ")
+            if meta.get("analysis_engine"):
+                line += f"analysis={meta['analysis_engine']} "
+            print(line + f"countries={len(meta.get('countries', []))}")
         print(_render_metric_families(snapshot, include_runtime=args.runtime))
         resources = snapshot.get("resources")
         if resources:

@@ -1,0 +1,580 @@
+"""Columnar study-result store: the frame-backed analysis engine.
+
+PRs 6-7 made geolocation math and the pool-boundary transport columnar,
+but every analysis pass still re-walked the per-site object graph
+(``CountryStudyResult`` -> ``SiteTrackerRecord`` -> ``NonLocalTracker``)
+in Python loops.  This module closes that last mile (ROADMAP item 5):
+
+* :class:`CountryFrame` — one country's joined (site, category, tracker
+  host, address, destination country/city, org) relation as numpy code
+  columns over a local interned string table.  Three construction paths
+  share the schema: sliced straight out of a columnar transport payload
+  (:func:`repro.exec.transport.decode_run_frame` — no object-graph
+  detour), attached by the worker's columnar join
+  (``build_country_result``'s code streams), or walked once from an
+  existing object graph (the in-process / resumed-checkpoint path).
+* :class:`StudyFrame` — the coordinator's study-wide concatenation:
+  per-frame string tables remapped into one global pool, per-site
+  country indices, and memoised ``np.unique`` group-by tables that the
+  vectorised analysis layer (flows, prevalence, hosting, organizations,
+  per-website, first-party, cross-country) reduces over.
+
+The object graph stays available as the byte-identical oracle:
+``StudyConfig.analysis_engine = "objects" | "columnar"`` (``gamma study
+--analysis-engine``) selects, :func:`resolve_analysis_engine` silently
+falls back to "objects" without numpy, and under the columnar engine
+``StudyOutcome`` materialises the legacy per-country objects lazily on
+first attribute access — so every accessor the frame does not serve
+still answers, just through a deferred decode.
+
+Ordering is part of the contract, not just values: every vectorised
+query reproduces the object implementation's exact iteration and
+tie-break order (dict insertion order included), which is what keeps
+summaries and exports byte-identical across engines
+(``tests/test_analysis_columnar.py`` locks this down differentially).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is in the standard toolchain
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+__all__ = [
+    "ANALYSIS_ENGINES",
+    "HAVE_NUMPY",
+    "CountryFrame",
+    "StudyFrame",
+    "resolve_analysis_engine",
+]
+
+#: Selectable analysis engines, oracle spelled out: "objects" walks the
+#: per-site record graph (the historical path), "columnar" reduces over
+#: the frame store.
+ANALYSIS_ENGINES = ("objects", "columnar")
+
+
+def resolve_analysis_engine(name: str) -> str:
+    """The analysis engine that will actually run (numpy gates "columnar")."""
+    if name not in ANALYSIS_ENGINES:
+        raise ValueError(
+            f"unknown analysis engine {name!r}; expected one of {ANALYSIS_ENGINES}"
+        )
+    if name == "columnar" and not HAVE_NUMPY:
+        return "objects"  # silent fallback, same contract as resolve_transport
+    return name
+
+
+class CountryFrame:
+    """One country's result + dataset relations as code columns.
+
+    String codes index ``strings`` (slot 0 reserved for ``None``, the
+    same convention as the transport codec).  The *result relation*
+    (``site_*``/``trk_*``) always exists; the *dataset relation*
+    (``dsite_*``/``dhost``) — site keys and requested hosts, needed only
+    by the cross-country analysis — is built eagerly when sliced from a
+    transport payload and lazily from a retained dataset object
+    otherwise.
+    """
+
+    __slots__ = (
+        "country_code", "strings",
+        "site_url", "site_category", "tracker_start",
+        "trk_host", "trk_address", "trk_dest_country", "trk_dest_city",
+        "trk_org",
+        "dsite_key", "dsite_url", "dsite_loaded", "host_start", "dhost",
+        "_dataset",
+    )
+
+    def __init__(
+        self, country_code, strings,
+        site_url, site_category, tracker_start,
+        trk_host, trk_address, trk_dest_country, trk_dest_city, trk_org,
+        dsite_key=None, dsite_url=None, dsite_loaded=None,
+        host_start=None, dhost=None, dataset=None,
+    ):
+        self.country_code = country_code
+        self.strings = strings
+        self.site_url = site_url
+        self.site_category = site_category
+        self.tracker_start = tracker_start
+        self.trk_host = trk_host
+        self.trk_address = trk_address
+        self.trk_dest_country = trk_dest_country
+        self.trk_dest_city = trk_dest_city
+        self.trk_org = trk_org
+        self.dsite_key = dsite_key
+        self.dsite_url = dsite_url
+        self.dsite_loaded = dsite_loaded
+        self.host_start = host_start
+        self.dhost = dhost
+        self._dataset = dataset
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_join(cls, result, hosts, codes, bounds, is_tracker,
+                  dest_country, dest_city, org_names):
+        """Reuse ``_join_columnar``'s code streams — the worker-side path.
+
+        The join already interned every foreground host into first-sight
+        codes; this seeds the frame's string table with those hosts so
+        per-tracker rows are plain gathers, and only urls/categories/
+        addresses intern fresh.
+        """
+        strings: List[Optional[str]] = [None]
+        index: Dict[str, int] = {}
+
+        def sid(value):
+            if value is None:
+                return 0
+            got = index.get(value)
+            if got is None:
+                got = len(strings)
+                index[value] = got
+                strings.append(value)
+            return got
+
+        host_sids = _np.fromiter(
+            (sid(host) for host in hosts), dtype=_np.int64, count=len(hosts)
+        )
+        dest_sids = _np.fromiter(
+            (sid(value) if value else 0 for value in dest_country),
+            dtype=_np.int64, count=len(dest_country),
+        )
+        city_sids = _np.fromiter(
+            (sid(value) if value else 0 for value in dest_city),
+            dtype=_np.int64, count=len(dest_city),
+        )
+        org_sids = _np.fromiter(
+            (sid(value) for value in org_names),
+            dtype=_np.int64, count=len(org_names),
+        )
+
+        site_url = _np.fromiter(
+            (sid(site.url) for site in result.sites),
+            dtype=_np.int64, count=len(result.sites),
+        )
+        site_category = _np.fromiter(
+            (sid(site.category) for site in result.sites),
+            dtype=_np.int64, count=len(result.sites),
+        )
+        # Tracker rows: the occurrence mask over the per-site code stream
+        # is exactly the rows the join materialised as NonLocalTrackers.
+        code_stream = _np.asarray(codes, dtype=_np.int64)
+        mask = is_tracker[code_stream] if len(hosts) else _np.zeros(0, dtype=bool)
+        row_codes = code_stream[mask]
+        per_site = _np.diff(_np.asarray(bounds, dtype=_np.int64))
+        counts = _np.zeros(len(per_site), dtype=_np.int64)
+        if len(code_stream):
+            site_of_row = _np.repeat(_np.arange(len(per_site)), per_site)
+            counts = _np.bincount(site_of_row[mask], minlength=len(per_site))
+        tracker_start = _np.zeros(len(per_site) + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=tracker_start[1:])
+        # Addresses come from each measurement's dns map, row by row —
+        # the one per-row Python pass the join pays anyway.
+        trk_address = _np.fromiter(
+            (sid(tracker.address) for site in result.sites
+             for tracker in site.trackers),
+            dtype=_np.int64, count=int(tracker_start[-1]),
+        )
+        return cls(
+            result.country_code, strings,
+            site_url, site_category, tracker_start,
+            host_sids[row_codes] if len(row_codes) else _np.zeros(0, _np.int64),
+            trk_address,
+            dest_sids[row_codes] if len(row_codes) else _np.zeros(0, _np.int64),
+            city_sids[row_codes] if len(row_codes) else _np.zeros(0, _np.int64),
+            org_sids[row_codes] if len(row_codes) else _np.zeros(0, _np.int64),
+            dataset=result.dataset,
+        )
+
+    @classmethod
+    def from_result(cls, result, dataset=None):
+        """One Python walk over an existing object graph (oracle path)."""
+        strings: List[Optional[str]] = [None]
+        index: Dict[str, int] = {}
+
+        def sid(value):
+            if value is None:
+                return 0
+            got = index.get(value)
+            if got is None:
+                got = len(strings)
+                index[value] = got
+                strings.append(value)
+            return got
+
+        site_url: List[int] = []
+        site_category: List[int] = []
+        tracker_start: List[int] = [0]
+        trk_host: List[int] = []
+        trk_address: List[int] = []
+        trk_dest_country: List[int] = []
+        trk_dest_city: List[int] = []
+        trk_org: List[int] = []
+        for site in result.sites:
+            site_url.append(sid(site.url))
+            site_category.append(sid(site.category))
+            for tracker in site.trackers:
+                trk_host.append(sid(tracker.host))
+                trk_address.append(sid(tracker.address))
+                trk_dest_country.append(sid(tracker.destination_country))
+                trk_dest_city.append(sid(tracker.destination_city_key))
+                trk_org.append(sid(tracker.org_name))
+            tracker_start.append(len(trk_host))
+        as_col = lambda values: _np.asarray(values, dtype=_np.int64)
+        return cls(
+            result.country_code, strings,
+            as_col(site_url), as_col(site_category), as_col(tracker_start),
+            as_col(trk_host), as_col(trk_address), as_col(trk_dest_country),
+            as_col(trk_dest_city), as_col(trk_org),
+            dataset=dataset if dataset is not None else result.dataset,
+        )
+
+    def ensure_dataset_relation(self) -> None:
+        """Build the dataset relation from the retained dataset object."""
+        if self.dsite_key is not None:
+            return
+        dataset = self._dataset
+        if dataset is None:
+            raise ValueError(
+                f"{self.country_code}: frame has neither a dataset relation "
+                "nor a dataset object to build one from"
+            )
+        strings = self.strings
+        index = {value: i for i, value in enumerate(strings) if i}
+
+        def sid(value):
+            if value is None:
+                return 0
+            got = index.get(value)
+            if got is None:
+                got = len(strings)
+                index[value] = got
+                strings.append(value)
+            return got
+
+        keys: List[int] = []
+        urls: List[int] = []
+        loaded: List[int] = []
+        host_start: List[int] = [0]
+        dhost: List[int] = []
+        for key, measurement in dataset.websites.items():
+            keys.append(sid(key))
+            urls.append(sid(measurement.url))
+            loaded.append(1 if measurement.loaded else 0)
+            dhost.extend(sid(host) for host in measurement.requested_hosts)
+            host_start.append(len(dhost))
+        as_col = lambda values: _np.asarray(values, dtype=_np.int64)
+        self.dsite_key = as_col(keys)
+        self.dsite_url = as_col(urls)
+        self.dsite_loaded = as_col(loaded)
+        self.host_start = as_col(host_start)
+        self.dhost = as_col(dhost)
+
+
+class StudyFrame:
+    """Study-wide concatenation of per-country frames.
+
+    All code columns index one global interned string pool.  Derived
+    group-by tables — unique (site, destination) pairs, (site, org)
+    pairs, (country, host, destination) triples, per-site distinct-host
+    counts — are memoised on first use: they are what the vectorised
+    analyses reduce over, and several analyses share them.
+    """
+
+    __slots__ = (
+        "strings", "countries",
+        "site_country", "country_site_start", "site_url", "site_category",
+        "tracker_start", "trk_site",
+        "trk_host", "trk_address", "trk_dest_country", "trk_dest_city",
+        "trk_org",
+        "_sid_index", "_frames", "_remaps",
+        "_has_tracker", "_dest_pairs", "_org_pairs", "_host_counts",
+        "_host_triples",
+        "_dsite_country", "_dsite_key", "_dsite_url", "_dsite_loaded",
+        "_dhost_start", "_dhost", "_key_index",
+    )
+
+    def __init__(self):
+        self.strings: List[Optional[str]] = [None]
+        self._sid_index: Dict[str, int] = {}
+        self.countries: List[str] = []
+        self._frames: List[CountryFrame] = []
+        self._remaps: List[object] = []
+        self._has_tracker = None
+        self._dest_pairs = None
+        self._org_pairs = None
+        self._host_counts = None
+        self._host_triples = None
+        self._dsite_country = None
+        self._key_index = None
+
+    # -- assembly ------------------------------------------------------------
+    @classmethod
+    def assemble(cls, frames: Sequence[CountryFrame]) -> "StudyFrame":
+        self = cls()
+        strings = self.strings
+        index = self._sid_index
+        site_url_parts = []
+        site_cat_parts = []
+        site_country_parts = []
+        start_parts = []
+        trk_parts = {name: [] for name in (
+            "trk_host", "trk_address", "trk_dest_country", "trk_dest_city",
+            "trk_org",
+        )}
+        trk_site_parts = []
+        site_base = 0
+        tracker_base = 0
+        for country_index, frame in enumerate(frames):
+            self.countries.append(frame.country_code)
+            self._frames.append(frame)
+            remap = _np.empty(len(frame.strings), dtype=_np.int64)
+            remap[0] = 0
+            for local, value in enumerate(frame.strings):
+                if local == 0:
+                    continue
+                got = index.get(value)
+                if got is None:
+                    got = len(strings)
+                    index[value] = got
+                    strings.append(value)
+                remap[local] = got
+            self._remaps.append(remap)
+            site_url_parts.append(remap[frame.site_url])
+            site_cat_parts.append(remap[frame.site_category])
+            n_sites = len(frame.site_url)
+            site_country_parts.append(
+                _np.full(n_sites, country_index, dtype=_np.int64)
+            )
+            start_parts.append(frame.tracker_start[1:] + tracker_base)
+            counts = _np.diff(frame.tracker_start)
+            trk_site_parts.append(
+                _np.repeat(_np.arange(n_sites, dtype=_np.int64), counts)
+                + site_base
+            )
+            for name in trk_parts:
+                trk_parts[name].append(remap[getattr(frame, name)])
+            site_base += n_sites
+            tracker_base += int(frame.tracker_start[-1])
+
+        def cat(parts, empty_len=0):
+            if not parts:
+                return _np.zeros(empty_len, dtype=_np.int64)
+            return _np.concatenate(parts)
+
+        self.site_url = cat(site_url_parts)
+        self.site_category = cat(site_cat_parts)
+        self.site_country = cat(site_country_parts)
+        self.tracker_start = _np.concatenate(
+            [_np.zeros(1, dtype=_np.int64)] + start_parts
+        ) if start_parts else _np.zeros(1, dtype=_np.int64)
+        self.trk_site = cat(trk_site_parts)
+        for name, parts in trk_parts.items():
+            setattr(self, name, cat(parts))
+        counts_per_country = _np.asarray(
+            [len(frame.site_url) for frame in frames], dtype=_np.int64
+        )
+        self.country_site_start = _np.zeros(len(frames) + 1, dtype=_np.int64)
+        _np.cumsum(counts_per_country, out=self.country_site_start[1:])
+        return self
+
+    # -- lookups -------------------------------------------------------------
+    def code(self, value: Optional[str]) -> int:
+        """Global string code for *value*; -1 when never observed."""
+        if value is None:
+            return 0
+        return self._sid_index.get(value, -1)
+
+    def string(self, code: int) -> Optional[str]:
+        return self.strings[code]
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.site_url)
+
+    def country_index(self, country_code: str) -> int:
+        try:
+            return self.countries.index(country_code)
+        except ValueError:
+            raise KeyError(f"no study result for {country_code}") from None
+
+    def site_mask(
+        self, category: Optional[str] = None,
+        exclude_countries: Sequence[str] = (),
+    ):
+        """Boolean site filter matching ``sites_in`` + source skipping."""
+        mask = _np.ones(self.n_sites, dtype=bool)
+        if category is not None:
+            mask &= self.site_category == self.code(category)
+        for country_code in exclude_countries:
+            try:
+                mask &= self.site_country != self.country_index(country_code)
+            except KeyError:
+                continue
+        return mask
+
+    # -- memoised group-by tables --------------------------------------------
+    def has_tracker(self):
+        """Per site: does it carry at least one non-local tracker row?"""
+        if self._has_tracker is None:
+            self._has_tracker = _np.diff(self.tracker_start) > 0
+        return self._has_tracker
+
+    def _ranked(self, codes):
+        """Alphabetical rank table for the string codes in *codes*.
+
+        Returns ``(rank_of_code, ranked_strings)`` where ``rank_of_code``
+        maps a global string code to its alphabetical rank among the
+        distinct values present (undefined elsewhere).  Alphabetical
+        ranks are what reproduce the object paths' ``sorted(...)``
+        iteration orders without touching strings per row.
+        """
+        present = _np.unique(codes)
+        ranked_strings = sorted(self.strings[code] for code in present.tolist())
+        rank_of_code = _np.zeros(len(self.strings), dtype=_np.int64)
+        for rank, value in enumerate(ranked_strings):
+            rank_of_code[self._sid_index[value]] = rank
+        return rank_of_code, ranked_strings
+
+    def dest_pairs(self):
+        """Unique (site, destination) pairs, ordered by (site, dest rank).
+
+        One pair per site/destination combination — exactly the rows
+        ``site.destination_countries()`` (a sorted set) yields per site,
+        in the same order the object loops visit them.
+        """
+        if self._dest_pairs is None:
+            rank_of_code, ranked = self._ranked(self.trk_dest_country)
+            width = len(ranked) or 1
+            keys = self.trk_site * width + rank_of_code[self.trk_dest_country]
+            unique = _np.unique(keys)
+            self._dest_pairs = (unique // width, unique % width, ranked)
+        return self._dest_pairs
+
+    def org_pairs(self):
+        """Unique (site, org) pairs (org present), by (site, org rank)."""
+        if self._org_pairs is None:
+            present = self.trk_org != 0
+            orgs = self.trk_org[present]
+            sites = self.trk_site[present]
+            rank_of_code, ranked = self._ranked(orgs)
+            width = len(ranked) or 1
+            unique = _np.unique(sites * width + rank_of_code[orgs])
+            self._org_pairs = (unique // width, unique % width, ranked)
+        return self._org_pairs
+
+    def tracker_host_counts(self):
+        """Per site: distinct tracker hostnames (``site.tracker_count``)."""
+        if self._host_counts is None:
+            width = len(self.strings)
+            pairs = _np.unique(self.trk_site * width + self.trk_host)
+            self._host_counts = _np.bincount(
+                pairs // width, minlength=self.n_sites
+            )
+        return self._host_counts
+
+    def host_triples(self):
+        """Unique (country, host, destination) triples across all rows."""
+        if self._host_triples is None:
+            width = len(self.strings)
+            keys = (
+                self.site_country[self.trk_site] * width + self.trk_host
+            ) * width + self.trk_dest_country
+            unique = _np.unique(keys)
+            self._host_triples = (
+                unique // (width * width),
+                (unique // width) % width,
+                unique % width,
+            )
+        return self._host_triples
+
+    # -- dataset relation (cross-country analysis) ---------------------------
+    def _extend_remap(self, frame_index: int):
+        """Re-sync a frame's remap after its lazy dataset-relation build."""
+        frame = self._frames[frame_index]
+        remap = self._remaps[frame_index]
+        if len(remap) == len(frame.strings):
+            return remap
+        grown = _np.empty(len(frame.strings), dtype=_np.int64)
+        grown[:len(remap)] = remap
+        strings = self.strings
+        index = self._sid_index
+        for local in range(len(remap), len(frame.strings)):
+            value = frame.strings[local]
+            got = index.get(value)
+            if got is None:
+                got = len(strings)
+                index[value] = got
+                strings.append(value)
+            grown[local] = got
+        self._remaps[frame_index] = grown
+        return grown
+
+    def dataset_relation(self):
+        """Global (country, site key, url, loaded, requested hosts) relation."""
+        if self._dsite_country is None:
+            country_parts = []
+            key_parts = []
+            url_parts = []
+            loaded_parts = []
+            start_parts = []
+            host_parts = []
+            host_base = 0
+            for frame_index, frame in enumerate(self._frames):
+                frame.ensure_dataset_relation()
+                remap = self._extend_remap(frame_index)
+                key_parts.append(remap[frame.dsite_key])
+                url_parts.append(remap[frame.dsite_url])
+                loaded_parts.append(frame.dsite_loaded)
+                country_parts.append(_np.full(
+                    len(frame.dsite_key), frame_index, dtype=_np.int64
+                ))
+                start_parts.append(frame.host_start[1:] + host_base)
+                host_parts.append(remap[frame.dhost])
+                host_base += int(frame.host_start[-1])
+
+            def cat(parts):
+                if not parts:
+                    return _np.zeros(0, dtype=_np.int64)
+                return _np.concatenate(parts)
+
+            self._dsite_country = cat(country_parts)
+            self._dsite_key = cat(key_parts)
+            self._dsite_url = cat(url_parts)
+            self._dsite_loaded = cat(loaded_parts)
+            self._dhost_start = _np.concatenate(
+                [_np.zeros(1, dtype=_np.int64)] + start_parts
+            ) if start_parts else _np.zeros(1, dtype=_np.int64)
+            self._dhost = cat(host_parts)
+        return (
+            self._dsite_country, self._dsite_key, self._dsite_loaded,
+            self._dhost_start, self._dhost,
+        )
+
+    def sites_for_key(self, url: str) -> List[Tuple[int, int]]:
+        """``(country index, dataset-site row)`` pairs for one site key."""
+        if self._key_index is None:
+            country, key, _loaded, _start, _hosts = self.dataset_relation()
+            by_key: Dict[int, List[Tuple[int, int]]] = {}
+            order = _np.argsort(key, kind="stable")
+            for row in order.tolist():
+                by_key.setdefault(int(key[row]), []).append(
+                    (int(country[row]), row)
+                )
+            self._key_index = by_key
+        code = self.code(url)
+        if code < 0:
+            return []
+        return self._key_index.get(code, [])
+
+    def requested_host_codes(self, row: int):
+        """Requested-host codes of one dataset-site row (duplicates kept)."""
+        _country, _key, _loaded, start, hosts = self.dataset_relation()
+        return hosts[int(start[row]):int(start[row + 1])]

@@ -20,7 +20,7 @@ from repro.policy.registry import PolicyRegistry
 __all__ = ["PolicyRow", "PolicyAnalysis"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PolicyRow:
     """One Table-1 row."""
 
@@ -34,8 +34,8 @@ class PolicyRow:
 class PolicyAnalysis:
     """Policy-vs-measurement correlation."""
 
-    def __init__(self, results: Sequence[CountryStudyResult], registry: PolicyRegistry):
-        self._prevalence = PrevalenceAnalysis(results)
+    def __init__(self, results: Sequence[CountryStudyResult], registry: PolicyRegistry, frame=None):
+        self._prevalence = PrevalenceAnalysis(results, frame=frame)
         self._registry = registry
 
     def table_rows(self) -> List[PolicyRow]:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.core.gamma.output import VolunteerDataset
 from repro.core.geoloc.pipeline import DatasetGeolocation
+from repro.core.slotstate import install_slot_state
 from repro.core.trackers.identify import TrackerIdentifier, TrackerVerdict
 from repro.core.trackers.orgs import OrganizationDirectory
 from repro.web.website import CATEGORY_GOVERNMENT, CATEGORY_REGIONAL
@@ -27,7 +28,7 @@ except ImportError:  # pragma: no cover
 __all__ = ["NonLocalTracker", "SiteTrackerRecord", "CountryStudyResult", "build_country_result"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NonLocalTracker:
     """One verified non-local tracking host observed on one site."""
 
@@ -38,14 +39,37 @@ class NonLocalTracker:
     org_name: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class SiteTrackerRecord:
-    """Analysis view of one loaded website."""
+    """Analysis view of one loaded website.
+
+    Derived aggregates (distinct host count, sorted destination and
+    organisation sets) are memoised once the tracker list stops growing;
+    the memo is keyed on ``len(trackers)``, so the builder path — which
+    only ever appends — invalidates it naturally, and it is excluded
+    from pickle state and equality.
+    """
 
     url: str
     country_code: str
     category: str
     trackers: List[NonLocalTracker] = field(default_factory=list)
+    _derived: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _derive(self) -> tuple:
+        derived = getattr(self, "_derived", None)
+        n = len(self.trackers)
+        if derived is None or derived[0] != n:
+            derived = (
+                n,
+                len({t.host for t in self.trackers}),
+                sorted({t.destination_country for t in self.trackers}),
+                sorted({t.org_name for t in self.trackers if t.org_name}),
+            )
+            self._derived = derived
+        return derived
 
     @property
     def has_nonlocal_tracker(self) -> bool:
@@ -54,13 +78,24 @@ class SiteTrackerRecord:
     @property
     def tracker_count(self) -> int:
         """Number of distinct non-local tracking domains (full hostnames)."""
-        return len({t.host for t in self.trackers})
+        return self._derive()[1]
 
     def destination_countries(self) -> List[str]:
-        return sorted({t.destination_country for t in self.trackers})
+        return self._derive()[2]
 
     def organizations(self) -> List[str]:
-        return sorted({t.org_name for t in self.trackers if t.org_name})
+        return self._derive()[3]
+
+
+install_slot_state(
+    NonLocalTracker,
+    ("host", "address", "destination_country", "destination_city_key",
+     "org_name"),
+)
+install_slot_state(
+    SiteTrackerRecord,
+    ("url", "country_code", "category", "trackers"),
+)
 
 
 @dataclass
@@ -72,6 +107,16 @@ class CountryStudyResult:
     geolocation: DatasetGeolocation
     tracker_verdicts: Dict[str, TrackerVerdict] = field(default_factory=dict)
     sites: List[SiteTrackerRecord] = field(default_factory=list)
+
+    # Transient columnar twin attached by the worker join; never
+    # pickled, so checkpoints and transport bytes are frame-agnostic.
+    _frame = None
+
+    def __getstate__(self):
+        state = self.__dict__
+        if "_frame" not in state:
+            return state
+        return {k: v for k, v in state.items() if k != "_frame"}
 
     def sites_in(self, category: Optional[str] = None) -> List[SiteTrackerRecord]:
         if category is None:
@@ -175,6 +220,22 @@ def build_country_result(
     return result
 
 
+def _attach_frame(result, hosts, codes, bounds, is_tracker,
+                  dest_country, dest_city, org_names) -> None:
+    """Batch the join output into its columnar twin.
+
+    The worker hands this frame straight to the frame-backed analysis
+    layer; the object graph stays the oracle and the coordinator can
+    always rebuild a frame from it (``CountryFrame.from_result``).
+    """
+    from repro.core.analysis.frames import CountryFrame
+
+    result._frame = CountryFrame.from_join(
+        result, hosts, codes, bounds, is_tracker,
+        dest_country, dest_city, org_names,
+    )
+
+
 def _join_columnar(
     dataset: VolunteerDataset,
     geolocation: DatasetGeolocation,
@@ -259,4 +320,8 @@ def _join_columnar(
         result.sites.append(site)
 
     result.tracker_verdicts = verdicts
+    _attach_frame(
+        result, hosts, codes, bounds, is_tracker,
+        dest_country, dest_city, org_names,
+    )
     return result

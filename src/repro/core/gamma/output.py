@@ -14,13 +14,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.gamma.parsers import NormalizedTraceroute
+from repro.core.slotstate import install_slot_state
 
 __all__ = ["WebsiteMeasurement", "VolunteerDataset", "anonymize"]
 
 ANONYMIZED_IP = "0.0.0.0"
 
 
-@dataclass
+@dataclass(slots=True)
 class WebsiteMeasurement:
     """Everything recorded for one target website."""
 
@@ -81,6 +82,16 @@ class WebsiteMeasurement:
             page_html=payload.get("page_html"),
             hardcoded_domains=list(payload.get("hardcoded_domains", [])),
         )
+
+
+# Pickle state stays the historical field-ordered dict so pre-slots
+# checkpoints load and fresh pickle bytes are unchanged.
+install_slot_state(
+    WebsiteMeasurement,
+    ("url", "category", "loaded", "requested_hosts", "background_hosts",
+     "dns", "rdns", "traceroutes", "failure_reason", "page_html",
+     "hardcoded_domains"),
+)
 
 
 @dataclass

@@ -14,6 +14,8 @@ import statistics
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.core.slotstate import install_slot_state
+
 __all__ = [
     "NormalizedHop",
     "NormalizedTraceroute",
@@ -23,7 +25,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NormalizedHop:
     """One hop in the normalised schema."""
 
@@ -51,7 +53,7 @@ class NormalizedHop:
         return {"hop": self.hop, "ip": self.address, "rtt_ms": list(self.rtts_ms)}
 
 
-@dataclass
+@dataclass(slots=True)
 class NormalizedTraceroute:
     """The OS-independent traceroute record Gamma stores."""
 
@@ -97,6 +99,12 @@ class NormalizedTraceroute:
                 for entry in payload.get("hops", [])
             ],
         )
+
+
+# Pickle state stays the historical field-ordered dict so pre-slots
+# checkpoints load and fresh pickle bytes are unchanged.
+install_slot_state(NormalizedHop, ("hop", "address", "rtts_ms"))
+install_slot_state(NormalizedTraceroute, ("target", "reached", "hops", "tool"))
 
 
 _LINUX_HEADER_RE = re.compile(r"^traceroute to (\S+) \((\S+)\)")

@@ -153,6 +153,7 @@ class ExecMetrics:
         wall_seconds: float = 0.0,
         geoloc_engine: str = "",
         transport: str = "",
+        analysis_engine: str = "",
         registry: Optional[MetricsRegistry] = None,
     ):
         self.backend = backend
@@ -163,6 +164,10 @@ class ExecMetrics:
         #: Result transport the fan-out ran with ("pickle" or
         #: "columnar"); empty for pre-transport metrics objects.
         self.transport = transport
+        #: Analysis engine the outcome's accessors run with ("objects"
+        #: or "columnar", after numpy gating); empty for pre-frame
+        #: metrics objects.
+        self.analysis_engine = analysis_engine
         self.registry = registry if registry is not None else MetricsRegistry()
         if wall_seconds:
             self.wall_seconds = wall_seconds
@@ -331,6 +336,7 @@ class ExecMetrics:
             "jobs": self.jobs,
             "geoloc_engine": self.geoloc_engine,
             "transport": self.transport,
+            "analysis_engine": self.analysis_engine,
             "wall_seconds": round(self.wall_seconds, 4),
             "aggregate_seconds": round(self.aggregate_seconds, 4),
             "speedup": round(self.speedup, 3),
@@ -351,8 +357,9 @@ class ExecMetrics:
         """One human-readable block for the CLI study summary."""
         engine = f" geoloc={self.geoloc_engine}" if self.geoloc_engine else ""
         transport = f" transport={self.transport}" if self.transport else ""
+        analysis = f" analysis={self.analysis_engine}" if self.analysis_engine else ""
         lines = [
-            f"execution: backend={self.backend} jobs={self.jobs}{engine}{transport} "
+            f"execution: backend={self.backend} jobs={self.jobs}{engine}{transport}{analysis} "
             f"wall={self.wall_seconds:.2f}s aggregate={self.aggregate_seconds:.2f}s "
             f"speedup={self.speedup:.2f}x"
         ]

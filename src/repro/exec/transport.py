@@ -59,10 +59,12 @@ __all__ = [
     "HAVE_NUMPY",
     "TRANSPORTS",
     "EncodedCountryRun",
+    "FrameRun",
     "TransportDecodeError",
     "TransportWorker",
     "checkpoint_format",
     "decode_run",
+    "decode_run_frame",
     "encode_run",
     "resolve_transport",
 ]
@@ -224,12 +226,24 @@ class _Reader:
         code = self._codes[index]
         return code, self._view[self._offsets[index]:self._offsets[index + 1]]
 
+    def skip(self) -> None:
+        """Advance past a section without materialising it."""
+        self._section()
+
     def ints(self) -> List[int]:
         code, section = self._section()
         dtype = _INT_CODES.get(code)
         if dtype is None:
             raise TransportDecodeError(f"expected an integer column, got {code}")
         return _np.frombuffer(section, dtype=dtype).tolist()
+
+    def ints_array(self):
+        """Integer section as an int64 numpy column (frame decode path)."""
+        code, section = self._section()
+        dtype = _INT_CODES.get(code)
+        if dtype is None:
+            raise TransportDecodeError(f"expected an integer column, got {code}")
+        return _np.frombuffer(section, dtype=dtype).astype(_np.int64)
 
     def floats(self) -> List[float]:
         code, section = self._section()
@@ -402,12 +416,12 @@ class _Encoder:
                  sid(trace.tool), len(hops))
             )
             for hop in hops:
-                # Read the instance dict directly: one slot access per
-                # hop instead of three descriptor lookups — this is the
-                # single hottest loop in the encoder.
-                state = hop.__dict__
-                samples = state["rtts_ms"]
-                extend_hops((state["hop"], sid(state["address"]), len(samples)))
+                # This is the single hottest loop in the encoder; with
+                # ``__slots__`` on NormalizedHop these attribute reads
+                # are direct slot loads, cheaper than the instance-dict
+                # probing the pre-slots encoder did.
+                samples = hop.rtts_ms
+                extend_hops((hop.hop, sid(hop.address), len(samples)))
                 extend_rtts(samples)
         return [("i", trace_cols), ("i", hop_cols), ("f", rtts)]
 
@@ -548,15 +562,24 @@ def encode_run(run, *, compress: bool = True) -> bytes:
 def _state_maker(cls):
     """pickle-style construction for the bulk record types.
 
-    ``__new__`` plus a ``__dict__`` fill skips the generated dataclass
+    ``__new__`` plus a state fill skips the generated dataclass
     ``__init__`` — the same shortcut ``pickle.loads`` takes — which is
     ~3x faster across the tens of thousands of hops/measurements a
     study-scale run decodes.  The state dict must list keys in field
     order so a re-pickle of the decoded object is byte-identical to one
-    built through ``__init__``.
+    built through ``__init__``.  Dict-backed classes take the state dict
+    wholesale; ``__slots__``-backed ones (the hot measurement records)
+    get a per-slot fill, probed once per class here.
     """
     new = cls.__new__
-    if cls.__dataclass_params__.frozen:
+    if not hasattr(new(cls), "__dict__"):  # slots-backed record
+        def make(state, _new=new, _cls=cls, _set=object.__setattr__):
+            obj = _new(_cls)
+            for key, value in state.items():
+                _set(obj, key, value)
+            return obj
+
+    elif cls.__dataclass_params__.frozen:
         set_ = object.__setattr__  # frozen __setattr__ would refuse
 
         def make(state, _new=new, _cls=cls, _set=set_):
@@ -572,6 +595,51 @@ def _state_maker(cls):
             return obj
 
     return make
+
+
+def _read_string_table(reader: _Reader) -> List[Optional[str]]:
+    """Decode the interned string table (sections 1-2 of every body).
+
+    One decode of the whole blob, sliced by lengths (byte counts; only a
+    non-ASCII blob needs the per-string decode).  Entries are
+    sys.intern-ed: the table is already deduped so the cost is one dict
+    probe per unique string, and interning makes decoded
+    identifier-like strings ("local", "rdns", country codes) the same
+    objects as their compile-time-interned twins — which is what keeps
+    the round trip pickle-byte-identical on graphs whose equal strings
+    are shared by value.
+    """
+    intern = sys.intern
+    raw = reader.blob()
+    text = raw.decode("utf-8")
+    byte_lengths = reader.ints()
+    table: List[Optional[str]] = [None]
+    offset = 0
+    if len(text) == len(raw):  # pure ASCII: byte offsets == char offsets
+        for length in byte_lengths:
+            table.append(intern(text[offset:offset + length]))
+            offset += length
+    else:
+        for length in byte_lengths:
+            table.append(intern(raw[offset:offset + length].decode("utf-8")))
+            offset += length
+    return table
+
+
+def _open_body(payload: bytes):
+    """Validate framing, decompress, and position a reader at section 1."""
+    if payload[:4] != _MAGIC:
+        raise TransportDecodeError("bad magic: not a columnar CountryRun")
+    version = payload[4]
+    if version not in _SUPPORTED_VERSIONS:
+        raise TransportDecodeError(f"unsupported version {version}")
+    body = payload[6:]
+    if payload[5] & _FLAG_ZLIB:
+        try:
+            body = zlib.decompress(body)
+        except zlib.error as error:
+            raise TransportDecodeError(f"corrupt body: {error}") from error
+    return version, _Reader(body)
 
 
 def decode_run(payload: bytes):
@@ -616,41 +684,8 @@ def _decode_graph(payload: bytes):
     from repro.geodb.ipmap import GeoClaim
     from repro.netsim.geography import City
 
-    if payload[:4] != _MAGIC:
-        raise TransportDecodeError("bad magic: not a columnar CountryRun")
-    version = payload[4]
-    if version not in _SUPPORTED_VERSIONS:
-        raise TransportDecodeError(f"unsupported version {version}")
-    body = payload[6:]
-    if payload[5] & _FLAG_ZLIB:
-        try:
-            body = zlib.decompress(body)
-        except zlib.error as error:
-            raise TransportDecodeError(f"corrupt body: {error}") from error
-    reader = _Reader(body)
-
-    # String table: one decode of the whole blob, sliced by lengths
-    # (byte counts; only a non-ASCII blob needs the per-string decode).
-    # Entries are sys.intern-ed: the table is already deduped so the
-    # cost is one dict probe per unique string, and interning makes
-    # decoded identifier-like strings ("local", "rdns", country codes)
-    # the same objects as their compile-time-interned twins — which is
-    # what keeps the round trip pickle-byte-identical on graphs whose
-    # equal strings are shared by value.
-    intern = sys.intern
-    raw = reader.blob()
-    text = raw.decode("utf-8")
-    byte_lengths = reader.ints()
-    table: List[Optional[str]] = [None]
-    offset = 0
-    if len(text) == len(raw):  # pure ASCII: byte offsets == char offsets
-        for length in byte_lengths:
-            table.append(intern(text[offset:offset + length]))
-            offset += length
-    else:
-        for length in byte_lengths:
-            table.append(intern(raw[offset:offset + length].decode("utf-8")))
-            offset += length
+    version, reader = _open_body(payload)
+    table = _read_string_table(reader)
     s = table.__getitem__
 
     # pickle-speed constructors for the record types decoded in bulk.
@@ -885,6 +920,154 @@ def _decode_graph(payload: bytes):
     )
 
 
+# -- light decode: frame-backed results --------------------------------------
+
+
+@dataclass
+class FrameRun:
+    """A light-decoded country result: columnar frame + run metadata.
+
+    Produced by :func:`decode_run_frame` under the columnar analysis
+    engine: the result and dataset relations stay numpy columns (a
+    :class:`~repro.core.analysis.frames.CountryFrame`), while the
+    everything-else sections of the payload are skipped, not
+    materialised.  Carries every scalar the coordinator's merge,
+    metrics, and journal paths touch (funnel, timings, cache deltas,
+    events, telemetry extras), so assembling a ``StudyOutcome`` does not
+    force the object graph.  The original payload is retained:
+    ``load()`` performs the full :func:`decode_run` on demand (single
+    use) for accessors the frame does not serve.
+    """
+
+    country_code: str
+    frame: object
+    funnel: object
+    timings: object
+    source_trace_origin: str
+    geoloc_engine: str
+    cache_deltas: Dict[str, Dict[str, int]]
+    events: Optional[list]
+    metrics_delta: Optional[dict]
+    resources: Optional[dict]
+    sites: int
+    payload: Optional[bytes] = None
+
+    def load(self):
+        """Full object-graph decode of the retained payload (single use)."""
+        if self.payload is None:
+            raise ValueError(f"{self.country_code}: payload already consumed")
+        payload = self.payload
+        self.payload = None
+        return decode_run(payload)
+
+
+def decode_run_frame(payload: bytes) -> FrameRun:
+    """Light decode: columns the analysis layer needs, nothing inflated.
+
+    Reads the same body as :func:`decode_run` but keeps the result
+    relation (per-site urls/categories, per-tracker host/address/
+    destination/org), the run dataset's site relation (keys, urls,
+    loaded flags, requested hosts — the cross-country analysis' input),
+    the funnel, timings, caches, events, and telemetry extras.  The
+    city/claim/traceroute/geolocation sections — the bulk of the object
+    graph — are skipped positionally without allocation, which is what
+    makes coordinator memory sublinear in site count.
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - callers gate on the engine
+        raise RuntimeError("frame decode requires numpy")
+    from repro.core.analysis.frames import CountryFrame
+    from repro.core.geoloc.verdicts import FunnelCounters
+    from repro.exec.metrics import CountryTimings
+
+    version, reader = _open_body(payload)
+    table = _read_string_table(reader)
+    s = table.__getitem__
+
+    for _ in range(7):  # city names/ccs/coords, claims, traces, hops, rtts
+        reader.skip()
+    dataset_cols = reader.ints()
+    site_cols = reader.ints_array()
+    req_ids = reader.ints_array()
+    for _ in range(5):  # background, dns, rdns, traceroute refs, hardcoded
+        reader.skip()
+    geo_cols = reader.ints()
+    for _ in range(5):  # host->addr, verdicts, verdict hosts, checks x2
+        reader.skip()
+    result_cols = reader.ints()
+    reader.skip()  # tracker-verdict columns
+    rsite_cols = reader.ints_array()
+    rtrk_cols = reader.ints_array()
+    run_cols = reader.ints()
+    timing_ids = reader.ints()
+    timing_secs = reader.floats()
+    cache_name_ids = reader.ints()
+    cache_ints = reader.ints()
+    events_blob = reader.blob()
+    events = None if run_cols[5] == 0 else pickle.loads(events_blob)
+    metrics_delta = resources = None
+    if version >= 2:
+        extras_blob = reader.blob()
+        if run_cols[6]:
+            metrics_delta, resources = pickle.loads(extras_blob)
+
+    # Result relation -> frame columns (no NonLocalTracker allocation).
+    rsite = rsite_cols.reshape(-1, 4)
+    rtrk = rtrk_cols.reshape(-1, 5)
+    tracker_start = _np.zeros(len(rsite) + 1, dtype=_np.int64)
+    _np.cumsum(rsite[:, 3], out=tracker_start[1:])
+
+    # Run dataset's site relation, sliced out of the global site table.
+    site_table = site_cols.reshape(-1, 12)
+    n_sites_per_dataset = dataset_cols[5::6]
+    ds = run_cols[1]
+    site_lo = sum(n_sites_per_dataset[:ds])
+    site_hi = site_lo + n_sites_per_dataset[ds]
+    req_start = _np.zeros(len(site_table) + 1, dtype=_np.int64)
+    _np.cumsum(site_table[:, 6], out=req_start[1:])
+    host_start = req_start[site_lo:site_hi + 1] - req_start[site_lo]
+
+    frame = CountryFrame(
+        s(run_cols[0]), table,
+        rsite[:, 0], rsite[:, 2], tracker_start,
+        rtrk[:, 0], rtrk[:, 1], rtrk[:, 2], rtrk[:, 3], rtrk[:, 4],
+        dsite_key=site_table[site_lo:site_hi, 0],
+        dsite_url=site_table[site_lo:site_hi, 1],
+        dsite_loaded=site_table[site_lo:site_hi, 3],
+        host_start=host_start,
+        dhost=req_ids[int(req_start[site_lo]):int(req_start[site_hi])],
+    )
+
+    g = 12 * run_cols[2]
+    funnel = FunnelCounters(*geo_cols[g + 1:g + 10])
+
+    timings = CountryTimings(s(timing_ids[0]) or "")
+    for index in range(timing_ids[1]):
+        timings.phase_seconds[s(timing_ids[2 + index])] = timing_secs[index]
+    cache_deltas = {
+        s(name): {
+            "hits": cache_ints[3 * i],
+            "misses": cache_ints[3 * i + 1],
+            "size": cache_ints[3 * i + 2],
+        }
+        for i, name in enumerate(cache_name_ids)
+    }
+
+    return FrameRun(
+        country_code=s(run_cols[0]),
+        frame=frame,
+        funnel=funnel,
+        timings=timings,
+        source_trace_origin=s(run_cols[3]) or "",
+        geoloc_engine=s(run_cols[4]) or "",
+        cache_deltas=cache_deltas,
+        events=events,
+        metrics_delta=metrics_delta,
+        resources=resources,
+        sites=n_sites_per_dataset[ds],
+        payload=payload,
+    )
+
+
 # -- pool-boundary hand-off --------------------------------------------------
 
 
@@ -973,6 +1156,15 @@ class EncodedCountryRun:
     def load(self):
         """Decode back into a ``CountryRun`` (single use)."""
         return decode_run(self._take())
+
+    def load_frame(self) -> "FrameRun":
+        """Light decode into a :class:`FrameRun` (single use).
+
+        The frame path of the columnar analysis engine: the payload is
+        consumed here, but the returned ``FrameRun`` retains it for a
+        deferred full decode.
+        """
+        return decode_run_frame(self._take())
 
     def release(self) -> None:
         """Drop the payload (and unlink the segment) without decoding."""

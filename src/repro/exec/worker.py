@@ -245,15 +245,21 @@ class StudyWorker:
 
             with timings.timer("join"), maybe_span(tracer, "phase", "join"), \
                     maybe_phase(profiler, "join"):
-                # The join engine follows the result transport: a study
-                # shipping columnar frames also joins through the
-                # vectorised per-unique-host path (scalar stays the
-                # byte-identical oracle under --transport pickle).
+                # The join engine follows the result transport *or* the
+                # analysis engine: a study shipping columnar frames — or
+                # analysing through them — also joins through the
+                # vectorised per-unique-host path, which additionally
+                # attaches the country's CountryFrame to the result
+                # (scalar stays the byte-identical oracle under
+                # --transport pickle --analysis-engine objects).
                 result = build_country_result(
                     dataset, geolocation, scenario.identifier, scenario.directory,
                     tracer=tracer,
                     engine="columnar"
-                    if getattr(config, "transport", "pickle") == "columnar"
+                    if (
+                        getattr(config, "transport", "pickle") == "columnar"
+                        or getattr(config, "analysis_engine", "objects") == "columnar"
+                    )
                     else "scalar",
                     metrics=metrics,
                 )

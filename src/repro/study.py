@@ -26,6 +26,8 @@ resume from section 3.3 of the paper.
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping as _MappingABC
+from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -34,6 +36,11 @@ from repro.core.analysis.continents import ContinentFlowAnalysis
 from repro.core.analysis.crosscountry import CrossCountryAnalysis
 from repro.core.analysis.firstparty import FirstPartyAnalysis
 from repro.core.analysis.flows import FlowAnalysis
+from repro.core.analysis.frames import (
+    CountryFrame,
+    StudyFrame,
+    resolve_analysis_engine,
+)
 from repro.core.analysis.hosting import HostingAnalysis
 from repro.core.analysis.infrastructure import InfrastructureAnalysis
 from repro.core.analysis.localtrackers import LocalTrackerAnalysis
@@ -58,6 +65,7 @@ from repro.exec.metrics import ExecMetrics
 from repro.exec.resilience import ON_ERROR_POLICIES, CountryFailure, ResilientWorker
 from repro.exec.transport import (
     EncodedCountryRun,
+    FrameRun,
     TransportWorker,
     checkpoint_format,
     resolve_transport,
@@ -124,6 +132,95 @@ class StudyConfig:
     #: Additionally track allocations with :mod:`tracemalloc` (slower;
     #: ``gamma study --profile-mem``).  Implies ``profile``.
     profile_mem: bool = False
+    #: How the outcome's analysis accessors run: "columnar" assembles a
+    #: :class:`repro.core.analysis.frames.StudyFrame` from the decoded
+    #: transport frames and answers through vectorised reductions;
+    #: "objects" walks the legacy per-record graph.  Byte-identical
+    #: outputs either way; silently resolves to "objects" when numpy is
+    #: unavailable (``gamma study --analysis-engine``,
+    #: docs/performance.md).  The active engine is recorded in
+    #: ``outcome.metrics`` and the run snapshot.
+    analysis_engine: str = "columnar"
+
+
+class _RunCell:
+    """One country's run, materialised at most once.
+
+    Holds either a full :class:`CountryRun` or a light-decoded
+    :class:`FrameRun` (process backend, columnar transport + analysis).
+    For a ``FrameRun`` the retained payload only goes through the full
+    object-graph decoder on first access to the legacy objects
+    (``datasets``/``geolocations``/``results``); the columnar analysis
+    path reads :meth:`frame` and never pays for it — that is what keeps
+    coordinator memory sublinear in the site count.
+    """
+
+    __slots__ = ("_item", "_run")
+
+    def __init__(self, item):
+        self._item = item
+        self._run = item if isinstance(item, CountryRun) else None
+
+    def get(self) -> CountryRun:
+        if self._run is None:
+            self._run = self._item.load()
+        return self._run
+
+    def frame(self) -> CountryFrame:
+        """This country's columnar frame, building one if needed.
+
+        Preference order: the transport's light-decoded frame, the frame
+        the columnar join attached to the result, and finally a direct
+        object-graph walk (resumed checkpoints and pickle-transport
+        results whose frame did not survive pickling).
+        """
+        if isinstance(self._item, FrameRun):
+            return self._item.frame
+        run = self.get()
+        frame = getattr(run.result, "_frame", None)
+        if frame is not None:
+            return frame
+        return CountryFrame.from_result(run.result, dataset=run.dataset)
+
+
+class _LazyRunMap(_MappingABC):
+    """Read-only country-ordered view of one :class:`CountryRun` field.
+
+    Key iteration and ``len`` never decode; item access materialises
+    just that country's run (cached in its cell).
+    """
+
+    __slots__ = ("_cells", "_attr")
+
+    def __init__(self, cells: Dict[str, _RunCell], attr: str):
+        self._cells = cells
+        self._attr = attr
+
+    def __getitem__(self, country_code: str):
+        return getattr(self._cells[country_code].get(), self._attr)
+
+    def __iter__(self):
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+class _LazyResults(_SequenceABC):
+    """Country-ordered result sequence, materialising on access."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: List[_RunCell]):
+        self._cells = cells
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [cell.get().result for cell in self._cells[index]]
+        return self._cells[index].get().result
+
+    def __len__(self) -> int:
+        return len(self._cells)
 
 
 @dataclass
@@ -155,44 +252,65 @@ class StudyOutcome:
     #: ``StudyConfig.collect_metrics`` is off.  A measurement artefact
     #: like ``metrics``/``journal`` — never part of summaries or exports.
     metrics_snapshot: Optional[dict] = None
+    #: The study-wide columnar frame (``analysis_engine="columnar"``):
+    #: every per-country (site, tracker) relation concatenated over one
+    #: interned string pool.  None under the objects engine (and without
+    #: numpy), in which case every accessor walks the object graph —
+    #: byte-identical answers either way.
+    frame: Optional[StudyFrame] = None
+    #: Per-country geolocation funnels in merge (input-country) order,
+    #: letting :meth:`funnel` aggregate without materialising
+    #: ``geolocations`` from light-decoded frames.  None for hand-built
+    #: outcomes, which fall back to the geolocations walk.
+    _funnels: Optional[List[FunnelCounters]] = field(default=None, repr=False)
 
     def failed_countries(self) -> List[str]:
         return [failure.country_code for failure in self.failures]
 
     def funnel(self) -> FunnelCounters:
+        if self._funnels is not None:
+            return merge_funnels(self._funnels)
         return merge_funnels(
             geolocation.funnel for geolocation in self.geolocations.values()
         )
 
     # -- analysis accessors (one per paper artefact) -------------------------
     def prevalence(self) -> PrevalenceAnalysis:
-        return PrevalenceAnalysis(self.results)
+        return PrevalenceAnalysis(self.results, frame=self.frame)
 
     def per_website(self) -> PerWebsiteAnalysis:
-        return PerWebsiteAnalysis(self.results)
+        return PerWebsiteAnalysis(self.results, frame=self.frame)
 
     def flows(self) -> FlowAnalysis:
-        return FlowAnalysis(self.results)
+        return FlowAnalysis(self.results, frame=self.frame)
 
     def continents(self) -> ContinentFlowAnalysis:
-        return ContinentFlowAnalysis(self.results, self.scenario.world.geo)
+        return ContinentFlowAnalysis(
+            self.results, self.scenario.world.geo, frame=self.frame
+        )
 
     def organizations(self) -> OrganizationAnalysis:
-        return OrganizationAnalysis(self.results, self.scenario.directory, self.scenario.ipinfo)
+        return OrganizationAnalysis(
+            self.results, self.scenario.directory, self.scenario.ipinfo,
+            frame=self.frame,
+        )
 
     def hosting(self) -> HostingAnalysis:
-        return HostingAnalysis(self.results)
+        return HostingAnalysis(self.results, frame=self.frame)
 
     def first_party(self) -> FirstPartyAnalysis:
-        return FirstPartyAnalysis(self.results, self.scenario.party_classifier)
+        return FirstPartyAnalysis(
+            self.results, self.scenario.party_classifier, frame=self.frame
+        )
 
     def policy(self) -> PolicyAnalysis:
-        return PolicyAnalysis(self.results, self.scenario.policy)
+        return PolicyAnalysis(self.results, self.scenario.policy, frame=self.frame)
 
     def cross_country(self) -> CrossCountryAnalysis:
         """Same-site behaviour comparison across countries (section 8)."""
         return CrossCountryAnalysis(
-            self.datasets, self.scenario.identifier, self.scenario.directory
+            self.datasets, self.scenario.identifier, self.scenario.directory,
+            frame=self.frame,
         )
 
     def infrastructure(self) -> InfrastructureAnalysis:
@@ -260,15 +378,23 @@ def build_source_traces(
     return SourceTraces(city=probe.city, traces=traces, origin=f"atlas:{used_country}")
 
 
-def _merge_run(outcome: StudyOutcome, run: CountryRun) -> None:
-    """Fold one completed country into the outcome (input-order caller)."""
+def _merge_accounting(
+    outcome: StudyOutcome, run, funnels: List[FunnelCounters]
+) -> None:
+    """Fold one completed country's side channels into the outcome.
+
+    *run* is either a fully materialised :class:`CountryRun` or a
+    light-decoded :class:`FrameRun` — both carry the same accounting
+    attributes (input-order caller; the artefact containers themselves
+    are installed as lazy views over the run cells afterwards).
+    """
     outcome.source_trace_origins[run.country_code] = run.source_trace_origin
-    outcome.datasets[run.country_code] = run.dataset
-    outcome.geolocations[run.country_code] = run.geolocation
-    outcome.results.append(run.result)
     outcome.metrics.record_country(run.timings)
     if run.geoloc_engine:
         outcome.metrics.geoloc_engine = run.geoloc_engine
+    funnels.append(
+        run.funnel if isinstance(run, FrameRun) else run.geolocation.funnel
+    )
 
 
 def run_study(
@@ -284,6 +410,7 @@ def run_study(
     checkpoint_dir: Union[None, str, Path] = None,
     resume: bool = False,
     transport: Optional[str] = None,
+    analysis_engine: Optional[str] = None,
     fault_injector=None,
     progress: Union[bool, ProgressReporter] = False,
     profile: Optional[bool] = None,
@@ -325,6 +452,16 @@ def run_study(
     engine runs, and which checkpoint format is written — with every
     study artefact byte-identical across the choice.
 
+    *analysis_engine* overrides :attr:`StudyConfig.analysis_engine`
+    ("columnar" or "objects"): whether the outcome assembles a
+    study-wide :class:`~repro.core.analysis.frames.StudyFrame` and
+    answers the analyses through vectorised reductions, or walks the
+    legacy object graph.  Byte-identical artefacts across the choice —
+    and orthogonal to *transport*, though the columnar pair is where
+    the coordinator stays columnar end to end (process-pool frames are
+    only light-decoded, never expanded into objects unless an
+    object-graph consumer like ``datasets[cc]`` asks).
+
     *progress* streams one status line per completed country to stderr
     (pass a preconfigured :class:`repro.obs.ProgressReporter` to control
     the stream/clock); with tracing enabled the same completions land as
@@ -352,6 +489,13 @@ def run_study(
     )
     if active_transport != getattr(config, "transport", None):
         config = replace(config, transport=active_transport)
+    active_analysis = resolve_analysis_engine(
+        getattr(config, "analysis_engine", "columnar")
+        if analysis_engine is None
+        else analysis_engine
+    )
+    if active_analysis != getattr(config, "analysis_engine", None):
+        config = replace(config, analysis_engine=active_analysis)
     countries = countries or scenario.countries
     effective_jobs = config.jobs if jobs is None else jobs
     effective_backend = config.backend if backend is None else backend
@@ -435,14 +579,19 @@ def run_study(
         if pending else []
     )
     by_country = dict(zip(pending, produced))
-    # Decode pre-pass: materialise columnar frames shipped back by
-    # process-pool workers (inside the fan-out wall time — decoding is
-    # part of getting results across the boundary).
+    # Decode pre-pass: materialise frames shipped back by process-pool
+    # workers (inside the fan-out wall time — decoding is part of
+    # getting results across the boundary).  Under the columnar analysis
+    # engine the decode is *light*: only the per-country CountryFrame
+    # and accounting sections are read, and the payload is retained so
+    # the object graph can still be replayed on demand.
     frame_stats = []
     for country_code, item in by_country.items():
         if isinstance(item, EncodedCountryRun):
             decode_started = time.perf_counter()
-            by_country[country_code] = item.load()
+            by_country[country_code] = (
+                item.load_frame() if active_analysis == "columnar" else item.load()
+            )
             decode_seconds = time.perf_counter() - decode_started
             frame_stats.append(
                 (country_code, item.nbytes, item.encode_seconds, decode_seconds)
@@ -455,19 +604,22 @@ def run_study(
         scenario=scenario,
         metrics=ExecMetrics(
             backend=executor.name, jobs=executor.jobs, wall_seconds=wall_seconds,
-            transport=active_transport,
+            transport=active_transport, analysis_engine=active_analysis,
         ),
     )
     for country_code, nbytes, encode_seconds, decode_seconds in frame_stats:
         outcome.metrics.record_transport(
             country_code, nbytes, encode_seconds, decode_seconds
         )
-    fresh_runs: List[CountryRun] = []
+    cells: Dict[str, _RunCell] = {}  # insertion = input country order
+    funnels: List[FunnelCounters] = []
+    fresh_runs: List = []  # CountryRun | FrameRun, input country order
     buffers: List[List[dict]] = []  # input country order: deterministic merge
     for country_code in countries:
         if country_code in resumed:
             run = resumed[country_code]
-            _merge_run(outcome, run)
+            cells[country_code] = _RunCell(run)
+            _merge_accounting(outcome, run, funnels)
             events = list(run.events or [])
             if tracing:
                 events.append({
@@ -483,8 +635,21 @@ def run_study(
             buffers.append(list(item.events or []))
             continue
         fresh_runs.append(item)
-        _merge_run(outcome, item)
+        cells[country_code] = _RunCell(item)
+        _merge_accounting(outcome, item, funnels)
         buffers.append(item.events or [])
+    # The artefact containers are country-ordered views over the cells:
+    # plain dict/list semantics for every reader, while a cell whose run
+    # only exists as a light-decoded frame stays un-expanded until an
+    # object-graph consumer actually indexes into it.
+    outcome.datasets = _LazyRunMap(cells, "dataset")
+    outcome.geolocations = _LazyRunMap(cells, "geolocation")
+    outcome.results = _LazyResults(list(cells.values()))
+    outcome._funnels = funnels
+    if active_analysis == "columnar" and cells:
+        outcome.frame = StudyFrame.assemble(
+            [cell.frame() for cell in cells.values()]
+        )
     # Memo-cache counters (verdicts, distance, ...): the coordinator's
     # registry sees serial/thread lookups directly; process-pool workers
     # count in their own interpreters, so their per-country deltas are
@@ -503,7 +668,11 @@ def run_study(
             run = resumed.get(country_code)
             if run is None:
                 item = by_country.get(country_code)
-                run = item if isinstance(item, CountryRun) else None
+                run = (
+                    item
+                    if isinstance(item, (CountryRun, FrameRun))
+                    else None
+                )
             if run is None:
                 continue
             if run.metrics_delta is not None:
@@ -515,6 +684,7 @@ def run_study(
             "backend": executor.name,
             "jobs": executor.jobs,
             "transport": active_transport,
+            "analysis_engine": active_analysis,
         }
         if resumed:
             meta["resumed"] = [cc for cc in countries if cc in resumed]

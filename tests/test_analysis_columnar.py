@@ -1,0 +1,488 @@
+"""Columnar analysis engine — the frame-unobservability proof.
+
+The columnar engine only changes *how* the analyses answer (numpy
+reductions over a :class:`~repro.core.analysis.frames.StudyFrame`
+instead of per-record object walks), never *what* they answer.  Three
+layers of evidence:
+
+* **Property-based differential** — hypothesis-generated multi-country
+  result sets pushed through every public analysis accessor under both
+  engines, comparing exact values *and* exact orderings.
+* **Study-level byte-equality** — the same study run under
+  ``--analysis-engine objects`` and ``columnar`` across backends and
+  transports produces identical summaries, funnels, artefacts, and
+  timing-stripped journals, including through checkpoint/resume
+  crossovers (an objects-engine checkpoint resumed under the columnar
+  engine, and vice versa).
+* **Slots compatibility** — the ``__slots__`` rollout on the hot
+  measurement records keeps the historical pickle state contract:
+  old-style dict states (what pre-slots checkpoints contain) still
+  restore, and current pickles stay byte-stable through a round trip.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import run_study
+from repro.core.analysis.firstparty import FirstPartyAnalysis
+from repro.core.analysis.flows import FlowAnalysis
+from repro.core.analysis.frames import (
+    ANALYSIS_ENGINES,
+    CountryFrame,
+    StudyFrame,
+    resolve_analysis_engine,
+)
+from repro.core.analysis.hosting import HostingAnalysis
+from repro.core.analysis.organizations import OrganizationAnalysis
+from repro.core.analysis.perwebsite import PerWebsiteAnalysis
+from repro.core.analysis.prevalence import PrevalenceAnalysis
+from repro.core.analysis.records import (
+    CountryStudyResult,
+    NonLocalTracker,
+    SiteTrackerRecord,
+)
+from repro.core.gamma.output import VolunteerDataset, WebsiteMeasurement
+from repro.core.gamma.parsers import NormalizedHop, NormalizedTraceroute
+from repro.core.geoloc.pipeline import DatasetGeolocation
+from repro.core.trackers.orgs import OrganizationDirectory, OrgEntry
+from repro.exec.worker import StudyWorker
+from repro.study import StudyConfig
+from tests.conftest import SMALL_COUNTRIES
+from tests.test_exec_equivalence import assert_outcomes_identical
+
+#: backend/jobs grid from the parallel-equivalence suite, kept in sync.
+BACKEND_GRID = [("serial", 1), ("thread", 4), ("process", 4)]
+
+SOURCES = ["NZ", "CA", "RW", "QA"]
+DESTINATIONS = ["US", "AU", "DE", "RW"]
+HOSTS = [f"t{i}.ads.example" for i in range(6)]
+ORGS = [None, "Google", "Heap", "Demdex"]
+
+DIRECTORY = OrganizationDirectory([
+    OrgEntry(name="Google", home_country="US", domains=("ads.example",)),
+    OrgEntry(name="Heap", home_country="US", domains=()),
+    OrgEntry(name="Demdex", home_country="US", domains=()),
+])
+
+
+trackers_st = st.builds(
+    NonLocalTracker,
+    host=st.sampled_from(HOSTS),
+    address=st.sampled_from([f"5.0.0.{i}" for i in range(4)]),
+    destination_country=st.sampled_from(DESTINATIONS),
+    destination_city_key=st.sampled_from([f"X, {cc}" for cc in DESTINATIONS]),
+    org_name=st.sampled_from(ORGS),
+)
+
+
+def _results_strategy():
+    def country(cc: str):
+        def build(site_specs):
+            sites = [
+                SiteTrackerRecord(
+                    url=f"s{i}.{cc.lower()}.example",
+                    country_code=cc,
+                    category=category,
+                    trackers=trackers,
+                )
+                for i, (category, trackers) in enumerate(site_specs)
+            ]
+            return CountryStudyResult(
+                country_code=cc,
+                dataset=VolunteerDataset(cc, f"City, {cc}", "0.0.0.0", "linux", "chrome"),
+                geolocation=DatasetGeolocation(country_code=cc),
+                sites=sites,
+            )
+
+        return st.lists(
+            st.tuples(
+                st.sampled_from(["regional", "government"]),
+                st.lists(trackers_st, max_size=4),
+            ),
+            max_size=6,
+        ).map(build)
+
+    return st.lists(st.sampled_from(SOURCES), min_size=1, max_size=4, unique=True).flatmap(
+        lambda codes: st.tuples(*[country(cc) for cc in codes]).map(list)
+    )
+
+
+def _frame(results):
+    return StudyFrame.assemble([CountryFrame.from_result(r) for r in results])
+
+
+def _ordered(mapping):
+    """Items in iteration order — exact-ordering comparison for dicts."""
+    return list(mapping.items())
+
+
+def _outcome(fn):
+    """Value or the raised ValueError's message — engines must match both."""
+    try:
+        return ("ok", fn())
+    except ValueError as error:
+        return ("raise", str(error))
+
+
+class TestDifferentialAccessors:
+    """Objects vs columnar over every public accessor, exact ordering."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(results=_results_strategy())
+    def test_flows(self, results):
+        frame = _frame(results)
+        obj = FlowAnalysis(results)
+        col = FlowAnalysis(results, frame=frame)
+        for category in (None, "regional", "government"):
+            assert col.edges(category) == obj.edges(category)
+            assert col.sites_with_nonlocal(category) == obj.sites_with_nonlocal(category)
+            assert _ordered(col.destination_shares(category)) == _ordered(
+                obj.destination_shares(category)
+            )
+            assert _ordered(
+                col.source_count_per_destination(category)
+            ) == _ordered(obj.source_count_per_destination(category))
+            for destination in DESTINATIONS:
+                assert _ordered(
+                    col.single_source_effect(destination, category)
+                ) == _ordered(obj.single_source_effect(destination, category))
+        for destination in DESTINATIONS:
+            assert col.dominant_source(destination) == obj.dominant_source(destination)
+        for source in SOURCES:
+            assert _ordered(col.destinations_of(source)) == _ordered(
+                obj.destinations_of(source)
+            )
+        excluded = [r.country_code for r in results][:1]
+        assert _ordered(
+            col.destination_shares(exclude_sources=excluded)
+        ) == _ordered(obj.destination_shares(exclude_sources=excluded))
+
+    @settings(max_examples=60, deadline=None)
+    @given(results=_results_strategy())
+    def test_prevalence(self, results):
+        frame = _frame(results)
+        obj = PrevalenceAnalysis(results)
+        col = PrevalenceAnalysis(results, frame=frame)
+        assert col.per_country() == obj.per_country()
+        assert _ordered(col.combined_pct_by_country()) == _ordered(
+            obj.combined_pct_by_country()
+        )
+        assert col.regional_mean_and_stdev() == obj.regional_mean_and_stdev()
+        assert col.government_mean_and_stdev() == obj.government_mean_and_stdev()
+        # The correlation is undefined for degenerate studies (one
+        # country, constant columns): both engines must raise alike.
+        assert _outcome(col.regional_government_correlation) == _outcome(
+            obj.regional_government_correlation
+        )
+        assert (
+            col.countries_with_foreign_trackers()
+            == obj.countries_with_foreign_trackers()
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(results=_results_strategy())
+    def test_per_website(self, results):
+        frame = _frame(results)
+        obj = PerWebsiteAnalysis(results)
+        col = PerWebsiteAnalysis(results, frame=frame)
+        for result in results:
+            cc = result.country_code
+            for category in (None, "regional", "government"):
+                assert col.counts_for(cc, category) == obj.counts_for(cc, category)
+                assert col.distribution(cc, category) == obj.distribution(cc, category)
+            assert _ordered(col.histogram(cc)) == _ordered(obj.histogram(cc))
+            assert _ordered(col.histogram(cc, max_count=2)) == _ordered(
+                obj.histogram(cc, max_count=2)
+            )
+            assert col.outlier_sites(cc) == obj.outlier_sites(cc)
+        assert col.all_distributions() == obj.all_distributions()
+        assert col.all_distributions("regional") == obj.all_distributions("regional")
+
+    @settings(max_examples=60, deadline=None)
+    @given(results=_results_strategy())
+    def test_hosting(self, results):
+        frame = _frame(results)
+        obj = HostingAnalysis(results)
+        col = HostingAnalysis(results, frame=frame)
+        assert col.domain_observations() == obj.domain_observations()
+        assert _ordered(col.domains_per_destination()) == _ordered(
+            obj.domains_per_destination()
+        )
+        assert col.top_destinations(3) == obj.top_destinations(3)
+        for destination in DESTINATIONS:
+            assert _ordered(col.breakdown_by_source(destination)) == _ordered(
+                obj.breakdown_by_source(destination)
+            )
+        for count in (1, 2):
+            assert col.destinations_hosting_exactly(count) == (
+                obj.destinations_hosting_exactly(count)
+            )
+        # Tie order between equal-count destinations is set-iteration
+        # dependent on the object path (documented divergence), so this
+        # one compares values only, not ordering.
+        assert col.unique_domains_per_destination() == (
+            obj.unique_domains_per_destination()
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(results=_results_strategy())
+    def test_organizations(self, results):
+        frame = _frame(results)
+        obj = OrganizationAnalysis(results, DIRECTORY)
+        col = OrganizationAnalysis(results, DIRECTORY, frame=frame)
+        assert col.flow_edges() == obj.flow_edges()
+        assert col.observed_organizations() == obj.observed_organizations()
+        assert col.top_organizations(3) == obj.top_organizations(3)
+        assert _ordered(col.home_country_distribution()) == _ordered(
+            obj.home_country_distribution()
+        )
+        assert _ordered(col.country_exclusive_organizations()) == _ordered(
+            obj.country_exclusive_organizations()
+        )
+
+
+class TestDifferentialWithScenario:
+    """Accessors that need real scenario services, over a real result."""
+
+    @pytest.fixture(scope="class")
+    def run(self, scenario):
+        return StudyWorker(scenario, StudyConfig())("NZ")
+
+    @pytest.fixture(scope="class")
+    def pair(self, run):
+        results = [run.result]
+        frame = StudyFrame.assemble(
+            [CountryFrame.from_result(run.result, dataset=run.dataset)]
+        )
+        return results, frame
+
+    def test_cloud_hosting_queries(self, scenario, pair):
+        results, frame = pair
+        obj = OrganizationAnalysis(results, scenario.directory, scenario.ipinfo)
+        col = OrganizationAnalysis(
+            results, scenario.directory, scenario.ipinfo, frame=frame
+        )
+        assert _ordered(col.cloud_hosted_trackers()) == _ordered(
+            obj.cloud_hosted_trackers()
+        )
+        for destination in ("US", "AU"):
+            assert col.cloud_hosted_in_country(destination) == (
+                obj.cloud_hosted_in_country(destination)
+            )
+
+    def test_first_party(self, scenario, pair):
+        results, frame = pair
+        obj = FirstPartyAnalysis(results, scenario.party_classifier)
+        col = FirstPartyAnalysis(results, scenario.party_classifier, frame=frame)
+        assert col.sites_with_nonlocal() == obj.sites_with_nonlocal()
+        assert col.first_party_sites() == obj.first_party_sites()
+        assert _ordered(col.owner_breakdown()) == _ordered(obj.owner_breakdown())
+        assert col.first_party_share() == obj.first_party_share()
+
+
+class TestEngineResolution:
+    def test_engines_and_validation(self):
+        assert ANALYSIS_ENGINES == ("objects", "columnar")
+        assert resolve_analysis_engine("objects") == "objects"
+        assert resolve_analysis_engine("columnar") == "columnar"
+        with pytest.raises(ValueError):
+            resolve_analysis_engine("vectorized")
+
+    def test_columnar_falls_back_to_objects_without_numpy(self, monkeypatch):
+        import repro.core.analysis.frames as frames
+
+        monkeypatch.setattr(frames, "HAVE_NUMPY", False)
+        assert frames.resolve_analysis_engine("columnar") == "objects"
+
+
+class TestStudyEquivalence:
+    """Whole-study byte-equality across engines, backends, transports."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, scenario):
+        """Serial objects-engine pickle-transport run: the ground truth."""
+        return run_study(
+            scenario, countries=SMALL_COUNTRIES, trace=True,
+            analysis_engine="objects", transport="pickle",
+        )
+
+    @pytest.mark.parametrize("backend,jobs", BACKEND_GRID)
+    @pytest.mark.parametrize("engine", ["objects", "columnar"])
+    def test_engines_byte_identical_across_backends(
+        self, scenario, reference, engine, backend, jobs
+    ):
+        outcome = run_study(
+            scenario, countries=SMALL_COUNTRIES, trace=True,
+            analysis_engine=engine, backend=backend, jobs=jobs,
+        )
+        assert outcome.metrics.analysis_engine == engine
+        assert (outcome.frame is not None) == (engine == "columnar")
+        assert outcome.funnel() == reference.funnel()
+        assert_outcomes_identical(reference, outcome)
+        assert outcome.journal.dumps(timings=False) == reference.journal.dumps(
+            timings=False
+        )
+
+    @pytest.mark.parametrize("transport", ["pickle", "columnar"])
+    def test_columnar_engine_over_both_transports_process(
+        self, scenario, reference, transport
+    ):
+        outcome = run_study(
+            scenario, countries=SMALL_COUNTRIES, trace=True,
+            analysis_engine="columnar", transport=transport,
+            backend="process", jobs=4,
+        )
+        assert_outcomes_identical(reference, outcome)
+        assert outcome.journal.dumps(timings=False) == reference.journal.dumps(
+            timings=False
+        )
+
+    def test_exported_bundles_byte_identical(self, scenario, reference, tmp_path):
+        from repro.artifacts import export_study
+
+        outcome = run_study(
+            scenario, countries=SMALL_COUNTRIES, trace=True,
+            analysis_engine="columnar", transport="columnar",
+            backend="process", jobs=4,
+        )
+        ref_paths = export_study(reference, tmp_path / "objects")
+        col_paths = export_study(outcome, tmp_path / "columnar")
+        assert [p.relative_to(tmp_path / "objects") for p in ref_paths] == [
+            p.relative_to(tmp_path / "columnar") for p in col_paths
+        ]
+        for ref_path, col_path in zip(ref_paths, col_paths):
+            assert col_path.read_bytes() == ref_path.read_bytes(), col_path.name
+
+    def test_snapshot_records_engine(self, scenario):
+        outcome = run_study(
+            scenario, countries=SMALL_COUNTRIES[:2], analysis_engine="columnar"
+        )
+        assert outcome.metrics_snapshot["meta"]["analysis_engine"] == "columnar"
+        assert outcome.metrics.to_dict()["analysis_engine"] == "columnar"
+
+    def test_checkpoint_engine_crossover(self, scenario, tmp_path):
+        """An objects-engine checkpoint resumes under columnar (and back)."""
+        fresh = run_study(
+            scenario, countries=SMALL_COUNTRIES, analysis_engine="columnar"
+        )
+        for first, second in (("objects", "columnar"), ("columnar", "objects")):
+            checkpoint_dir = tmp_path / f"ckpt-{first}"
+            run_study(
+                scenario, countries=SMALL_COUNTRIES[:3], analysis_engine=first,
+                checkpoint_dir=checkpoint_dir,
+            )
+            resumed = run_study(
+                scenario, countries=SMALL_COUNTRIES, analysis_engine=second,
+                checkpoint_dir=checkpoint_dir, resume=True,
+            )
+            assert resumed.metrics.analysis_engine == second
+            assert_outcomes_identical(fresh, resumed)
+
+    def test_lazy_containers_materialise_on_demand(self, scenario, reference):
+        outcome = run_study(
+            scenario, countries=SMALL_COUNTRIES, analysis_engine="columnar",
+            transport="columnar", backend="process", jobs=4,
+        )
+        # Key iteration never decodes; indexing materialises one country.
+        assert list(outcome.datasets) == SMALL_COUNTRIES
+        assert sorted(outcome.datasets) == sorted(SMALL_COUNTRIES)
+        assert len(outcome.results) == len(SMALL_COUNTRIES)
+        assert outcome.datasets["CA"].to_json() == reference.datasets["CA"].to_json()
+        assert outcome.results[0].country_code == SMALL_COUNTRIES[0]
+        assert [r.country_code for r in outcome.results] == SMALL_COUNTRIES
+        views = outcome.cross_country().views("yahoo.com")
+        assert views == reference.cross_country().views("yahoo.com")
+
+
+class TestSlotsPickleCompat:
+    """Pre-slots checkpoint states still restore; current pickles round-trip."""
+
+    CASES = [
+        (
+            NonLocalTracker,
+            {
+                "host": "t.ads.example", "address": "5.0.0.1",
+                "destination_country": "US",
+                "destination_city_key": "X, US", "org_name": "Google",
+            },
+        ),
+        (
+            SiteTrackerRecord,
+            {
+                "url": "a.example", "country_code": "NZ",
+                "category": "regional", "trackers": [],
+            },
+        ),
+        (
+            NormalizedHop,
+            {"hop": 3, "address": "1.2.3.4", "rtts_ms": (1.0, 2.0)},
+        ),
+        (
+            WebsiteMeasurement,
+            {
+                "url": "a.example", "category": "regional", "loaded": True,
+                "requested_hosts": [], "background_hosts": [], "dns": {},
+                "rdns": {}, "traceroutes": {}, "failure_reason": None,
+                "page_html": "", "hardcoded_domains": [],
+            },
+        ),
+    ]
+
+    @pytest.mark.parametrize("cls,state", CASES, ids=lambda c: getattr(c, "__name__", ""))
+    def test_old_dict_state_restores(self, cls, state):
+        """What a pre-slots pickle supplies: a plain ``__dict__`` state."""
+        revived = cls.__new__(cls)
+        revived.__setstate__(dict(state))
+        for name, value in state.items():
+            assert getattr(revived, name) == value
+
+    @pytest.mark.parametrize("cls,state", CASES, ids=lambda c: getattr(c, "__name__", ""))
+    def test_two_tuple_state_restores(self, cls, state):
+        """The (dict, slots) form some pickle protocols emit."""
+        revived = cls.__new__(cls)
+        revived.__setstate__((None, dict(state)))
+        for name, value in state.items():
+            assert getattr(revived, name) == value
+
+    def test_current_pickles_round_trip(self):
+        trace = NormalizedTraceroute(
+            target="1.2.3.4", reached=True,
+            hops=[NormalizedHop(hop=1, address="9.9.9.9", rtts_ms=(3.0,))],
+            tool="tracert",
+        )
+        record = SiteTrackerRecord(
+            url="a.example", country_code="NZ", category="regional",
+            trackers=[
+                NonLocalTracker(
+                    host="t.ads.example", address="5.0.0.1",
+                    destination_country="US", destination_city_key="X, US",
+                    org_name="Google",
+                )
+            ],
+        )
+        record.tracker_count  # warm the derived memo: must not pickle
+        for obj in (trace, record):
+            clone = pickle.loads(pickle.dumps(obj))
+            assert clone == obj
+            assert pickle.dumps(clone) == pickle.dumps(obj)
+
+    def test_derived_memo_excluded_and_invalidation_safe(self):
+        record = SiteTrackerRecord(
+            url="a.example", country_code="NZ", category="regional",
+        )
+        assert record.tracker_count == 0
+        record.trackers.append(
+            NonLocalTracker(
+                host="t.ads.example", address="5.0.0.1",
+                destination_country="US", destination_city_key="X, US",
+            )
+        )
+        # The builder path appends after a read: the memo re-derives.
+        assert record.tracker_count == 1
+        assert record.destination_countries() == ["US"]
+        assert "_derived" not in record.__getstate__()
