@@ -78,11 +78,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "columnar = vectorised batch math (default), "
                             "scalar = the per-address oracle; outputs are "
                             "byte-identical (CI equivalence mode)")
+    study.add_argument("--confidence", action="store_true",
+                       help="score every geolocation verdict with a "
+                            "calibrated confidence (annotation only: binary "
+                            "verdicts, funnels, summaries and stripped "
+                            "journals are byte-identical either way); "
+                            "inspect with 'gamma confidence'")
     study.add_argument("--inject-fault", default=None, metavar="CC[:N]",
                        help="deterministic fault injection (testing/CI): fail "
                             "country CC on its first N attempts (omit :N for "
                             "a permanent fault); comma-separate entries")
     _add_exec_arguments(study)
+
+    confidence = sub.add_parser(
+        "confidence",
+        help="per-country verdict confidence, with calibration validation",
+    )
+    confidence.add_argument("--countries", default=None,
+                            help="comma-separated country codes (default: all 23)")
+    confidence.add_argument("--geoloc-engine", choices=list(GEOLOC_ENGINES),
+                            default="columnar",
+                            help="constraint engine (both produce bit-identical "
+                                 "confidence scores; CI equivalence mode)")
+    confidence.add_argument("--low", type=int, default=5, metavar="N",
+                            help="lowest-confidence verdicts tracked per "
+                                 "country (default 5)")
+    confidence.add_argument("--validate", action="store_true",
+                            help="measure calibration against the seeded "
+                                 "ground truth (reliability bins, Brier, ECE) "
+                                 "and exit 1 when the targets are missed")
+    confidence.add_argument("--report-only", action="store_true",
+                            help="with --validate: print the report but "
+                                 "always exit 0 (CI advisory mode)")
+    confidence.add_argument("--json", type=Path, default=None, metavar="PATH",
+                            help="write the per-country and calibration "
+                                 "reports as JSON here")
+    _add_exec_arguments(confidence)
 
     figures = sub.add_parser("figures", help="regenerate every figure and table")
     _add_exec_arguments(figures)
@@ -313,7 +344,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     countries = _parse_countries(args.countries)
     scenario = build_scenario()
     config = StudyConfig(
-        pipeline=PipelineConfig(engine=args.geoloc_engine),
+        pipeline=PipelineConfig(
+            engine=args.geoloc_engine, confidence=args.confidence
+        ),
         exercise_parsers=args.exercise_parsers,
     )
     try:
@@ -360,6 +393,90 @@ def _cmd_study(args: argparse.Namespace) -> int:
                 else f" (inspect with: gamma metrics show {args.metrics_out})")
         print(f"metrics snapshot written to {args.metrics_out}{hint}")
     return 0
+
+
+def _cmd_confidence(args: argparse.Namespace) -> int:
+    from repro.core.geoloc import (
+        BRIER_TARGET,
+        ECE_TARGET,
+        ConfidenceReport,
+        calibrate_against_truth,
+        round_confidence,
+    )
+
+    fmt = lambda value: "-" if value is None else f"{value:.4f}"  # noqa: E731
+    countries = _parse_countries(args.countries)
+    scenario = build_scenario()
+    config = StudyConfig(
+        pipeline=PipelineConfig(engine=args.geoloc_engine, confidence=True),
+    )
+    outcome = run_study(scenario, countries=countries, config=config,
+                        **_run_kwargs(args))
+    reports = [
+        ConfidenceReport.from_geolocation(
+            outcome.geolocations[result.country_code], low_n=args.low
+        )
+        for result in outcome.results
+    ]
+    flows = outcome.tracker_confidence() or {}
+    rows = []
+    for report in reports:
+        flow_rows, flow_mean = flows.get(report.country_code, (0, None))
+        lowest = report.low_confidence[0][1] if report.low_confidence else None
+        rows.append((
+            report.country_code, report.scored, fmt(report.mean_confidence),
+            fmt(lowest), flow_rows, fmt(flow_mean),
+        ))
+    print(render_table(
+        ["country", "scored", "mean conf", "lowest", "flow rows", "flow conf"],
+        rows, title="Geolocation verdict confidence",
+    ))
+
+    exit_code = 0
+    calibration = None
+    if args.validate:
+        calibration = calibrate_against_truth(
+            scenario.world, outcome.geolocations
+        )
+        print()
+        print(render_table(
+            ["confidence bin", "verdicts", "accuracy", "mean conf"],
+            [(f"[{row.lower:.1f}, {row.upper:.1f})", row.count,
+              fmt(row.accuracy), fmt(row.mean_confidence))
+             for row in calibration.bins if row.count],
+            title="Reliability against seeded ground truth",
+        ))
+        print(f"\nscored {calibration.total} verdicts "
+              f"({calibration.skipped} skipped): "
+              f"accuracy {fmt(calibration.accuracy)}, "
+              f"Brier {fmt(calibration.brier)} (target <= {BRIER_TARGET}), "
+              f"ECE {fmt(calibration.ece)} (target <= {ECE_TARGET})")
+        ok = (calibration.total > 0
+              and calibration.brier <= BRIER_TARGET
+              and calibration.ece <= ECE_TARGET)
+        print("calibration within targets" if ok
+              else "CALIBRATION MISSED TARGETS")
+        if not ok and not args.report_only:
+            exit_code = 1
+
+    if args.json is not None:
+        import json
+
+        payload = {
+            "countries": [report.as_dict() for report in reports],
+            "flows": {
+                country: {"rows": count, "mean": round_confidence(mean)}
+                for country, (count, mean) in sorted(flows.items())
+            },
+        }
+        if calibration is not None:
+            payload["calibration"] = calibration.as_dict()
+        args.json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nconfidence report written to {args.json}")
+    _print_failures(outcome)
+    return exit_code
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -643,6 +760,7 @@ def _cmd_selfcheck(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "volunteer": _cmd_volunteer,
     "study": _cmd_study,
+    "confidence": _cmd_confidence,
     "figures": _cmd_figures,
     "audit": _cmd_audit,
     "export": _cmd_export,

@@ -70,6 +70,31 @@ def resolve_analysis_engine(name: str) -> str:
     return name
 
 
+def _tracker_confidence(result, rows: int):
+    """Per-tracker-row verdict confidence for *result*'s tracker rows.
+
+    Each row's address is looked up in the result's geolocation verdicts;
+    unscored rows map to NaN.  None when the study ran without
+    ``PipelineConfig.confidence`` (no verdict carries a score).
+    """
+    geolocation = getattr(result, "geolocation", None)
+    if geolocation is None:
+        return None
+    by_address = {
+        verdict.address: verdict.confidence
+        for verdict in geolocation.verdicts.values()
+        if verdict.confidence is not None
+    }
+    if not by_address:
+        return None
+    nan = float("nan")
+    return _np.fromiter(
+        (by_address.get(tracker.address, nan)
+         for site in result.sites for tracker in site.trackers),
+        dtype=_np.float64, count=rows,
+    )
+
+
 class CountryFrame:
     """One country's result + dataset relations as code columns.
 
@@ -86,7 +111,7 @@ class CountryFrame:
         "country_code", "strings",
         "site_url", "site_category", "tracker_start",
         "trk_host", "trk_address", "trk_dest_country", "trk_dest_city",
-        "trk_org",
+        "trk_org", "trk_confidence",
         "dsite_key", "dsite_url", "dsite_loaded", "host_start", "dhost",
         "_dataset",
     )
@@ -96,7 +121,7 @@ class CountryFrame:
         site_url, site_category, tracker_start,
         trk_host, trk_address, trk_dest_country, trk_dest_city, trk_org,
         dsite_key=None, dsite_url=None, dsite_loaded=None,
-        host_start=None, dhost=None, dataset=None,
+        host_start=None, dhost=None, dataset=None, trk_confidence=None,
     ):
         self.country_code = country_code
         self.strings = strings
@@ -108,6 +133,10 @@ class CountryFrame:
         self.trk_dest_country = trk_dest_country
         self.trk_dest_city = trk_dest_city
         self.trk_org = trk_org
+        #: Per-tracker-row confidence of the geolocation verdict behind
+        #: the row's address (float64, NaN where unscored); None when the
+        #: study ran without ``PipelineConfig.confidence``.
+        self.trk_confidence = trk_confidence
         self.dsite_key = dsite_key
         self.dsite_url = dsite_url
         self.dsite_loaded = dsite_loaded
@@ -191,6 +220,7 @@ class CountryFrame:
             city_sids[row_codes] if len(row_codes) else _np.zeros(0, _np.int64),
             org_sids[row_codes] if len(row_codes) else _np.zeros(0, _np.int64),
             dataset=result.dataset,
+            trk_confidence=_tracker_confidence(result, int(tracker_start[-1])),
         )
 
     @classmethod
@@ -234,6 +264,7 @@ class CountryFrame:
             as_col(trk_host), as_col(trk_address), as_col(trk_dest_country),
             as_col(trk_dest_city), as_col(trk_org),
             dataset=dataset if dataset is not None else result.dataset,
+            trk_confidence=_tracker_confidence(result, len(trk_host)),
         )
 
     def ensure_dataset_relation(self) -> None:
@@ -293,7 +324,7 @@ class StudyFrame:
         "site_country", "country_site_start", "site_url", "site_category",
         "tracker_start", "trk_site",
         "trk_host", "trk_address", "trk_dest_country", "trk_dest_city",
-        "trk_org",
+        "trk_org", "trk_confidence",
         "_sid_index", "_frames", "_remaps",
         "_has_tracker", "_dest_pairs", "_org_pairs", "_host_counts",
         "_host_triples",
@@ -329,6 +360,8 @@ class StudyFrame:
             "trk_host", "trk_address", "trk_dest_country", "trk_dest_city",
             "trk_org",
         )}
+        conf_parts = []
+        any_confidence = False
         trk_site_parts = []
         site_base = 0
         tracker_base = 0
@@ -361,8 +394,14 @@ class StudyFrame:
             )
             for name in trk_parts:
                 trk_parts[name].append(remap[getattr(frame, name)])
+            n_rows = int(frame.tracker_start[-1])
+            if frame.trk_confidence is not None:
+                any_confidence = True
+                conf_parts.append(frame.trk_confidence)
+            else:
+                conf_parts.append(_np.full(n_rows, _np.nan))
             site_base += n_sites
-            tracker_base += int(frame.tracker_start[-1])
+            tracker_base += n_rows
 
         def cat(parts, empty_len=0):
             if not parts:
@@ -378,6 +417,9 @@ class StudyFrame:
         self.trk_site = cat(trk_site_parts)
         for name, parts in trk_parts.items():
             setattr(self, name, cat(parts))
+        self.trk_confidence = (
+            _np.concatenate(conf_parts) if any_confidence else None
+        )
         counts_per_country = _np.asarray(
             [len(frame.site_url) for frame in frames], dtype=_np.int64
         )
@@ -479,6 +521,28 @@ class StudyFrame:
                 pairs // width, minlength=self.n_sites
             )
         return self._host_counts
+
+    def confidence_by_country(self):
+        """Per country: (scored tracker rows, mean row confidence).
+
+        The confidence-weighted flow view behind ``gamma confidence``:
+        every non-local tracker row weighted by the verdict confidence
+        of the address it resolved to.  None when the study carried no
+        confidence column; per-country mean is None when no row scored.
+        """
+        if self.trk_confidence is None:
+            return None
+        country_of_row = self.site_country[self.trk_site]
+        have = ~_np.isnan(self.trk_confidence)
+        out = {}
+        for index, code in enumerate(self.countries):
+            mask = have & (country_of_row == index)
+            count = int(mask.sum())
+            mean = (
+                float(self.trk_confidence[mask].sum() / count) if count else None
+            )
+            out[code] = (count, mean)
+        return out
 
     def host_triples(self):
         """Unique (country, host, destination) triples across all rows."""

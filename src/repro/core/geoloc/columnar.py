@@ -47,6 +47,18 @@ except ImportError:  # pragma: no cover - numpy is baked into CI images
     np = None
     HAVE_NUMPY = False
 
+from repro.core.geoloc.confidence import (
+    CONF_BASE,
+    CONF_CEIL,
+    CONF_CONSISTENCY_SIGN,
+    CONF_CONSISTENCY_WEIGHT,
+    CONF_FLOOR,
+    CONF_MARGIN_WEIGHT,
+    CONF_RDNS_BONUS,
+    ConfidenceAnchors,
+    ConfidenceInputs,
+    gather_inputs,
+)
 from repro.core.geoloc.constraints import (
     ConstraintResult,
     ConstraintStatus,
@@ -59,7 +71,7 @@ from repro.core.geoloc.verdicts import FunnelCounters, ServerStatus, ServerVerdi
 from repro.netsim.distance import city_distance_km, min_rtt_ms
 from repro.netsim.geography import City
 
-__all__ = ["HAVE_NUMPY", "ColumnarGeolocationEngine"]
+__all__ = ["HAVE_NUMPY", "ColumnarGeolocationEngine", "combine_batch"]
 
 #: Source-constraint outcome codes, ordered so ``code <= _SRC_RULE80``
 #: means FAIL.  The order mirrors the scalar decision ladder exactly.
@@ -103,6 +115,47 @@ def _result(constraint, status, reason, observed_ms=None, expected_ms=None):
     d["observed_ms"] = observed_ms
     d["expected_ms"] = expected_ms
     return result
+
+
+def combine_batch(gathered: List[ConfidenceInputs]) -> "np.ndarray":
+    """Vectorised :func:`repro.core.geoloc.confidence.combine_score`.
+
+    The scoring formula over a whole gathered batch as masked array
+    algebra.  Every operation is elementwise IEEE-754 arithmetic in the
+    scalar reference's exact operation order, so each lane is
+    bit-identical to ``combine_score`` on the same inputs — the
+    differential suite asserts it.
+    """
+    kind = np.array([g.kind for g in gathered], dtype=np.intp)
+    r_src = np.array(
+        [_NAN if g.margin_src is None else g.margin_src for g in gathered])
+    r_dst = np.array(
+        [_NAN if g.margin_dst is None else g.margin_dst for g in gathered])
+    cons = np.array(
+        [_NAN if g.consistency is None else g.consistency for g in gathered])
+    rdns = np.array([g.rdns_hint for g in gathered], dtype=bool)
+
+    # margin_score: clamp-at-zero then r / (r + 1); NaN propagates
+    # through both, flagging "no margin evidence" lanes.
+    s_src = np.maximum(r_src, 0.0)
+    s_src = s_src / (s_src + 1.0)
+    s_dst = np.maximum(r_dst, 0.0)
+    s_dst = s_dst / (s_dst + 1.0)
+    have_src = ~np.isnan(s_src)
+    have_dst = ~np.isnan(s_dst)
+    count = have_src.astype(np.int64) + have_dst.astype(np.int64)
+    total = np.where(have_src, s_src, 0.0) + np.where(have_dst, s_dst, 0.0)
+    margin = np.where(count > 0, total / np.maximum(count, 1), 0.5)
+    consistency = np.where(np.isnan(cons), 0.5, cons)
+
+    base = np.array(CONF_BASE)[kind]
+    margin_weight = np.array(CONF_MARGIN_WEIGHT)[kind]
+    sign = np.array(CONF_CONSISTENCY_SIGN)[kind]
+    cons_weight = np.array(CONF_CONSISTENCY_WEIGHT)[kind]
+    conf = base + margin_weight * (margin - 0.5)
+    conf = conf + cons_weight * sign * (consistency - 0.5)
+    conf = conf + np.where(rdns, CONF_RDNS_BONUS, 0.0)
+    return np.minimum(np.maximum(conf, CONF_FLOOR), CONF_CEIL)
 
 
 def _gather_trace(trace) -> float:
@@ -151,6 +204,7 @@ class ColumnarGeolocationEngine:
         # entirely.
         self._source_anchors: Dict[tuple, tuple] = {}
         self._dest_anchors: Dict[str, tuple] = {}
+        self._confidence_anchors: Optional[ConfidenceAnchors] = None
 
     # -- public API ----------------------------------------------------------
     def classify_batch(
@@ -188,6 +242,37 @@ class ColumnarGeolocationEngine:
                 source_traces, rdns_records, funnel,
             )
         return {addr_list[i]: slots[i] for i in range(len(addr_list))}
+
+    def score_batch(self, verdicts, source_traces) -> Dict[str, ConfidenceInputs]:
+        """Vectorised confidence scoring over one verdict batch.
+
+        The gather step is the engine-shared
+        :func:`repro.core.geoloc.confidence.gather_inputs` (margins,
+        consistency votes and anchored SOL floors are scalar helper
+        computations either way — the PR 6 anchor pattern); the scoring
+        *formula* then runs once over the whole batch as masked array
+        algebra.  Every operation is elementwise IEEE-754 arithmetic in
+        the scalar reference's exact operation order, so the scores are
+        bit-identical to :func:`combine_score` — the differential suite
+        asserts it.  Mutates only ``verdict.confidence``; returns the
+        gathered inputs per address for journal emission.
+        """
+        anchors = self._confidence_anchors
+        if anchors is None:
+            anchors = self._confidence_anchors = ConfidenceAnchors(self._atlas)
+        source_city = source_traces.city
+        rows = list(verdicts.items())
+        inputs_map = {
+            address: gather_inputs(verdict, source_city, anchors)
+            for address, verdict in rows
+        }
+        if not rows:
+            return inputs_map
+
+        conf = combine_batch(list(inputs_map.values()))
+        for (address, verdict), value in zip(rows, conf.tolist()):
+            verdict.confidence = value
+        return inputs_map
 
     # -- the batch body ------------------------------------------------------
     def _classify_candidates(

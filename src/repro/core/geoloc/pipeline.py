@@ -40,6 +40,14 @@ from typing import Dict, List, Optional
 from repro.atlas.measurements import AtlasMeasurementService
 from repro.core.gamma.output import VolunteerDataset
 from repro.core.gamma.parsers import NormalizedTraceroute
+from repro.core.geoloc.confidence import (
+    CONFIDENCE_KINDS,
+    ConfidenceAnchors,
+    ConfidenceInputs,
+    combine_score,
+    gather_inputs,
+    round_confidence,
+)
 from repro.core.geoloc.constraints import (
     ConstraintResult,
     DestinationConstraint,
@@ -57,7 +65,7 @@ from repro.core.geoloc.verdicts import (
 from repro.geodb.ipmap import IPMapService
 from repro.netsim.geography import City
 from repro.netsim.latency import LatencyModel
-from repro.obs.metrics import MS_BUCKETS
+from repro.obs.metrics import CONFIDENCE_BUCKETS, MS_BUCKETS
 
 __all__ = [
     "GEOLOC_ENGINES",
@@ -106,6 +114,11 @@ class PipelineConfig:
     #: Constraint engine: "columnar" (vectorised batch math, the default)
     #: or "scalar" (the per-address oracle).  Byte-identical outputs.
     engine: str = "columnar"
+    #: Score every verdict with a calibrated confidence
+    #: (repro.core.geoloc.confidence).  Pure annotation layer: binary
+    #: verdicts, funnels, summaries and stripped journals are
+    #: byte-identical with this on or off.
+    confidence: bool = False
 
 
 class GeolocationPipeline:
@@ -135,6 +148,7 @@ class GeolocationPipeline:
             strict_bound=self._config.strict_destination_bound,
         )
         self._rdns = ReverseDNSConstraint()
+        self._confidence_anchors: Optional[ConfidenceAnchors] = None
         self._columnar = None
         if self._config.engine == "columnar":
             from repro.core.geoloc.columnar import HAVE_NUMPY, ColumnarGeolocationEngine
@@ -215,6 +229,9 @@ class GeolocationPipeline:
             addresses, dataset.country_code, source_traces, rdns_records,
             result.funnel,
         )
+        confidence_inputs: Dict[str, ConfidenceInputs] = {}
+        if self._config.confidence:
+            confidence_inputs = self.score_confidence(verdicts, source_traces)
         for address, verdict in verdicts.items():
             result.verdicts[address] = verdict
             weight = sum(observation_counts.get(host, 1) for host in verdict.hosts)
@@ -263,6 +280,29 @@ class GeolocationPipeline:
                         for check in verdict.checks
                     ],
                 )
+            if verdict.confidence is not None:
+                inputs = confidence_inputs.get(address)
+                if metrics is not None:
+                    metrics.histogram(
+                        "geoloc_confidence", {"status": verdict.status},
+                        buckets=CONFIDENCE_BUCKETS,
+                        help="calibrated verdict confidence (annotation layer)",
+                    ).observe(verdict.confidence)
+                if tracer is not None and inputs is not None:
+                    # Annotation-layer event: stripped with the
+                    # diagnostics so confidence-on and confidence-off
+                    # stripped journals stay byte-identical.
+                    tracer.event(
+                        "geoloc_confidence",
+                        address=address,
+                        status=verdict.status,
+                        kind=CONFIDENCE_KINDS[inputs.kind],
+                        confidence=round_confidence(verdict.confidence),
+                        margin_source=round_confidence(inputs.margin_src),
+                        margin_destination=round_confidence(inputs.margin_dst),
+                        consistency=round_confidence(inputs.consistency),
+                        rdns_hint=inputs.rdns_hint,
+                    )
         funnel = result.funnel
         funnel_stages = {
             "total_hosts": funnel.total_hosts,
@@ -320,6 +360,34 @@ class GeolocationPipeline:
             )
             for address, hosts in addresses.items()
         }
+
+    def score_confidence(
+        self,
+        verdicts: Dict[str, ServerVerdict],
+        source_traces: SourceTraces,
+    ) -> Dict[str, ConfidenceInputs]:
+        """Annotate every verdict with a calibrated confidence score.
+
+        The second engine seam (mirroring :meth:`classify_addresses`):
+        the scalar reference walks verdicts one at a time through
+        :func:`repro.core.geoloc.confidence.combine_score`, the columnar
+        engine evaluates the identical formula as masked array algebra —
+        the differential suite asserts bit-identical scores.  Returns
+        the gathered scoring inputs per address so the caller can
+        journal them; mutates only ``verdict.confidence``.
+        """
+        if self._columnar is not None:
+            return self._columnar.score_batch(verdicts, source_traces)
+        anchors = self._confidence_anchors
+        if anchors is None:
+            anchors = self._confidence_anchors = ConfidenceAnchors(self._atlas)
+        source_city = source_traces.city
+        inputs_map: Dict[str, ConfidenceInputs] = {}
+        for address, verdict in verdicts.items():
+            inputs = gather_inputs(verdict, source_city, anchors)
+            verdict.confidence = combine_score(inputs)
+            inputs_map[address] = inputs
+        return inputs_map
 
     # -- the scalar engine (the always-available oracle) ---------------------
     def _classify_address(

@@ -47,6 +47,11 @@ class ServerVerdict:
     claim: Optional[GeoClaim] = None
     discarded_by: str = ""  # constraint name when status == DISCARDED
     checks: List[ConstraintResult] = field(default_factory=list)
+    #: Calibrated score in [0, 1] that the binary foreign/local call is
+    #: right (repro.core.geoloc.confidence); None unless the study ran
+    #: with PipelineConfig.confidence.  Annotation only: never consulted
+    #: by verdict logic, funnel accounting, or summaries.
+    confidence: Optional[float] = None
 
     @property
     def is_verified_nonlocal(self) -> bool:
@@ -137,8 +142,13 @@ class DatasetGeolocation:
         return self.verdicts.get(address)
 
     def nonlocal_hosts(self) -> List[str]:
+        # .get, not [], for the same reason verdict_for_host uses it: a
+        # host may map to an address the pipeline never ruled on (e.g.
+        # hand-filtered datasets), which is "not verified", not an error.
+        verdicts_get = self.verdicts.get
         return [
             host
             for host, address in self.host_to_address.items()
-            if self.verdicts[address].is_verified_nonlocal
+            if (verdict := verdicts_get(address)) is not None
+            and verdict.is_verified_nonlocal
         ]

@@ -76,10 +76,12 @@ TRANSPORTS = ("pickle", "columnar")
 
 _MAGIC = b"CRUN"
 #: Version 2 appended the extras section (metrics delta + resource
-#: profile, PR 8); version-1 payloads (pre-telemetry checkpoints) still
-#: decode, with the new fields defaulting to ``None``.
-_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: profile, PR 8); version 3 appended the per-verdict confidence
+#: sections (flags + scores).  Older payloads (pre-telemetry and
+#: pre-confidence checkpoints) still decode, with the new fields
+#: defaulting to ``None``.
+_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _FLAG_ZLIB = 0x01
 #: Bodies below this stay uncompressed (zlib overhead beats the gain).
 _COMPRESS_MIN_BYTES = 4096
@@ -474,6 +476,8 @@ class _Encoder:
         vhost_ids: List[int] = []
         check_cols: List[int] = []
         check_floats: List[float] = []
+        conf_flags: List[int] = []
+        conf_vals: List[float] = []
         for geo in self._geos:
             funnel = geo.funnel
             geo_cols.extend((
@@ -488,6 +492,14 @@ class _Encoder:
                 h2a_ids.extend((sid(host), sid(address)))
             for key, verdict in geo.verdicts.items():
                 claim = verdict.claim
+                # Confidence annotation (v3): flag + value per verdict,
+                # so confidence-off payloads pay one zero byte per row.
+                confidence = verdict.confidence
+                if confidence is None:
+                    conf_flags.append(0)
+                else:
+                    conf_flags.append(1)
+                    conf_vals.append(confidence)
                 verdict_cols.extend((
                     sid(key), sid(verdict.address), sid(verdict.status),
                     0 if claim is None else self.claim_id(claim) + 1,
@@ -510,6 +522,7 @@ class _Encoder:
         return [
             ("i", geo_cols), ("i", h2a_ids), ("i", verdict_cols),
             ("i", vhost_ids), ("i", check_cols), ("f", check_floats),
+            ("i", conf_flags), ("f", conf_vals),
         ]
 
     def _result_columns(self, result, ds_index: int, geo_index: int):
@@ -801,8 +814,12 @@ def _decode_graph(payload: bytes):
     vhost_ids = reader.ints()
     check_cols = reader.ints()
     check_floats = reader.floats()
+    conf_flags = conf_vals = None
+    if version >= 3:
+        conf_flags = reader.ints()
+        conf_vals = reader.floats()
     geos: List[DatasetGeolocation] = []
-    h2a_at = verdict_at = vhost_at = check_at = cfloat_at = 0
+    h2a_at = verdict_at = vhost_at = check_at = cfloat_at = conf_at = 0
     for i in range(0, len(geo_cols), 12):
         geo = DatasetGeolocation(
             country_code=s(geo_cols[i]),
@@ -816,6 +833,10 @@ def _decode_graph(payload: bytes):
         h2a_at += 2 * n_h2a
         for _ in range(n_verdicts):
             row = verdict_cols[7 * verdict_at:7 * verdict_at + 7]
+            confidence = None
+            if conf_flags is not None and conf_flags[verdict_at]:
+                confidence = conf_vals[conf_at]
+                conf_at += 1
             verdict_at += 1
             n_hosts, n_checks = row[5], row[6]
             checks: List[ConstraintResult] = []
@@ -842,6 +863,7 @@ def _decode_graph(payload: bytes):
                 "claim": None if row[3] == 0 else claims[row[3] - 1],
                 "discarded_by": s(row[4]),
                 "checks": checks,
+                "confidence": confidence,
             })
             vhost_at += n_hosts
         geos.append(geo)
@@ -991,8 +1013,18 @@ def decode_run_frame(payload: bytes) -> FrameRun:
     for _ in range(5):  # background, dns, rdns, traceroute refs, hardcoded
         reader.skip()
     geo_cols = reader.ints()
-    for _ in range(5):  # host->addr, verdicts, verdict hosts, checks x2
+    reader.skip()  # host->address pairs
+    verdict_cols = None
+    if version >= 3:
+        verdict_cols = reader.ints_array()
+    else:
         reader.skip()
+    for _ in range(3):  # verdict hosts, checks x2
+        reader.skip()
+    conf_flags = conf_vals = None
+    if version >= 3:
+        conf_flags = reader.ints_array()
+        conf_vals = reader.floats()
     result_cols = reader.ints()
     reader.skip()  # tracker-verdict columns
     rsite_cols = reader.ints_array()
@@ -1026,6 +1058,24 @@ def decode_run_frame(payload: bytes) -> FrameRun:
     _np.cumsum(site_table[:, 6], out=req_start[1:])
     host_start = req_start[site_lo:site_hi + 1] - req_start[site_lo]
 
+    # Confidence carriage (v3): map the run geolocation's per-verdict
+    # scores onto the tracker rows by address code, so the frame can
+    # answer confidence-weighted queries without the object graph.
+    trk_confidence = None
+    if conf_flags is not None and len(conf_flags) and conf_flags.any():
+        verdict_rows = verdict_cols.reshape(-1, 7)
+        conf_of_verdict = _np.full(len(verdict_rows), _np.nan)
+        conf_of_verdict[conf_flags.astype(bool)] = conf_vals
+        n_verdicts_per_geo = geo_cols[11::12]
+        geo_index = run_cols[2]
+        verdict_lo = sum(n_verdicts_per_geo[:geo_index])
+        verdict_hi = verdict_lo + n_verdicts_per_geo[geo_index]
+        conf_by_sid = _np.full(len(table), _np.nan)
+        conf_by_sid[verdict_rows[verdict_lo:verdict_hi, 1]] = (
+            conf_of_verdict[verdict_lo:verdict_hi]
+        )
+        trk_confidence = conf_by_sid[rtrk[:, 1]]
+
     frame = CountryFrame(
         s(run_cols[0]), table,
         rsite[:, 0], rsite[:, 2], tracker_start,
@@ -1035,6 +1085,7 @@ def decode_run_frame(payload: bytes) -> FrameRun:
         dsite_loaded=site_table[site_lo:site_hi, 3],
         host_start=host_start,
         dhost=req_ids[int(req_start[site_lo]):int(req_start[site_hi])],
+        trk_confidence=trk_confidence,
     )
 
     g = 12 * run_cols[2]

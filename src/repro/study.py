@@ -324,6 +324,38 @@ class StudyOutcome:
             self.scenario.directory,
         )
 
+    def tracker_confidence(self):
+        """Confidence-weighted flow view: ``{country: (rows, mean)}``.
+
+        Per country, how many non-local tracker rows carry a verdict
+        confidence and their mean score — the frame answers from its
+        ``trk_confidence`` column without touching the object graph; the
+        objects path joins tracker rows to verdicts by address.  None
+        when the study ran without ``PipelineConfig.confidence``.
+        """
+        if self.frame is not None:
+            return self.frame.confidence_by_country()
+        weighted = {}
+        any_scored = False
+        for result in self.results:
+            geolocation = self.geolocations.get(result.country_code)
+            verdicts = geolocation.verdicts if geolocation is not None else {}
+            total = 0.0
+            count = 0
+            for site in result.sites:
+                for tracker in site.trackers:
+                    verdict = verdicts.get(tracker.address)
+                    if verdict is None or verdict.confidence is None:
+                        continue
+                    total += verdict.confidence
+                    count += 1
+            if count:
+                any_scored = True
+            weighted[result.country_code] = (
+                count, total / count if count else None
+            )
+        return weighted if any_scored else None
+
     def summary(self):
         """Headline metrics as one JSON-ready object."""
         from repro.core.analysis.summary import summarize_study
